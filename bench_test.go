@@ -1,0 +1,228 @@
+// Package logp_test holds the repository benchmark harness: one benchmark
+// per table and figure of the paper (each executes the corresponding
+// experiment generator and validates its qualitative checks), plus
+// microbenchmarks of the simulation substrate itself.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Per-figure simulated results are reported via custom metrics where a
+// single number is meaningful (the benchmark wall time measures the
+// simulator, not the simulated machine).
+package logp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/logp-model/logp/internal/algo/fft"
+	"github.com/logp-model/logp/internal/algo/lu"
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/experiments"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/network"
+	"github.com/logp-model/logp/internal/sim"
+)
+
+// runExperiment executes one experiment per iteration and fails the
+// benchmark if any of the figure's qualitative checks fail.
+func runExperiment(b *testing.B, f func(experiments.Scale) experiments.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := f(1)
+		for _, c := range rep.Failed() {
+			b.Fatalf("%s: check %q failed: %s", rep.ID, c.Name, c.Detail)
+		}
+	}
+}
+
+func fixed(f func() experiments.Report) func(experiments.Scale) experiments.Report {
+	return func(experiments.Scale) experiments.Report { return f() }
+}
+
+// --- One benchmark per table and figure (Deliverable d).
+
+func BenchmarkFig2MicroprocessorTrends(b *testing.B) { runExperiment(b, fixed(experiments.Fig2)) }
+func BenchmarkFig3OptimalBroadcast(b *testing.B)     { runExperiment(b, fixed(experiments.Fig3)) }
+func BenchmarkFig4OptimalSummation(b *testing.B)     { runExperiment(b, fixed(experiments.Fig4)) }
+func BenchmarkFig5HybridLayout(b *testing.B)         { runExperiment(b, fixed(experiments.Fig5)) }
+func BenchmarkFig6FFTRemapSchedules(b *testing.B)    { runExperiment(b, experiments.Fig6) }
+func BenchmarkFig7FFTComputeRates(b *testing.B)      { runExperiment(b, experiments.Fig7) }
+func BenchmarkFig8CommunicationRates(b *testing.B)   { runExperiment(b, experiments.Fig8) }
+func BenchmarkTableAvgDistance(b *testing.B) {
+	runExperiment(b, fixed(experiments.TableAvgDistance))
+}
+func BenchmarkTable1UnloadedTime(b *testing.B)  { runExperiment(b, fixed(experiments.Table1)) }
+func BenchmarkSaturation(b *testing.B)          { runExperiment(b, experiments.Saturation) }
+func BenchmarkLULayouts(b *testing.B)           { runExperiment(b, experiments.LULayouts) }
+func BenchmarkSortAlgorithms(b *testing.B)      { runExperiment(b, experiments.SortComparison) }
+func BenchmarkConnectedComponents(b *testing.B) { runExperiment(b, experiments.CCStudy) }
+func BenchmarkModelComparison(b *testing.B)     { runExperiment(b, fixed(experiments.ModelComparison)) }
+func BenchmarkCapacityAblation(b *testing.B)    { runExperiment(b, fixed(experiments.CapacityAblation)) }
+func BenchmarkBroadcastScheduleSweep(b *testing.B) {
+	runExperiment(b, fixed(experiments.BroadcastSweep))
+}
+func BenchmarkMultithreadingLimits(b *testing.B) {
+	runExperiment(b, fixed(experiments.Multithreading))
+}
+func BenchmarkLongMessages(b *testing.B)    { runExperiment(b, fixed(experiments.LongMessages)) }
+func BenchmarkSurfaceToVolume(b *testing.B) { runExperiment(b, experiments.SurfaceToVolume) }
+
+// --- Substrate microbenchmarks: how fast the simulators themselves run.
+
+// BenchmarkKernelEventThroughput measures raw discrete-event dispatch: a
+// self-rescheduling event chain of 100k events.
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	const events = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < events {
+				k.After(1, tick)
+			}
+		}
+		k.After(1, tick)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkMachineMessageThroughput measures simulated messages per second
+// through the full LogP cost machinery (gap, capacity, overhead).
+func BenchmarkMachineMessageThroughput(b *testing.B) {
+	const msgs = 2000
+	cfg := logp.Config{Params: core.Params{P: 8, L: 20, O: 2, G: 4}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := logp.Run(cfg, func(p *logp.Proc) {
+			next := (p.ID() + 1) % p.P()
+			for m := 0; m < msgs; m++ {
+				p.Send(next, 0, m)
+			}
+			for m := 0; m < msgs; m++ {
+				p.Recv()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgs*8*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkOptimalBroadcastConstruction measures the schedule builder at a
+// thousand processors.
+func BenchmarkOptimalBroadcastConstruction(b *testing.B) {
+	p := core.Params{P: 1024, L: 200, O: 66, G: 132}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimalBroadcast(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSummationDP measures the summation dynamic program.
+func BenchmarkOptimalSummationDP(b *testing.B) {
+	p := core.Params{P: 64, L: 20, O: 4, G: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if core.SumCapacity(p, 400) == 0 {
+			b.Fatal("no capacity")
+		}
+	}
+}
+
+// BenchmarkSequentialFFT measures the local FFT kernel (the per-processor
+// work of the parallel phases).
+func BenchmarkSequentialFFT(b *testing.B) {
+	x := make([]complex128, 1<<14)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(x) * 16))
+	for i := 0; i < b.N; i++ {
+		buf := append([]complex128(nil), x...)
+		if err := fft.Forward(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelFFTSimulation measures a full simulated hybrid FFT run.
+func BenchmarkParallelFFTSimulation(b *testing.B) {
+	x := make([]complex128, 1<<12)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	cfg := fft.Config{N: len(x), Machine: fft.CM5Machine(16), Cost: fft.CM5Cost(), Schedule: fft.StaggeredSchedule}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := fft.Run(cfg, append([]complex128(nil), x...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialLU measures the dense factorization kernel.
+func BenchmarkSequentialLU(b *testing.B) {
+	a := lu.Random(128, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lu.Factor(a.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketSimulator measures the packet-level network simulator.
+func BenchmarkPacketSimulator(b *testing.B) {
+	top := network.Mesh2D(8, 8, true)
+	cfg := network.LoadConfig{RouterDelay: 2, Load: 0.2, Pattern: network.UniformTraffic, Horizon: 2000, Warmup: 400, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.RunLoad(top, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectiveBarrier measures the message-based dissemination
+// barrier on 64 simulated processors.
+func BenchmarkCollectiveBarrier(b *testing.B) {
+	cfg := logp.Config{Params: core.Params{P: 64, L: 20, O: 2, G: 4}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := logp.Run(cfg, func(p *logp.Proc) {
+			for r := 0; r < 4; r++ {
+				collective.Barrier(p, 100+r*10)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlapFFT(b *testing.B) { runExperiment(b, fixed(experiments.OverlapFFT)) }
+
+func BenchmarkPatternGaps(b *testing.B)    { runExperiment(b, experiments.PatternGaps) }
+func BenchmarkParameterSpace(b *testing.B) { runExperiment(b, fixed(experiments.ParameterSpace)) }
+
+func BenchmarkPRAMEmulation(b *testing.B) { runExperiment(b, fixed(experiments.PRAMEmulation)) }
+func BenchmarkRobustness(b *testing.B)    { runExperiment(b, fixed(experiments.Robustness)) }
+
+func BenchmarkBSPComparison(b *testing.B) { runExperiment(b, experiments.BSPComparison) }
+
+func BenchmarkActiveMessages(b *testing.B) { runExperiment(b, fixed(experiments.ActiveMessages)) }

@@ -1,0 +1,129 @@
+// Command calibrate measures the LogP parameters of a simulated machine the
+// way one would measure real hardware, using the microbenchmarks that later
+// "LogP quantified" studies ran on physical networks:
+//
+//   - a one-way timed send recovers o (the sender's busy time);
+//   - a saturating send flood recovers the send interval max(g, o), hence g;
+//   - a ping-pong round trip recovers 2(2o+L), hence L.
+//
+// The point of the exercise: the model's parameters are observable, so "a
+// machine designer can give a concise performance summary of their machine
+// against which algorithms can be evaluated." Comparing the measured column
+// against the configured one also validates the simulator's cost charging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/stats"
+)
+
+func main() {
+	var (
+		p = flag.Int("P", 8, "processors")
+		l = flag.Int64("L", 200, "true latency (cycles)")
+		o = flag.Int64("o", 66, "true overhead (cycles)")
+		g = flag.Int64("g", 132, "true gap (cycles)")
+	)
+	flag.Parse()
+	params := core.Params{P: *p, L: *l, O: *o, G: *g}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+
+	measuredO := measureOverhead(params)
+	interval := measureSendInterval(params)
+	rtt := measurePingPong(params)
+	measuredL := rtt/2 - 2*measuredO
+	measuredG := interval // = max(g, o); report g when it exceeds o
+	caveat := ""
+	if interval <= measuredO {
+		caveat = " (o-bound: g <= o is unobservable from the flood)"
+	}
+
+	tb := stats.Table{Header: []string{"parameter", "configured", "measured", "method"}}
+	tb.Add("o", *o, measuredO, "busy time of one send")
+	tb.Add("g", *g, fmt.Sprintf("%d%s", measuredG, caveat), "send flood steady-state interval")
+	tb.Add("L", *l, measuredL, "ping-pong RTT/2 - 2o")
+	tb.Add("capacity", params.Capacity(), (measuredL+measuredG-1)/measuredG, "ceil(L/g)")
+	fmt.Print(tb.String())
+}
+
+// measureOverhead times a single send on an otherwise idle processor.
+func measureOverhead(params core.Params) int64 {
+	var busy int64
+	_, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+		switch p.ID() {
+		case 0:
+			start := p.Now()
+			p.Send(1, 0, nil)
+			busy = p.Now() - start
+		case 1:
+			p.Recv()
+		}
+	})
+	must(err)
+	return busy
+}
+
+// measureSendInterval floods messages from one processor and divides the
+// steady-state makespan by the message count.
+func measureSendInterval(params core.Params) int64 {
+	const m = 200
+	var span int64
+	_, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+		switch p.ID() {
+		case 0:
+			start := p.Now()
+			for i := 0; i < m; i++ {
+				p.Send(1, 0, nil)
+			}
+			span = p.Now() - start
+		case 1:
+			for i := 0; i < m; i++ {
+				p.Recv()
+			}
+		}
+	})
+	must(err)
+	// The first send pays only o; the remaining m-1 are spaced by the
+	// interval.
+	return (span - params.O) / (m - 1)
+}
+
+// measurePingPong measures a many-round ping-pong and returns the mean round
+// trip.
+func measurePingPong(params core.Params) int64 {
+	const rounds = 100
+	var total int64
+	_, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+		switch p.ID() {
+		case 0:
+			start := p.Now()
+			for i := 0; i < rounds; i++ {
+				p.Send(1, 0, nil)
+				p.Recv()
+			}
+			total = p.Now() - start
+		case 1:
+			for i := 0; i < rounds; i++ {
+				p.Recv()
+				p.Send(0, 0, nil)
+			}
+		}
+	})
+	must(err)
+	return total / rounds
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}

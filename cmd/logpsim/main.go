@@ -1,0 +1,230 @@
+// Command logpsim runs one of the built-in parallel algorithms on a
+// configurable simulated LogP machine and reports the time, efficiency and
+// (optionally) a per-processor activity Gantt.
+//
+// Examples:
+//
+//	logpsim -algo broadcast -P 8 -L 6 -o 2 -g 4 -trace
+//	logpsim -algo fft -P 32 -n 16384
+//	logpsim -algo sum -P 8 -L 5 -o 2 -g 4 -n 79
+//	logpsim -algo sort -P 8 -n 4096
+//	logpsim -algo lu -P 16 -n 64 -layout scattered
+//	logpsim -algo cc -P 8 -n 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/logp-model/logp/internal/algo/cc"
+	"github.com/logp-model/logp/internal/algo/fft"
+	"github.com/logp-model/logp/internal/algo/lu"
+	"github.com/logp-model/logp/internal/algo/matmul"
+	parsort "github.com/logp-model/logp/internal/algo/sort"
+	"github.com/logp-model/logp/internal/algo/stencil"
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "broadcast", "broadcast | sum | fft | sort | lu | cc | matmul | stencil")
+		p        = flag.Int("P", 8, "processors")
+		l        = flag.Int64("L", 6, "latency upper bound (cycles)")
+		o        = flag.Int64("o", 2, "send/receive overhead (cycles)")
+		g        = flag.Int64("g", 4, "gap between messages (cycles)")
+		n        = flag.Int("n", 0, "problem size (0 = a sensible default)")
+		layout   = flag.String("layout", "scattered", "lu layout: column | blocked | scattered")
+		sortAlgo = flag.String("sort", "splitter", "sort algorithm: splitter | bitonic | column")
+		traceIt  = flag.Bool("trace", false, "print the activity Gantt (small runs only)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	params := core.Params{P: *p, L: *l, O: *o, G: *g}
+	if err := params.Validate(); err != nil {
+		fatal(err)
+	}
+	cfg := logp.Config{Params: params, CollectTrace: *traceIt, Seed: *seed}
+
+	var res logp.Result
+	var err error
+	var summary string
+	switch *algo {
+	case "broadcast":
+		var s *core.BroadcastSchedule
+		s, err = core.OptimalBroadcast(params, 0)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = logp.Run(cfg, func(pr *logp.Proc) { collective.Broadcast(pr, s, 1, "datum") })
+		summary = fmt.Sprintf("optimal broadcast: predicted %d, binomial %d, linear %d",
+			s.Finish, core.BinomialBroadcastTime(params), core.LinearBroadcastTime(params))
+	case "sum":
+		size := int64(defaultN(*n, 1000))
+		deadline := core.MinSumTime(params, size)
+		var s *core.SumSchedule
+		s, err = core.OptimalSummation(params, deadline)
+		if err != nil {
+			fatal(err)
+		}
+		values := make([]float64, s.TotalValues)
+		for i := range values {
+			values[i] = 1
+		}
+		var dist [][]float64
+		dist, err = collective.DistributeInputs(s, values)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = logp.Run(cfg, func(pr *logp.Proc) { collective.SumOptimal(pr, s, 1, dist[pr.ID()]) })
+		summary = fmt.Sprintf("optimal summation of %d values: predicted %d (binary tree %d)",
+			s.TotalValues, deadline, core.BinaryTreeSumTime(params, s.TotalValues))
+	case "fft":
+		size := defaultN(*n, 4096)
+		in := randomComplex(size, *seed)
+		fcfg := fft.Config{N: size, Machine: cfg, Cost: fft.CM5Cost(), Schedule: fft.StaggeredSchedule}
+		var ph fft.Phases
+		_, ph, res, err = fft.Run(fcfg, in)
+		summary = fmt.Sprintf("hybrid FFT of %d points: cyclic %d + remap %d + blocked %d cycles",
+			size, ph.Cyclic, ph.Remap, ph.Blocked)
+	case "sort":
+		size := defaultN(*n, 4096)
+		keys := make([]float64, size)
+		rng := rand.New(rand.NewSource(*seed))
+		for i := range keys {
+			keys[i] = rng.NormFloat64()
+		}
+		var sa parsort.Algorithm
+		switch *sortAlgo {
+		case "splitter":
+			sa = parsort.Splitter
+		case "bitonic":
+			sa = parsort.Bitonic
+		case "column":
+			sa = parsort.Column
+		default:
+			fatal(fmt.Errorf("unknown sort algorithm %q", *sortAlgo))
+		}
+		var st parsort.Stats
+		_, st, err = parsort.Run(parsort.Config{Machine: cfg, Algo: sa}, keys)
+		res.Time = st.Time
+		res.Messages = st.Messages
+		summary = fmt.Sprintf("%v sort of %d keys: %d messages, largest chunk %d", sa, size, st.Messages, st.MaxChunk)
+	case "lu":
+		size := defaultN(*n, 64)
+		var lay lu.Layout
+		switch *layout {
+		case "column":
+			lay = lu.ColumnCyclic
+		case "blocked":
+			lay = lu.BlockedGrid
+		case "scattered":
+			lay = lu.ScatteredGrid
+		default:
+			fatal(fmt.Errorf("unknown layout %q", *layout))
+		}
+		a := lu.Random(size, *seed)
+		var perm []int
+		var f *lu.Dense
+		f, perm, res, err = lu.Run(lu.Config{Machine: cfg, Layout: lay}, a)
+		if err == nil {
+			summary = fmt.Sprintf("LU %dx%d (%v): residual %.2e", size, size, lay, lu.ResidualPALU(a, f, perm))
+		}
+	case "matmul":
+		size := defaultN(*n, 32)
+		a := lu.Random(size, *seed)
+		bm := lu.Random(size, *seed+1)
+		var got *lu.Dense
+		got, res, err = matmul.Run(matmul.Config{Machine: cfg, Algo: matmul.SUMMA}, a, bm)
+		if err == nil {
+			summary = fmt.Sprintf("SUMMA matmul %dx%d: max error %.2e vs sequential", size, size, got.MaxAbsDiff(a.Mul(bm)))
+		}
+	case "stencil":
+		size := defaultN(*n, 32)
+		rng := rand.New(rand.NewSource(*seed))
+		grid := make([][]float64, size)
+		for i := range grid {
+			grid[i] = make([]float64, size)
+			for j := range grid[i] {
+				grid[i][j] = rng.Float64()
+			}
+		}
+		var st stencil.Stats
+		_, st, err = stencil.Run(stencil.Config{Machine: cfg, N: size, Iterations: 8}, grid)
+		res.Time = st.Time
+		res.Messages = st.Messages
+		if err == nil {
+			summary = fmt.Sprintf("jacobi %dx%d, 8 iterations: %d halo messages, comm share %.0f%%",
+				size, size, st.Messages, st.CommFraction*100)
+		}
+	case "cc":
+		size := defaultN(*n, 512)
+		gph := cc.RandomGraph(size, size*8, *seed)
+		var st cc.Stats
+		var labels []int
+		labels, st, err = cc.Run(cc.Config{Machine: cfg, Mode: cc.CombiningMode}, gph)
+		res.Time = st.Time
+		res.Messages = st.Messages
+		if err == nil {
+			summary = fmt.Sprintf("connected components of G(%d,%d): %d components in %d rounds",
+				size, size*8, cc.CountComponents(labels), st.Rounds)
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine: %v  (capacity %d msgs in transit)\n", params, params.Capacity())
+	fmt.Println(summary)
+	fmt.Printf("simulated time: %d cycles, %d messages\n", res.Time, res.Messages)
+	if len(res.Procs) > 0 {
+		fmt.Printf("efficiency: %.1f%% of processor-cycles computing, %d cycles stalled\n",
+			res.BusyFraction()*100, res.TotalStall())
+	}
+	if *traceIt && res.Trace != nil {
+		unit := res.Time / 120
+		if unit < 1 {
+			unit = 1
+		}
+		fmt.Println()
+		fmt.Print(res.Trace.Gantt(params.P, unit))
+		printUtilization(res, params.P)
+	}
+}
+
+func defaultN(n, def int) int {
+	if n > 0 {
+		return n
+	}
+	return def
+}
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "logpsim:", err)
+	os.Exit(1)
+}
+
+// printUtilization renders the per-processor activity split of a traced run.
+func printUtilization(res logp.Result, procs int) {
+	u := res.Trace.Utilization(procs)
+	fmt.Println("\nutilization (compute / send-o / recv-o / stall / idle):")
+	for p := 0; p < procs; p++ {
+		fmt.Printf("  P%-3d %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+			p, u[p][0]*100, u[p][1]*100, u[p][2]*100, u[p][3]*100, u[p][4]*100)
+	}
+}

@@ -1,0 +1,70 @@
+// FFT example: the paper's flagship workload (Section 4.1). Runs the
+// hybrid-layout FFT on the calibrated CM-5 machine, verifies the transform
+// numerically against the sequential kernel, and shows why the
+// communication schedule matters: the contention-free staggered remap
+// against the naive all-to-processor-0-first remap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/logp-model/logp/internal/algo/fft"
+)
+
+func main() {
+	const n = 1 << 14
+	const procs = 32
+
+	rng := rand.New(rand.NewSource(42))
+	input := make([]complex128, n)
+	for i := range input {
+		input[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	// Sequential reference.
+	want := append([]complex128(nil), input...)
+	if err := fft.Forward(want); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d-point FFT on a %d-processor simulated CM-5\n", n, procs)
+	fmt.Printf("layouts: cyclic phase || one remap || blocked phase (Figure 5)\n\n")
+	for _, sched := range []fft.RemapSchedule{fft.NaiveSchedule, fft.StaggeredSchedule} {
+		cfg := fft.Config{
+			N:        n,
+			Machine:  fft.CM5Machine(procs),
+			Cost:     fft.CM5Cost(),
+			Schedule: sched,
+		}
+		got, ph, res, err := fft.Run(cfg, append([]complex128(nil), input...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var maxDiff float64
+		for i := range got {
+			if d := abs(got[i] - want[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		fmt.Printf("%-10s schedule: compute %.1f ms, remap %.1f ms (%.2f MB/s/proc), total %.1f ms\n",
+			sched, ms(ph.Cyclic+ph.Blocked), ms(ph.Remap), ph.RemapRateMBps(fft.CM5TickNanos), ms(res.Time))
+		fmt.Printf("           numerical error vs sequential: %.2e, stalls: %d cycles\n", maxDiff, res.TotalStall())
+	}
+	fmt.Println("\nthe staggered schedule keeps one sender per destination at all times;")
+	fmt.Println("the naive schedule floods destination 0 and serializes on its receive gap.")
+}
+
+func ms(ticks int64) float64 { return float64(ticks) * fft.CM5TickNanos / 1e6 }
+
+func abs(c complex128) float64 {
+	r, i := real(c), imag(c)
+	if r < 0 {
+		r = -r
+	}
+	if i < 0 {
+		i = -i
+	}
+	return r + i
+}

@@ -1,0 +1,64 @@
+// Machines example (Section 5): the machine database and the network
+// simulator. Prints Table 1 with the T(M=160) column recomputed from the
+// primary hardware numbers, derives LogP parameters for each machine, shows
+// the average-distance table, and runs a small saturation sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/logp-model/logp/internal/machine"
+	"github.com/logp-model/logp/internal/network"
+	"github.com/logp-model/logp/internal/stats"
+)
+
+func main() {
+	// --- Table 1: unloaded one-way message time.
+	fmt.Println("Table 1: network timing parameters (T = Tsnd+Trcv + ceil(M/w) + H*r, M=160 bits)")
+	tb := stats.Table{Header: []string{"machine", "network", "T(160) published", "T(160) recomputed", "o (us)", "L (us)", "g (us)"}}
+	for _, s := range machine.Table1() {
+		p := machine.DeriveLogP(s, 1024, 160, s.AvgHops)
+		us := func(c int64) string { return fmt.Sprintf("%.1f", float64(c)*s.CycleNs/1000) }
+		tb.Add(s.Name, s.Network, s.TM160, s.UnloadedTime(160, s.AvgHops), us(p.O), us(p.L), us(p.G))
+	}
+	fmt.Print(tb.String())
+
+	// --- Average distance by topology.
+	fmt.Println("\naverage inter-node distance (formula at P=1024 vs BFS at P=64):")
+	dt := stats.Table{Header: []string{"topology", "@1024 (formula)", "@64 (measured)"}}
+	for _, row := range []struct {
+		kind string
+		top  *network.Topology
+	}{
+		{"hypercube", network.Hypercube(6)},
+		{"butterfly", network.Butterfly(6)},
+		{"fat-tree-4", network.FatTree(4, 3)},
+		{"3d-torus", network.Mesh3D(4, 4, 4, true)},
+		{"2d-mesh", network.Mesh2D(8, 8, false)},
+	} {
+		f, err := network.AnalyticAverageDistance(row.kind, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt.Add(row.kind, f, row.top.AverageDistance())
+	}
+	fmt.Print(dt.String())
+
+	// --- Saturation: the knee that motivates the capacity constraint.
+	fmt.Println("\nlatency vs offered load, 8x8 mesh, uniform traffic:")
+	mesh := network.Mesh2D(8, 8, false)
+	results, err := network.SaturationSweep(mesh,
+		[]float64{0.05, 0.1, 0.2, 0.4, 0.8},
+		network.LoadConfig{RouterDelay: 2, Pattern: network.UniformTraffic, Horizon: 3000, Warmup: 500, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := stats.Table{Header: []string{"offered load", "mean latency", "p99", "throughput"}}
+	for _, r := range results {
+		st.Add(r.Load, r.MeanLatency, r.P99Latency, fmt.Sprintf("%.3f", r.Throughput))
+	}
+	fmt.Print(st.String())
+	fmt.Printf("\nsaturation knee near load %.2f: below it latency is flat, past it queues explode.\n",
+		network.SaturationLoad(results))
+}

@@ -1,0 +1,51 @@
+// Multithreading example (Section 3.2): masking remote-access latency by
+// multiplexing virtual processors on one physical processor. Shows the
+// throughput rising until the request pipeline is full (about one virtual
+// processor per gap-slot of the round trip), the ceiling at the bandwidth
+// bound 1/g, and the damage a realistic context-switch cost does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/stats"
+	"github.com/logp-model/logp/internal/vp"
+)
+
+func main() {
+	machine := logp.Config{Params: core.Params{P: 9, L: 64, O: 1, G: 8}}
+	rtt := 2 * machine.Params.PointToPoint()
+	vstar := int(rtt / machine.Params.SendInterval())
+	fmt.Printf("machine: %v  round trip 2(2o+L) = %d cycles\n", machine.Params, rtt)
+	fmt.Printf("pipeline limit: about RTT/g = %d virtual processors\n\n", vstar)
+
+	base := vp.Config{Machine: machine, RequestsPerVP: 40, WorkPerReply: 2}
+	tb := stats.Table{Header: []string{"VPs", "req/cycle", "speedup", "with 40-cycle switches"}}
+	var first float64
+	for _, v := range []int{1, 2, 4, 8, vstar, 2 * vstar} {
+		cfg := base
+		cfg.VPs = v
+		r, err := vp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.ContextSwitchCost = 40
+		rc, err := vp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if first == 0 {
+			first = r.Throughput
+		}
+		tb.Add(v, fmt.Sprintf("%.4f", r.Throughput),
+			fmt.Sprintf("%.1fx", r.Throughput/first),
+			fmt.Sprintf("%.4f", rc.Throughput))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nthe bandwidth bound is 1/g = %.4f requests/cycle; beyond ~%d VPs\n",
+		1/float64(machine.Params.SendInterval()), vstar)
+	fmt.Println("extra virtual processors buy nothing — the Section 3.2 capacity argument.")
+}

@@ -1,0 +1,55 @@
+// Sorting example (Section 4.2.2): splitter sort's compute-remap-compute
+// pattern against bitonic merge sort's oblivious exchanges, across machines
+// with increasingly expensive communication. Bitonic moves every key
+// log^2(P)/2 times; splitter moves it once — so the gap widens as g and L
+// grow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	gosort "sort"
+
+	parsort "github.com/logp-model/logp/internal/algo/sort"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/stats"
+)
+
+func main() {
+	const n = 8192
+	const procs = 8
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.NormFloat64()
+	}
+
+	fmt.Printf("sorting %d keys on %d processors\n\n", n, procs)
+	tb := stats.Table{Header: []string{"machine", "splitter", "bitonic", "bitonic/splitter"}}
+	for _, m := range []struct {
+		name    string
+		l, o, g int64
+	}{
+		{"fast network", 6, 1, 2},
+		{"CM-5-like ratios", 20, 4, 8},
+		{"slow network", 100, 20, 40},
+	} {
+		params := core.Params{P: procs, L: m.l, O: m.o, G: m.g}
+		var times [2]int64
+		for i, algo := range []parsort.Algorithm{parsort.Splitter, parsort.Bitonic} {
+			out, st, err := parsort.Run(parsort.Config{Machine: logp.Config{Params: params}, Algo: algo}, keys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !gosort.Float64sAreSorted(out) {
+				log.Fatalf("%v produced unsorted output", algo)
+			}
+			times[i] = st.Time
+		}
+		tb.Add(m.name, times[0], times[1], fmt.Sprintf("%.2fx", float64(times[1])/float64(times[0])))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nboth outputs verified sorted; the splitter advantage grows with g and L.")
+}

@@ -1,0 +1,3 @@
+module github.com/logp-model/logp
+
+go 1.22

@@ -1,0 +1,188 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func machineCfg(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 20, O: 4, G: 8}}
+}
+
+func sameLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSequentialComponents(t *testing.T) {
+	g := &Graph{N: 7, Edges: [][2]int{{0, 1}, {1, 2}, {3, 4}}}
+	labels := Components(g)
+	want := []int{0, 0, 0, 3, 3, 5, 6}
+	if !sameLabels(labels, want) {
+		t.Errorf("labels = %v, want %v", labels, want)
+	}
+	if CountComponents(labels) != 4 {
+		t.Errorf("count = %d, want 4", CountComponents(labels))
+	}
+}
+
+func TestGraphGenerators(t *testing.T) {
+	g := RandomGraph(50, 100, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 100 {
+		t.Errorf("%d edges, want 100", len(g.Edges))
+	}
+	if len(RandomGraph(5, 1000, 1).Edges) != 10 {
+		t.Error("edge cap not applied")
+	}
+	s := Star(10)
+	if CountComponents(Components(s)) != 1 {
+		t.Error("star not connected")
+	}
+	p := Path(10)
+	if CountComponents(Components(p)) != 1 {
+		t.Error("path not connected")
+	}
+	bad := &Graph{N: 3, Edges: [][2]int{{0, 5}}}
+	if bad.Validate() == nil {
+		t.Error("bad edge accepted")
+	}
+}
+
+func TestParallelMatchesUnionFind(t *testing.T) {
+	cases := []*Graph{
+		RandomGraph(40, 60, 2),
+		RandomGraph(64, 300, 3),
+		RandomGraph(30, 10, 4), // sparse: many components
+		Star(33),
+		Path(25),
+		{N: 5}, // no edges at all
+		{N: 1}, // singleton
+	}
+	for gi, g := range cases {
+		want := Components(g)
+		for _, P := range []int{1, 2, 4, 8} {
+			for _, mode := range []Mode{NaiveMode, CombiningMode} {
+				got, st, err := Run(Config{Machine: machineCfg(P), Mode: mode}, g)
+				if err != nil {
+					t.Fatalf("graph %d P=%d %v: %v", gi, P, mode, err)
+				}
+				if !sameLabels(got, want) {
+					t.Errorf("graph %d P=%d %v: labels differ from union-find", gi, P, mode)
+				}
+				if st.Rounds < 1 {
+					t.Errorf("graph %d: %d rounds", gi, st.Rounds)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPropertyRandom(t *testing.T) {
+	f := func(seed int64, nn, mm uint8, mode bool) bool {
+		n := int(nn%40) + 2
+		m := int(mm % 80)
+		g := RandomGraph(n, m, seed)
+		want := Components(g)
+		md := NaiveMode
+		if mode {
+			md = CombiningMode
+		}
+		got, _, err := Run(Config{Machine: machineCfg(4), Mode: md}, g)
+		if err != nil {
+			return false
+		}
+		return sameLabels(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombiningMitigatesContention: on a star graph every edge candidate
+// targets the hub's owner. Combining collapses them to one candidate per
+// round per processor, slashing what the hub receives and the total time —
+// the Section 4.2.3 contention mitigation.
+func TestCombiningMitigatesContention(t *testing.T) {
+	g := Star(256)
+	naive, stN, err := Run(Config{Machine: machineCfg(8), Mode: NaiveMode}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, stC, err := Run(Config{Machine: machineCfg(8), Mode: CombiningMode}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameLabels(naive, comb) {
+		t.Fatal("modes disagree")
+	}
+	if stC.MaxRecvByProc >= stN.MaxRecvByProc {
+		t.Errorf("combining hub receives %d, naive %d: no mitigation", stC.MaxRecvByProc, stN.MaxRecvByProc)
+	}
+	if stC.Time >= stN.Time {
+		t.Errorf("combining time %d not below naive %d", stC.Time, stN.Time)
+	}
+}
+
+// TestDenseGraphIsComputeBound: the paper's conclusion — "for sufficiently
+// dense graphs our connected components algorithm is compute-bound".
+func TestDenseGraphIsComputeBound(t *testing.T) {
+	g := RandomGraph(256, 12000, 7)
+	_, st, err := Run(Config{Machine: machineCfg(8), Mode: CombiningMode}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ComputeCycles <= st.CommCycles {
+		t.Errorf("dense graph not compute-bound: compute %d, comm %d", st.ComputeCycles, st.CommCycles)
+	}
+	// And a sparse long path is communication-bound by contrast.
+	sparse := Path(64)
+	_, st2, err := Run(Config{Machine: machineCfg(8), Mode: CombiningMode}, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CommCycles <= st2.ComputeCycles {
+		t.Errorf("sparse path not comm-bound: compute %d, comm %d", st2.ComputeCycles, st2.CommCycles)
+	}
+}
+
+func TestPathRoundsGrowWithDiameter(t *testing.T) {
+	_, short, err := Run(Config{Machine: machineCfg(4), Mode: CombiningMode}, Path(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, long, err := Run(Config{Machine: machineCfg(4), Mode: CombiningMode}, Path(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Rounds <= short.Rounds {
+		t.Errorf("rounds: path64 %d, path8 %d", long.Rounds, short.Rounds)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	g := RandomGraph(60, 200, 11)
+	_, a, err := Run(Config{Machine: machineCfg(4), Mode: CombiningMode}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Run(Config{Machine: machineCfg(4), Mode: CombiningMode}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Messages != b.Messages || a.Rounds != b.Rounds {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+// Package cc implements the connected-components discussion of
+// Section 4.2.3 on the LogP machine. PRAM algorithms for this problem
+// funnel increasing numbers of queries at the representatives of large
+// components — contention "which the CRCW PRAM ignores, but LogP makes
+// apparent". Following the paper's prescription (local optimizations that
+// mitigate contention; the cited implementation details are in [31], which
+// is not reproducible verbatim), this package implements deterministic
+// min-label propagation over distributed vertices in two variants: a naive
+// one that sends one message per edge endpoint per round, and a combining
+// one that deduplicates candidates per (destination, vertex) before
+// sending — the contention mitigation. On sufficiently dense graphs the
+// combining variant is compute-bound, the paper's conclusion.
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// RandomGraph generates a graph with m distinct random edges (no self
+// loops), deterministic in seed.
+func RandomGraph(n, m int, seed int64) *Graph {
+	if m > n*(n-1)/2 {
+		m = n * (n - 1) / 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int]bool, m)
+	g := &Graph{N: n}
+	for len(g.Edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.Edges = append(g.Edges, key)
+	}
+	return g
+}
+
+// Star returns a star graph: vertex 0 connected to all others — the
+// worst-case contention pattern (every label query targets the hub's owner).
+func Star(n int) *Graph {
+	g := &Graph{N: n}
+	for v := 1; v < n; v++ {
+		g.Edges = append(g.Edges, [2]int{0, v})
+	}
+	return g
+}
+
+// Path returns a path graph 0-1-2-...-n-1: maximum-diameter single
+// component, the worst case for propagation round counts.
+func Path(n int) *Graph {
+	g := &Graph{N: n}
+	for v := 1; v < n; v++ {
+		g.Edges = append(g.Edges, [2]int{v - 1, v})
+	}
+	return g
+}
+
+// Components computes the reference labeling with union-find: every vertex
+// is labeled with the smallest vertex id in its component.
+func Components(g *Graph) []int {
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			if ru > rv {
+				ru, rv = rv, ru
+			}
+			parent[rv] = ru // smaller id wins, keeping labels canonical
+		}
+	}
+	labels := make([]int, g.N)
+	for v := range labels {
+		labels[v] = find(v)
+	}
+	// Normalize: the root chain above may not end at the minimum; enforce
+	// min-label by a second pass.
+	min := make(map[int]int)
+	for v, r := range labels {
+		if m, ok := min[r]; !ok || v < m {
+			min[r] = v
+		}
+	}
+	for v, r := range labels {
+		labels[v] = min[r]
+	}
+	return labels
+}
+
+// CountComponents returns the number of distinct components in a labeling.
+func CountComponents(labels []int) int {
+	seen := make(map[int]bool)
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// Validate checks that a graph's edges are in range.
+func (g *Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N || e[0] == e[1] {
+			return fmt.Errorf("cc: bad edge %v in graph of %d vertices", e, g.N)
+		}
+	}
+	return nil
+}

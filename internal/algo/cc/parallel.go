@@ -1,0 +1,221 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Mode selects how label updates travel between processors.
+type Mode int
+
+const (
+	// NaiveMode sends one message per adjacent edge per changed vertex:
+	// the contention-oblivious PRAM transcription. Hubs drown in duplicate
+	// candidates.
+	NaiveMode Mode = iota
+	// CombiningMode deduplicates candidates per (destination vertex) and
+	// keeps only the minimum before sending: the "local optimizations"
+	// that considerably mitigate the severe contention of naive
+	// implementations (Section 4.2.3).
+	CombiningMode
+)
+
+func (m Mode) String() string {
+	if m == NaiveMode {
+		return "naive"
+	}
+	return "combining"
+}
+
+// Config describes a parallel connected-components run.
+type Config struct {
+	Machine logp.Config
+	Mode    Mode
+	// EdgeOpCycles is the simulated cost of touching one adjacency entry
+	// (default 1).
+	EdgeOpCycles int64
+}
+
+func (c Config) edgeOp() int64 {
+	if c.EdgeOpCycles <= 0 {
+		return 1
+	}
+	return c.EdgeOpCycles
+}
+
+// Stats reports a run.
+type Stats struct {
+	Time     int64
+	Rounds   int
+	Messages int
+	// ComputeCycles and CommCycles are summed over processors; a run is
+	// compute-bound when the former dominates.
+	ComputeCycles int64
+	CommCycles    int64
+	MaxRecvByProc int
+}
+
+const (
+	tagUpdate = 11001 // label candidate: Data = [2]int{vertex, label}
+	tagFlush  = 11002 // per-round per-peer count of updates sent
+	tagDone   = 11003 // reduction of the global change flag
+)
+
+// Run labels every vertex with the minimum vertex id of its component, on
+// the simulated machine. Vertices are distributed cyclically (vertex v on
+// processor v mod P); each processor knows the adjacency of its vertices.
+// Rounds alternate: propagate changed labels to neighbours, absorb incoming
+// candidates, then agree globally (via reduce+broadcast) whether anything
+// changed.
+func Run(cfg Config, g *Graph) ([]int, Stats, error) {
+	if err := g.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	P := cfg.Machine.P
+	if P < 1 {
+		return nil, Stats{}, fmt.Errorf("cc: no processors")
+	}
+
+	// Build per-processor adjacency (instrumentation, not simulated).
+	adj := make([]map[int][]int, P)
+	for i := range adj {
+		adj[i] = make(map[int][]int)
+	}
+	for _, e := range g.Edges {
+		u, v := e[0], e[1]
+		adj[u%P][u] = append(adj[u%P][u], v)
+		adj[v%P][v] = append(adj[v%P][v], u)
+	}
+
+	labels := make([]int, g.N)
+	var stats Stats
+	rounds := make([]int, P)
+
+	res, err := logp.Run(cfg.Machine, func(p *logp.Proc) {
+		rounds[p.ID()] = runProc(p, cfg, g.N, adj[p.ID()], labels)
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.Time = res.Time
+	stats.Messages = res.Messages
+	stats.Rounds = rounds[0]
+	for _, s := range res.Procs {
+		stats.ComputeCycles += s.Compute
+		stats.CommCycles += s.SendOverhead + s.RecvOverhead + s.Stall
+		if s.MsgsReceived > stats.MaxRecvByProc {
+			stats.MaxRecvByProc = s.MsgsReceived
+		}
+	}
+	return labels, stats, nil
+}
+
+// runProc executes the label-propagation rounds for one processor and
+// returns the number of rounds.
+func runProc(p *logp.Proc, cfg Config, n int, myAdj map[int][]int, labels []int) int {
+	P := p.P()
+	me := p.ID()
+	edgeOp := cfg.edgeOp()
+
+	label := make(map[int]int, len(myAdj))
+	var changedList []int // sorted: keeps runs deterministic
+	for v := me; v < n; v += P {
+		label[v] = v
+		if len(myAdj[v]) > 0 {
+			changedList = append(changedList, v)
+		}
+	}
+	sort.Ints(changedList)
+
+	round := 0
+	for {
+		round++
+		// Gather candidates for neighbours of vertices whose label changed
+		// last round.
+		type cand struct{ vertex, label int }
+		var outbox []cand
+		nextChanged := make(map[int]bool)
+		combined := make(map[int]int) // vertex -> best candidate (combining mode)
+		for _, v := range changedList {
+			lv := label[v]
+			for _, w := range myAdj[v] {
+				p.Compute(edgeOp)
+				if w%P == me {
+					if lv < label[w] {
+						label[w] = lv
+						nextChanged[w] = true // propagates next round
+					}
+					continue
+				}
+				if cfg.Mode == CombiningMode {
+					if best, ok := combined[w]; !ok || lv < best {
+						combined[w] = lv
+					}
+				} else {
+					outbox = append(outbox, cand{w, lv})
+				}
+			}
+		}
+		if cfg.Mode == CombiningMode {
+			keys := make([]int, 0, len(combined))
+			for w := range combined {
+				keys = append(keys, w)
+			}
+			sort.Ints(keys)
+			for _, w := range keys {
+				outbox = append(outbox, cand{w, combined[w]})
+			}
+			p.Compute(int64(len(combined))) // the combining compares
+		}
+
+		sendCount := make([]int, P)
+		for _, c := range outbox {
+			dst := c.vertex % P
+			p.Send(dst, tagUpdate, [2]int{c.vertex, c.label})
+			sendCount[dst]++
+		}
+		// Flush protocol: tell every peer how many updates it should expect
+		// from us this round, so receivers know when the round's traffic is
+		// fully drained.
+		for i := 1; i < P; i++ {
+			d := (me + i) % P
+			p.Send(d, tagFlush, sendCount[d])
+		}
+		expect := 0
+		for i := 1; i < P; i++ {
+			expect += p.RecvTag(tagFlush).Data.(int)
+		}
+		for r := 0; r < expect; r++ {
+			m := p.RecvTag(tagUpdate).Data.([2]int)
+			v, lv := m[0], m[1]
+			p.Compute(1)
+			if lv < label[v] {
+				label[v] = lv
+				nextChanged[v] = true
+			}
+		}
+
+		// Global agreement: did any processor change a label?
+		changedHere := len(nextChanged) > 0
+		v, _ := collective.BinomialReduce(p, 0, tagDone+2*round, changedHere, func(a, b any) any {
+			return a.(bool) || b.(bool)
+		})
+		verdict := collective.BinomialBroadcast(p, 0, tagDone+2*round+1, v)
+		if !verdict.(bool) {
+			break
+		}
+		changedList = changedList[:0]
+		for w := range nextChanged {
+			changedList = append(changedList, w)
+		}
+		sort.Ints(changedList)
+	}
+
+	for v, lv := range label {
+		labels[v] = lv
+	}
+	return round
+}

@@ -1,0 +1,125 @@
+package fft
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/bsp"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// RunBSP executes the same transform as Run, but as a bulk-synchronous
+// program under the pure cyclic layout (the Section 6.3 comparison): one
+// superstep of entirely local stages, then log P supersteps in which every
+// processor exchanges its whole slice with its butterfly partner and
+// computes its half of the stage. Each remote stage is an h-relation of
+// h = n/P words and ends in a global synchronization — where the LogP
+// hybrid algorithm pays a single all-to-all remap of the same total volume
+// and no barriers. The result (bit-reversed order, cyclic layout
+// reassembled) is identical to Run's.
+func RunBSP(cfg Config, input []complex128) ([]complex128, logp.Result, error) {
+	n := cfg.N
+	if len(input) != n {
+		return nil, logp.Result{}, fmt.Errorf("fft: input length %d != N %d", len(input), n)
+	}
+	k, err := log2(n)
+	if err != nil {
+		return nil, logp.Result{}, err
+	}
+	P := cfg.Machine.P
+	lp, err := log2(P)
+	if err != nil {
+		return nil, logp.Result{}, fmt.Errorf("fft: P must be a power of two: %v", err)
+	}
+	if P > 1 && n < P*P {
+		return nil, logp.Result{}, fmt.Errorf("fft: need N >= P^2 (N=%d, P=%d)", n, P)
+	}
+	local := n / P
+
+	vals := make([][]complex128, P)
+	for i := 0; i < P; i++ {
+		vals[i] = make([]complex128, local)
+		for j := 0; j < local; j++ {
+			vals[i][j] = input[j*P+i] // cyclic layout throughout
+		}
+	}
+	cost := cfg.Cost.ButterflyInCache
+	if int64(local)*cfg.Cost.PointBytes > cfg.Cost.CacheBytes {
+		cost = cfg.Cost.ButterflyCyclicOOC
+	}
+
+	steps := 1 + lp
+	res, err := bsp.Run(cfg.Machine, steps, func(s *bsp.Superstep) {
+		me := s.Proc().ID()
+		x := vals[me]
+		stage := func(c int, partner []complex128) {
+			b := k - 1 - c
+			if b >= lp {
+				// Local stage: both halves of each pair live here.
+				lb := b - lp
+				half := 1 << uint(lb)
+				for j := 0; j < local; j++ {
+					if j&half != 0 {
+						continue
+					}
+					r := j*P + me
+					tw := stageTwiddle(r, b)
+					a, bb := x[j], x[j|half]
+					x[j] = a + bb
+					x[j|half] = (a - bb) * tw
+				}
+				s.Compute(int64(local/2) * cost)
+				return
+			}
+			// Remote stage: my row r pairs with r^bit on the partner, same
+			// local index j.
+			bit := 1 << uint(b)
+			low := me&bit == 0
+			for j := 0; j < local; j++ {
+				rLow := j*P + (me &^ bit)
+				tw := stageTwiddle(rLow, b)
+				if low {
+					x[j] = x[j] + partner[j]
+				} else {
+					x[j] = (partner[j] - x[j]) * tw
+				}
+			}
+			// Each output is half a butterfly.
+			s.Compute(int64(local) * cost / 2)
+		}
+
+		if s.Step() == 0 {
+			for c := 0; c < k-lp; c++ {
+				stage(c, nil)
+			}
+		} else {
+			c := k - lp + s.Step() - 1
+			partner := make([]complex128, local)
+			for _, m := range s.Received() {
+				pt := m.Data.(point)
+				partner[pt.Row] = pt.V
+			}
+			stage(c, partner)
+		}
+		// Queue the exchange for the next remote stage, if any.
+		if s.Step() < lp {
+			c := k - lp + s.Step()
+			bit := 1 << uint(k-1-c)
+			partner := me ^ bit
+			for j := 0; j < local; j++ {
+				s.Send(partner, point{Row: j, V: x[j]})
+			}
+		}
+	})
+	if err != nil {
+		return nil, res, err
+	}
+
+	// Reassemble from the cyclic layout.
+	out := make([]complex128, n)
+	for i := 0; i < P; i++ {
+		for j := 0; j < local; j++ {
+			out[j*P+i] = vals[i][j]
+		}
+	}
+	return out, res, nil
+}

@@ -1,0 +1,69 @@
+package fft
+
+import "testing"
+
+func TestBSPFFTMatchesSequential(t *testing.T) {
+	for _, pc := range []struct{ n, p int }{
+		{16, 4}, {64, 8}, {256, 16}, {32, 2}, {16, 1},
+	} {
+		want := randomInput(pc.n, int64(pc.n+pc.p))
+		if err := Forward(want); err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallMachine(pc.p)
+		cfg.N = pc.n
+		got, res, err := RunBSP(cfg, randomInput(pc.n, int64(pc.n+pc.p)))
+		if err != nil {
+			t.Fatalf("n=%d P=%d: %v", pc.n, pc.p, err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(pc.n) {
+			t.Errorf("n=%d P=%d: max diff %g", pc.n, pc.p, d)
+		}
+		if pc.p > 1 && res.Messages == 0 {
+			t.Errorf("n=%d P=%d: no exchange", pc.n, pc.p)
+		}
+	}
+}
+
+// TestLogPHybridBeatsBSP: the Section 6.3 comparison on the CM-5
+// calibration: log P barrier-synchronized h-relations against one staggered
+// remap.
+func TestLogPHybridBeatsBSP(t *testing.T) {
+	cfg := Config{N: 1 << 12, Machine: CM5Machine(16), Cost: CM5Cost(), Schedule: StaggeredSchedule}
+	in := randomInput(cfg.N, 5)
+	_, _, logpRes, err := Run(cfg, append([]complex128(nil), in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bspRes, err := RunBSP(cfg, append([]complex128(nil), in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bspRes.Time <= logpRes.Time {
+		t.Errorf("BSP execution %d not slower than LogP hybrid %d", bspRes.Time, logpRes.Time)
+	}
+	// And they agree numerically.
+	a, _, _, err := Run(cfg, append([]complex128(nil), in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunBSP(cfg, append([]complex128(nil), in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(a, b); d > 1e-9*float64(cfg.N) {
+		t.Errorf("executions disagree by %g", d)
+	}
+}
+
+func TestBSPFFTValidation(t *testing.T) {
+	cfg := smallMachine(8)
+	cfg.N = 16 // < P^2
+	if _, _, err := RunBSP(cfg, make([]complex128, 16)); err == nil {
+		t.Error("N < P^2 accepted")
+	}
+	cfg.N = 64
+	if _, _, err := RunBSP(cfg, make([]complex128, 32)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,347 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInput(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomInput(n, int64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		BitReverse(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %g", n, d)
+		}
+	}
+}
+
+func TestFFTNaturalOrder(t *testing.T) {
+	x := randomInput(32, 5)
+	want := DFT(x)
+	got := append([]complex128(nil), x...)
+	if err := FFT(got); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Errorf("max diff %g", d)
+	}
+}
+
+func TestForwardRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if err := Forward(make([]complex128, n)); err == nil {
+			t.Errorf("n=%d accepted", n)
+		}
+	}
+}
+
+func TestBitReverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomInput(64, seed)
+		y := append([]complex128(nil), x...)
+		BitReverse(y)
+		BitReverse(y)
+		return maxDiff(x, y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFigure5HybridLayout reproduces Figure 5: the 8-input butterfly with
+// P=2 under the hybrid layout. Processor 0 computes rows 0,2,4,6 for
+// columns 0..2 (cyclic) and rows 0..3 for column 3 (blocked); the remap is
+// between columns 2 and 3.
+func TestFigure5HybridLayout(t *testing.T) {
+	n, P := 8, 2
+	for col := 0; col <= 2; col++ {
+		for r := 0; r < n; r++ {
+			want := r % 2
+			if got := Owner(Hybrid, r, col, n, P); got != want {
+				t.Errorf("col %d row %d: owner %d, want %d (cyclic)", col, r, got, want)
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		want := r / 4
+		if got := Owner(Hybrid, r, 3, n, P); got != want {
+			t.Errorf("col 3 row %d: owner %d, want %d (blocked)", r, got, want)
+		}
+	}
+}
+
+func TestPureLayoutOwners(t *testing.T) {
+	if CyclicOwner(13, 4) != 1 {
+		t.Error("cyclic owner wrong")
+	}
+	if BlockedOwner(13, 16, 4) != 3 {
+		t.Error("blocked owner wrong")
+	}
+	if Owner(Cyclic, 13, 2, 16, 4) != 1 || Owner(Blocked, 13, 2, 16, 4) != 3 {
+		t.Error("Owner dispatch wrong")
+	}
+}
+
+// TestHybridCommunicationAdvantage checks Section 4.1.1: the hybrid layout's
+// communication volume is lower than the pure layouts' by a factor of about
+// log P.
+func TestHybridCommunicationAdvantage(t *testing.T) {
+	n, P := 1<<16, 64
+	pure, err := RemoteRefsPerProcessor(Cyclic, n, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := RemoteRefsPerProcessor(Hybrid, n, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(pure) / float64(hyb)
+	lp := 6.0
+	if ratio < lp*0.9 || ratio > lp*1.2 {
+		t.Errorf("pure/hybrid refs ratio %.2f, want about log P = %v", ratio, lp)
+	}
+	if _, err := RemoteRefsPerProcessor(Hybrid, 16, 8); err == nil {
+		t.Error("n < P^2 accepted")
+	}
+	ct, err := CommunicationTime(Hybrid, n, 4, 20, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4*int64(hyb) + 20; ct != want {
+		t.Errorf("hybrid comm time %d, want %d", ct, want)
+	}
+	ctPure, err := CommunicationTime(Cyclic, n, 4, 20, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctPure <= ct {
+		t.Errorf("pure comm time %d not worse than hybrid %d", ctPure, ct)
+	}
+}
+
+func smallMachine(p int) Config {
+	m := CM5Machine(p)
+	// Shrink the tick scale for fast tests: same ratios as the CM-5.
+	m.Params.L, m.Params.O, m.Params.G = 20, 7, 13
+	return Config{
+		Machine:  m,
+		Cost:     CostModel{ButterflyInCache: 12, ButterflyCyclicOOC: 15, ButterflyBlockedOOC: 13, LoadStorePerPoint: 3, CacheBytes: 1 << 10, PointBytes: 16},
+		Schedule: StaggeredSchedule,
+	}
+}
+
+// TestDistributedFFTMatchesSequential: the hybrid-layout FFT on the
+// simulated machine computes the same transform as the sequential kernel,
+// for every schedule and several machine sizes.
+func TestDistributedFFTMatchesSequential(t *testing.T) {
+	for _, pc := range []struct{ n, p int }{
+		{16, 4}, {64, 4}, {64, 8}, {256, 16}, {32, 1}, {16, 2},
+	} {
+		want := randomInput(pc.n, int64(pc.n+pc.p))
+		if err := Forward(want); err != nil {
+			t.Fatal(err)
+		}
+		for _, sched := range []RemapSchedule{NaiveSchedule, StaggeredSchedule, SynchronizedSchedule} {
+			cfg := smallMachine(pc.p)
+			cfg.N = pc.n
+			cfg.Schedule = sched
+			in := randomInput(pc.n, int64(pc.n+pc.p))
+			got, ph, res, err := Run(cfg, in)
+			if err != nil {
+				t.Fatalf("n=%d P=%d %v: %v", pc.n, pc.p, sched, err)
+			}
+			if d := maxDiff(got, want); d > 1e-9*float64(pc.n) {
+				t.Errorf("n=%d P=%d %v: max diff %g", pc.n, pc.p, sched, d)
+			}
+			if ph.Total != res.Time {
+				t.Errorf("phase total %d != run time %d", ph.Total, res.Time)
+			}
+			if pc.p > 1 && ph.Remap <= 0 {
+				t.Errorf("n=%d P=%d %v: remap time %d", pc.n, pc.p, sched, ph.Remap)
+			}
+		}
+	}
+}
+
+// TestDistributedFFTUnderJitter: latency jitter reorders remap messages;
+// the row-tagged exchange must still produce the right transform.
+func TestDistributedFFTUnderJitter(t *testing.T) {
+	cfg := smallMachine(8)
+	cfg.N = 256
+	cfg.Machine.LatencyJitter = 15
+	cfg.Machine.ComputeJitter = 0.3
+	cfg.Machine.Seed = 11
+	in := randomInput(256, 3)
+	want := append([]complex128(nil), in...)
+	if err := Forward(want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := Run(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(got, want); d > 1e-9*256 {
+		t.Errorf("max diff %g under jitter", d)
+	}
+}
+
+// TestStaggeredRemapBeatsNaive: the Section 4.1.2 claim, on a scaled-down
+// machine: the contention-free staggered schedule remaps much faster than
+// the naive schedule.
+func TestStaggeredRemapBeatsNaive(t *testing.T) {
+	run := func(s RemapSchedule) Phases {
+		cfg := smallMachine(8)
+		cfg.N = 1 << 10
+		cfg.Schedule = s
+		_, ph, _, err := Run(cfg, randomInput(cfg.N, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ph
+	}
+	naive := run(NaiveSchedule)
+	stag := run(StaggeredSchedule)
+	if stag.Remap >= naive.Remap {
+		t.Errorf("staggered remap %d not faster than naive %d", stag.Remap, naive.Remap)
+	}
+	// Compute phases are schedule-independent.
+	if stag.Cyclic != naive.Cyclic {
+		t.Errorf("cyclic phase differs: %d vs %d", stag.Cyclic, naive.Cyclic)
+	}
+}
+
+// TestRemapRateAgainstPrediction: on the full CM-5 calibration the staggered
+// remap rate approaches the predicted asymptote 16B / max(1us+2o, g) =
+// 3.2 MB/s and never exceeds it.
+func TestRemapRateAgainstPrediction(t *testing.T) {
+	cfg := Config{
+		N:        1 << 12,
+		Machine:  CM5Machine(16),
+		Cost:     CM5Cost(),
+		Schedule: StaggeredSchedule,
+	}
+	_, ph, _, err := Run(cfg, randomInput(cfg.N, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := ph.RemapRateMBps(CM5TickNanos)
+	if rate > 3.3 {
+		t.Errorf("remap rate %.2f MB/s exceeds the o-bound prediction 3.2", rate)
+	}
+	if rate < 2.0 {
+		t.Errorf("remap rate %.2f MB/s far below prediction (deterministic run)", rate)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	cfg := smallMachine(4)
+	cfg.N = 64
+	_, ph, res, err := Run(cfg, randomInput(64, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Cyclic+ph.Remap+ph.Blocked != res.Time {
+		t.Errorf("phases %d+%d+%d != total %d", ph.Cyclic, ph.Remap, ph.Blocked, res.Time)
+	}
+	if ph.RemapBytesPerProc != int64(64/4-64/16)*16 {
+		t.Errorf("remap bytes %d", ph.RemapBytesPerProc)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := smallMachine(4)
+	cfg.N = 8 // < P^2
+	if _, _, _, err := Run(cfg, make([]complex128, 8)); err == nil {
+		t.Error("N < P^2 accepted")
+	}
+	cfg.N = 12 // not a power of two
+	if _, _, _, err := Run(cfg, make([]complex128, 12)); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	cfg.N = 16
+	if _, _, _, err := Run(cfg, make([]complex128, 8)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCacheModelSwitches(t *testing.T) {
+	// With a tiny cache, butterflies cost the out-of-cache rate and the
+	// compute phase slows down accordingly.
+	base := smallMachine(4)
+	base.N = 256
+	fast := base
+	slow := base
+	slow.Cost.CacheBytes = 1 // everything out of cache
+	fast.Cost.CacheBytes = 1 << 30
+	_, phFast, _, err := Run(fast, randomInput(256, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, phSlow, _, err := Run(slow, randomInput(256, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phSlow.Cyclic <= phFast.Cyclic {
+		t.Errorf("out-of-cache cyclic %d not slower than in-cache %d", phSlow.Cyclic, phFast.Cyclic)
+	}
+	wantRatio := float64(slow.Cost.ButterflyCyclicOOC) / float64(slow.Cost.ButterflyInCache)
+	gotRatio := float64(phSlow.Cyclic) / float64(phFast.Cyclic)
+	if math.Abs(gotRatio-wantRatio) > 0.01 {
+		t.Errorf("cyclic slowdown %.3f, want %.3f", gotRatio, wantRatio)
+	}
+}
+
+func TestStageTwiddleMatchesSequential(t *testing.T) {
+	// The distributed twiddle helper agrees with what Forward uses.
+	n := 64
+	x := randomInput(n, 8)
+	seq := append([]complex128(nil), x...)
+	if err := Forward(seq); err != nil {
+		t.Fatal(err)
+	}
+	dis := append([]complex128(nil), x...)
+	k, _ := log2(n)
+	for c := 0; c < k; c++ {
+		b := k - 1 - c
+		half := 1 << uint(b)
+		for r := 0; r < n; r++ {
+			if r&half != 0 {
+				continue
+			}
+			tw := stageTwiddle(r, b)
+			a, bb := dis[r], dis[r|half]
+			dis[r] = a + bb
+			dis[r|half] = (a - bb) * tw
+		}
+	}
+	if d := maxDiff(seq, dis); d > 1e-12*float64(n) {
+		t.Errorf("stage-twiddle recomputation differs by %g", d)
+	}
+}

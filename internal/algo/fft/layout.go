@@ -1,0 +1,112 @@
+package fft
+
+import "fmt"
+
+// Layout is a mapping of butterfly rows to processors (Section 4.1.1).
+type Layout int
+
+const (
+	// Cyclic assigns row r to processor r mod P: the first log(n/P)
+	// butterfly columns are local, the last log P columns each need a
+	// remote reference.
+	Cyclic Layout = iota
+	// Blocked assigns rows [i*n/P, (i+1)*n/P) to processor i: the first
+	// log P columns are remote, the rest local.
+	Blocked
+	// Hybrid is cyclic through column log(n/P) and blocked after: both
+	// computation phases are entirely local, with a single all-to-all
+	// remap in between (requires n >= P^2).
+	Hybrid
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Cyclic:
+		return "cyclic"
+	case Blocked:
+		return "blocked"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// CyclicOwner returns the processor owning row r under the cyclic layout.
+func CyclicOwner(r, p int) int { return r % p }
+
+// BlockedOwner returns the processor owning row r under the blocked layout.
+func BlockedOwner(r, n, p int) int { return r / (n / p) }
+
+// Owner returns the processor that computes the butterfly node at (row,
+// col) for an n-input butterfly on p processors under layout l. Columns are
+// numbered 0 (inputs) through log2(n) (outputs); the hybrid remap happens
+// between column log(n/P) and the next (Figure 5: for n=8, P=2 the remap is
+// between columns 2 and 3).
+func Owner(l Layout, row, col, n, p int) int {
+	switch l {
+	case Cyclic:
+		return CyclicOwner(row, p)
+	case Blocked:
+		return BlockedOwner(row, n, p)
+	case Hybrid:
+		k, err := log2(n)
+		if err != nil {
+			panic(err)
+		}
+		lp, err := log2(p)
+		if err != nil {
+			panic(err)
+		}
+		if col <= k-lp {
+			return CyclicOwner(row, p)
+		}
+		return BlockedOwner(row, n, p)
+	}
+	panic(fmt.Sprintf("fft: unknown layout %d", int(l)))
+}
+
+// RemoteRefsPerProcessor counts, for the pure layouts, the number of remote
+// data references a processor performs across the whole butterfly
+// (Section 4.1.1): under either pure layout, log P columns of n/P nodes each
+// need one remote datum; under hybrid, the single remap moves n/P values.
+func RemoteRefsPerProcessor(l Layout, n, p int) (int, error) {
+	k, err := log2(n)
+	if err != nil {
+		return 0, err
+	}
+	lp, err := log2(p)
+	if err != nil {
+		return 0, err
+	}
+	if k < 2*lp {
+		return 0, fmt.Errorf("fft: hybrid layout requires n >= P^2 (n=%d, P=%d)", n, p)
+	}
+	switch l {
+	case Cyclic, Blocked:
+		return lp * (n / p), nil
+	case Hybrid:
+		// One all-to-all: each processor keeps n/P^2 of its values local
+		// and sends the rest.
+		return n/p - n/(p*p), nil
+	}
+	return 0, fmt.Errorf("fft: unknown layout %d", int(l))
+}
+
+// CommunicationTime is the analytic communication estimate of Section 4.1.1
+// for an n-point FFT on p processors (assuming g >= 2o): the pure layouts
+// pay (g*n/P + L) per remote column over log P columns; the hybrid pays a
+// single all-to-all, g*(n/P - n/P^2) + L — "lower by a factor of log P".
+func CommunicationTime(l Layout, n int, g, lat int64, p int) (int64, error) {
+	refs, err := RemoteRefsPerProcessor(l, n, p)
+	if err != nil {
+		return 0, err
+	}
+	lp, _ := log2(p)
+	switch l {
+	case Cyclic, Blocked:
+		return g*int64(refs) + lat*int64(lp), nil
+	case Hybrid:
+		return g*int64(refs) + lat, nil
+	}
+	return 0, fmt.Errorf("fft: unknown layout %d", int(l))
+}

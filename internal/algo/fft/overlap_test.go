@@ -1,0 +1,97 @@
+package fft
+
+import "testing"
+
+// TestOverlapMatchesSequential: the fused stage+remap computes the same
+// transform.
+func TestOverlapMatchesSequential(t *testing.T) {
+	for _, pc := range []struct{ n, p int }{
+		{64, 4}, {256, 8}, {512, 16}, {32, 2}, {64, 1},
+	} {
+		want := randomInput(pc.n, int64(pc.n+pc.p))
+		if err := Forward(want); err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallMachine(pc.p)
+		cfg.N = pc.n
+		cfg.Overlap = true
+		got, ph, res, err := Run(cfg, randomInput(pc.n, int64(pc.n+pc.p)))
+		if err != nil {
+			t.Fatalf("n=%d P=%d: %v", pc.n, pc.p, err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(pc.n) {
+			t.Errorf("n=%d P=%d: max diff %g", pc.n, pc.p, d)
+		}
+		if ph.Total != res.Time {
+			t.Errorf("phase accounting broken: %d vs %d", ph.Total, res.Time)
+		}
+	}
+}
+
+// TestOverlapHidesIdleWhenOverheadIsSmall: Section 4.1.5 — "in future
+// machines we expect architectural innovations ... to significantly reduce
+// the value of o with respect to g. Algorithms for such machines could try
+// to overlap communication with computation." With o << g the fused
+// schedule beats compute-then-remap; with o ~ g (the CM-5) there is little
+// to gain.
+func TestOverlapHidesIdleWhenOverheadIsSmall(t *testing.T) {
+	run := func(o, g int64, overlap bool) int64 {
+		cfg := CM5Machine(8)
+		cfg.Params.O, cfg.Params.G = o, g
+		c := Config{N: 1 << 11, Machine: cfg, Cost: CM5Cost(), Schedule: StaggeredSchedule, Overlap: overlap}
+		_, _, res, err := Run(c, randomInput(1<<11, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	// Future machine: o tiny, g unchanged.
+	plainFuture := run(6, 132, false)
+	overlapFuture := run(6, 132, true)
+	if overlapFuture >= plainFuture {
+		t.Errorf("overlap did not help with o<<g: %d vs %d", overlapFuture, plainFuture)
+	}
+	saving := float64(plainFuture-overlapFuture) / float64(plainFuture)
+	if saving < 0.02 {
+		t.Errorf("overlap saving only %.1f%% with o<<g", saving*100)
+	}
+	// CM-5: o comparable to g; overlapping buys little (possibly nothing).
+	plainCM5 := run(66, 132, false)
+	overlapCM5 := run(66, 132, true)
+	cm5Saving := float64(plainCM5-overlapCM5) / float64(plainCM5)
+	if cm5Saving > saving {
+		t.Errorf("overlap helped the CM-5 (%.1f%%) more than the future machine (%.1f%%)", cm5Saving*100, saving*100)
+	}
+}
+
+func TestOverlapValidation(t *testing.T) {
+	cfg := smallMachine(8)
+	cfg.N = 64 // = P^2: too small for whole pairs per chunk
+	cfg.Overlap = true
+	if _, _, _, err := Run(cfg, randomInput(64, 1)); err == nil {
+		t.Error("overlap accepted N < 2P^2")
+	}
+	cfg.N = 256
+	cfg.Schedule = NaiveSchedule
+	if _, _, _, err := Run(cfg, randomInput(256, 1)); err == nil {
+		t.Error("overlap accepted the naive schedule")
+	}
+}
+
+// TestOverlapReportsFusedPhases: under Overlap the remap is folded into the
+// cyclic phase, so the reported Remap is zero and Cyclic absorbs it.
+func TestOverlapReportsFusedPhases(t *testing.T) {
+	cfg := smallMachine(4)
+	cfg.N = 128
+	cfg.Overlap = true
+	_, ph, res, err := Run(cfg, randomInput(128, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Remap != 0 {
+		t.Errorf("fused remap reported %d", ph.Remap)
+	}
+	if ph.Cyclic+ph.Blocked != res.Time {
+		t.Errorf("phases %d+%d != %d", ph.Cyclic, ph.Blocked, res.Time)
+	}
+}

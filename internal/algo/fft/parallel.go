@@ -1,0 +1,460 @@
+package fft
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// CostModel calibrates local computation in machine ticks (Section 4.1.4).
+// A "cycle" in the model is the time for one butterfly (10 floating-point
+// operations); the cache model behind Figure 7 makes the butterfly cost
+// depend on whether the phase's working set fits in cache: the cyclic phase
+// computes one large n/P-point FFT and suffers more cache interference than
+// the blocked phase, which solves many small P-point FFTs.
+type CostModel struct {
+	ButterflyInCache    int64 // ticks per butterfly, working set fits cache
+	ButterflyCyclicOOC  int64 // cyclic-phase butterfly, out of cache
+	ButterflyBlockedOOC int64 // blocked-phase butterfly, out of cache
+	LoadStorePerPoint   int64 // ticks of local work per remapped point
+	CacheBytes          int64 // per-processor cache capacity
+	PointBytes          int64 // bytes per data point (a complex: 16)
+}
+
+// CM5Cost is the calibration of Section 4.1.4 for the 33 MHz Sparc nodes of
+// the CM-5 (1 tick = one 33 MHz clock, 30.3 ns):
+//
+//   - 2.8 Mflops in cache and 2.2 Mflops out of cache for the cyclic phase
+//     (Figure 7), i.e. 118 and 150 ticks per 10-flop butterfly;
+//   - the blocked phase degrades less (many small in-cache FFTs);
+//   - 1 us (33 ticks) of load/store work per remapped point;
+//   - 64 KB direct-mapped cache.
+func CM5Cost() CostModel {
+	return CostModel{
+		ButterflyInCache:    118,
+		ButterflyCyclicOOC:  150,
+		ButterflyBlockedOOC: 134,
+		LoadStorePerPoint:   33,
+		CacheBytes:          64 << 10,
+		PointBytes:          16,
+	}
+}
+
+// CM5Machine is the LogP characterization of the CM-5 from Section 4.1.4,
+// in 33 MHz ticks: o = 2 us = 66 ticks, L = 6 us = 200 ticks, g = 4 us =
+// 132 ticks (from the 5 MB/s per-processor bisection bandwidth at 20-byte
+// messages).
+func CM5Machine(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 200, O: 66, G: 132}}
+}
+
+// CM5TickNanos is the duration of one CM-5 tick (33 MHz clock).
+const CM5TickNanos = 30.3
+
+// RemapSchedule selects the communication schedule of the remap phase
+// (Section 4.1.2).
+type RemapSchedule int
+
+const (
+	// NaiveSchedule sends rows first-to-last: all processors flood
+	// destination 0, then 1, ... — "all but L/g processors will stall on
+	// the first send".
+	NaiveSchedule RemapSchedule = iota
+	// StaggeredSchedule starts processor i at its i*n/P^2-th row so that no
+	// two processors target the same destination: contention-free.
+	StaggeredSchedule
+	// SynchronizedSchedule is staggered plus a barrier after every n/P^2
+	// messages, preventing processors from drifting out of sync
+	// (Section 4.1.4 / Figure 8).
+	SynchronizedSchedule
+)
+
+func (s RemapSchedule) String() string {
+	switch s {
+	case NaiveSchedule:
+		return "naive"
+	case StaggeredSchedule:
+		return "staggered"
+	case SynchronizedSchedule:
+		return "synchronized"
+	}
+	return fmt.Sprintf("schedule(%d)", int(s))
+}
+
+// Config describes one distributed FFT execution.
+type Config struct {
+	N        int // transform size, power of two, N >= P^2
+	Machine  logp.Config
+	Cost     CostModel
+	Schedule RemapSchedule
+
+	// Overlap merges the remap into the last cyclic computation stage
+	// (Section 4.1.5): each destination chunk's butterflies are computed
+	// and its points sent immediately, in staggered order, so the g-2o
+	// idle between transmissions is filled with computation. "If o is
+	// small compared to g, each processor idles for g-2o cycles between
+	// successive transmissions during the remap. The remap can be merged
+	// into the computation phases." Requires N >= 2*P^2 (a destination
+	// chunk must hold whole butterfly pairs) and the staggered schedule.
+	Overlap bool
+}
+
+// Phases reports the simulated times of the three phases (all processors
+// synchronize at phase boundaries via the hardware barrier, as the CM-5
+// implementation does between measured phases).
+type Phases struct {
+	Cyclic  int64 // phase I: local FFTs under the cyclic layout
+	Remap   int64 // phase II: cyclic-to-blocked all-to-all
+	Blocked int64 // phase III: local FFTs under the blocked layout
+	Total   int64
+
+	// RemapBytesPerProc is the data each processor receives during the
+	// remap: 16*(n/P - n/P^2) bytes.
+	RemapBytesPerProc int64
+}
+
+// RemapRateMBps converts the remap phase into MB/s per processor given the
+// tick duration, the Figure 8 metric.
+func (ph Phases) RemapRateMBps(tickNanos float64) float64 {
+	if ph.Remap <= 0 {
+		return 0
+	}
+	return float64(ph.RemapBytesPerProc) / (float64(ph.Remap) * tickNanos * 1e-9) / 1e6
+}
+
+// ComputeMflopsPerProc converts a compute phase time into per-processor
+// Mflops (10 flops per butterfly), the Figure 7 metric.
+func ComputeMflopsPerProc(butterflies int64, ticks int64, tickNanos float64) float64 {
+	if ticks <= 0 {
+		return 0
+	}
+	return float64(butterflies*10) / (float64(ticks) * tickNanos * 1e-9) / 1e6
+}
+
+// point is the unit remap payload: one complex value and its global row.
+type point struct {
+	Row int
+	V   complex128
+}
+
+// Run executes the hybrid-layout FFT of Section 4.1 on a simulated LogP
+// machine: phase I computes each processor's n/P-point FFT under the cyclic
+// layout (butterfly columns 1..log(n/P), all local), the remap moves data to
+// the blocked layout with the configured schedule, and phase III finishes
+// the last log P columns locally. It returns the transform in bit-reversed
+// order (the Forward convention), per-phase times, and the machine result.
+func Run(cfg Config, input []complex128) ([]complex128, Phases, logp.Result, error) {
+	n := cfg.N
+	if len(input) != n {
+		return nil, Phases{}, logp.Result{}, fmt.Errorf("fft: input length %d != N %d", len(input), n)
+	}
+	k, err := log2(n)
+	if err != nil {
+		return nil, Phases{}, logp.Result{}, err
+	}
+	P := cfg.Machine.P
+	lp, err := log2(P)
+	if err != nil {
+		return nil, Phases{}, logp.Result{}, fmt.Errorf("fft: P must be a power of two: %v", err)
+	}
+	if P > 1 && n < P*P {
+		return nil, Phases{}, logp.Result{}, fmt.Errorf("fft: hybrid layout needs N >= P^2 (N=%d, P=%d)", n, P)
+	}
+	if cfg.Overlap {
+		if P > 1 && n < 2*P*P {
+			return nil, Phases{}, logp.Result{}, fmt.Errorf("fft: overlap needs N >= 2*P^2 (N=%d, P=%d)", n, P)
+		}
+		if cfg.Schedule != StaggeredSchedule {
+			return nil, Phases{}, logp.Result{}, fmt.Errorf("fft: overlap requires the staggered schedule")
+		}
+	}
+	local := n / P
+	perDest := 0
+	if P > 1 {
+		perDest = n / (P * P)
+	}
+
+	// Per-processor working state and phase timestamps (instrumentation,
+	// not simulated data).
+	vals := make([][]complex128, P)
+	for i := 0; i < P; i++ {
+		vals[i] = make([]complex128, local)
+		for j := 0; j < local; j++ {
+			vals[i][j] = input[j*P+i] // cyclic: row j*P+i
+		}
+	}
+	t1 := make([]int64, P) // end of phase I
+	t2 := make([]int64, P) // end of remap
+
+	res, err := logp.Run(cfg.Machine, func(p *logp.Proc) {
+		me := p.ID()
+		x := vals[me]
+
+		// Phase I: stages 0..k-lp-1 pair bit b = k-1-c, all local under the
+		// cyclic layout. This is exactly an n/P-point FFT of the local
+		// subsequence, with twiddles derived from global row indices.
+		cyclicCost := cfg.Cost.ButterflyInCache
+		if int64(local)*cfg.Cost.PointBytes > cfg.Cost.CacheBytes {
+			cyclicCost = cfg.Cost.ButterflyCyclicOOC
+		}
+		fused := cfg.Overlap && P > 1
+		stages := k - lp
+		if fused {
+			stages-- // the last cyclic stage runs inside the fused remap
+		}
+		for c := 0; c < stages; c++ {
+			b := k - 1 - c
+			lb := b - lp // paired bit within the local index
+			half := 1 << uint(lb)
+			for j := 0; j < local; j++ {
+				if j&half != 0 {
+					continue
+				}
+				r := j*P + me
+				tw := stageTwiddle(r, b)
+				a, bb := x[j], x[j|half]
+				x[j] = a + bb
+				x[j|half] = (a - bb) * tw
+			}
+			p.Compute(int64(local/2) * cyclicCost)
+		}
+		if !fused {
+			t1[me] = p.Now()
+			p.Barrier()
+		}
+
+		// Phase II: remap to the blocked layout (fused with the last cyclic
+		// stage under Overlap).
+		if P > 1 {
+			var blocked []complex128
+			if fused {
+				blocked = fusedStageAndRemap(p, cfg, x, k, lp, cyclicCost)
+			} else {
+				blocked = remap(p, cfg, x, k, lp)
+			}
+			copy(x, blocked)
+		}
+		if fused {
+			t1[me] = p.Now() // the fused phase reports as "remap"; cyclic covers the earlier stages
+		}
+		t2[me] = p.Now()
+		p.Barrier()
+
+		// Phase III: stages k-lp..k-1 pair low bits, local under the
+		// blocked layout (many small P-point FFTs).
+		blockedCost := cfg.Cost.ButterflyInCache
+		if int64(local)*cfg.Cost.PointBytes > cfg.Cost.CacheBytes {
+			blockedCost = cfg.Cost.ButterflyBlockedOOC
+		}
+		for c := k - lp; c < k; c++ {
+			b := k - 1 - c
+			half := 1 << uint(b)
+			for t := 0; t < local; t++ {
+				if t&half != 0 {
+					continue
+				}
+				r := me*local + t
+				tw := stageTwiddle(r, b)
+				a, bb := x[t], x[t|half]
+				x[t] = a + bb
+				x[t|half] = (a - bb) * tw
+			}
+			p.Compute(int64(local/2) * blockedCost)
+		}
+	})
+	if err != nil {
+		return nil, Phases{}, res, err
+	}
+
+	var ph Phases
+	for i := 0; i < P; i++ {
+		if t1[i] > ph.Cyclic {
+			ph.Cyclic = t1[i]
+		}
+		if t2[i] > ph.Remap {
+			ph.Remap = t2[i]
+		}
+	}
+	ph.Remap -= ph.Cyclic
+	ph.Blocked = res.Time - ph.Cyclic - ph.Remap
+	ph.Total = res.Time
+	ph.RemapBytesPerProc = int64(local-perDest) * cfg.Cost.PointBytes
+
+	// Assemble the result from the blocked layout.
+	out := make([]complex128, n)
+	for i := 0; i < P; i++ {
+		copy(out[i*local:(i+1)*local], vals[i])
+	}
+	return out, ph, res, nil
+}
+
+// remap performs the cyclic-to-blocked exchange for one processor. Under the
+// cyclic layout processor me holds rows j*P+me; row r belongs to blocked
+// owner r/(n/P). The rows bound for one destination are a contiguous chunk
+// of n/P^2 local indices, so the staggered schedule is simply "start with
+// your own chunk index and wrap", which keeps every destination served by
+// exactly one sender at a time.
+func remap(p *logp.Proc, cfg Config, x []complex128, k, lp int) []complex128 {
+	P := p.P()
+	me := p.ID()
+	n := 1 << uint(k)
+	local := n / P
+	perDest := n / (P * P)
+	out := make([]complex128, local)
+
+	// Keep own chunk.
+	for t := 0; t < perDest; t++ {
+		j := me*perDest + t
+		r := j*P + me
+		out[r%local] = x[j]
+	}
+
+	var order []int
+	switch cfg.Schedule {
+	case NaiveSchedule:
+		for d := 0; d < P; d++ {
+			if d != me {
+				order = append(order, d)
+			}
+		}
+	case StaggeredSchedule, SynchronizedSchedule:
+		for i := 1; i < P; i++ {
+			order = append(order, (me+i)%P)
+		}
+	default:
+		panic(fmt.Sprintf("fft: unknown schedule %d", int(cfg.Schedule)))
+	}
+
+	expect := local - perDest
+	got := 0
+	take := func(m logp.Message) {
+		pt := m.Data.(point)
+		out[pt.Row%local] = pt.V
+		got++
+	}
+	for _, d := range order {
+		for t := 0; t < perDest; t++ {
+			// Receiving first keeps the processor from idling while its
+			// own senders are blocked, and unblocks remote senders.
+			for p.HasMessage() && got < expect {
+				take(p.Recv())
+			}
+			j := d*perDest + t
+			r := j*P + me
+			if w := cfg.Cost.LoadStorePerPoint; w > 0 {
+				p.Compute(w)
+			}
+			p.Send(d, remapTag, point{Row: r, V: x[j]})
+		}
+		if cfg.Schedule == SynchronizedSchedule {
+			// Drain arrivals, then resynchronize after each n/P^2-message
+			// chunk using the hardware barrier (Section 4.1.4).
+			for got < (d-me+P)%P*perDest && got < expect {
+				take(p.Recv())
+			}
+			p.Barrier()
+		}
+	}
+	for got < expect {
+		take(p.Recv())
+	}
+	return out
+}
+
+// fusedStageAndRemap implements the Section 4.1.5 overlap: the last cyclic
+// butterfly stage pairs adjacent local indices (j, j+1), so each remap
+// destination chunk can be finalized independently and sent in staggered
+// order — and while one chunk's points stream out, the *next* chunk's
+// butterflies are computed between transmissions, filling the g-2o idle the
+// sender would otherwise spend waiting out the gap.
+func fusedStageAndRemap(p *logp.Proc, cfg Config, x []complex128, k, lp int, cyclicCost int64) []complex128 {
+	P := p.P()
+	me := p.ID()
+	n := 1 << uint(k)
+	local := n / P
+	perDest := n / (P * P)
+	b := lp // the last cyclic stage pairs bit lp (local bit 0)
+	out := make([]complex128, local)
+
+	expect := local - perDest
+	got := 0
+	take := func(m logp.Message) {
+		pt := m.Data.(point)
+		out[pt.Row%local] = pt.V
+		got++
+	}
+	pair := func(d, idx int) {
+		j := d*perDest + 2*idx
+		r := j*P + me
+		tw := stageTwiddle(r, b)
+		a, bb := x[j], x[j|1]
+		x[j] = a + bb
+		x[j|1] = (a - bb) * tw
+		p.Compute(cyclicCost)
+	}
+	pairs := perDest / 2
+	chunkAll := func(d int) {
+		for idx := 0; idx < pairs; idx++ {
+			pair(d, idx)
+		}
+	}
+
+	// Own chunk first (purely local), and the first remote chunk as the
+	// pipeline prologue.
+	order := make([]int, P)
+	for i := range order {
+		order[i] = (me + i) % P
+	}
+	chunkAll(order[0])
+	for t := 0; t < perDest; t++ {
+		j := me*perDest + t
+		out[(j*P+me)%local] = x[j]
+	}
+	if P > 1 {
+		chunkAll(order[1])
+	}
+	for i := 1; i < P; i++ {
+		d := order[i]
+		nextPairs := 0
+		if i+1 < P {
+			nextPairs = pairs
+		}
+		drain := func() {
+			for p.RecvReady() && got < expect {
+				take(p.Recv())
+			}
+		}
+		cursor := 0
+		for t := 0; t < perDest; t++ {
+			// One butterfly of the next chunk every other transmission:
+			// exactly perDest/2 pairs across perDest sends. Receptions are
+			// drained whenever they are ripe — polling at several points
+			// per iteration keeps the receive clock's 1/g cadence aligned
+			// with the arrival stream.
+			drain()
+			if cursor < nextPairs && t%2 == 0 {
+				pair(order[i+1], cursor)
+				cursor++
+			}
+			drain()
+			j := d*perDest + t
+			if w := cfg.Cost.LoadStorePerPoint; w > 0 {
+				p.Compute(w)
+			}
+			drain()
+			p.Send(d, remapTag, point{Row: j*P + me, V: x[j]})
+			drain()
+		}
+		for cursor < nextPairs {
+			pair(order[i+1], cursor)
+			cursor++
+		}
+	}
+	for got < expect {
+		take(p.Recv())
+	}
+	return out
+}
+
+const remapTag = 7001

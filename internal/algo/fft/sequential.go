@@ -1,0 +1,99 @@
+// Package fft implements the paper's central example (Section 4.1): the
+// "butterfly" FFT on the LogP machine, with cyclic, blocked and hybrid data
+// layouts, the naive and staggered remap communication schedules, the CM-5
+// cost calibration of Section 4.1.4, and the cache model behind Figure 7.
+//
+// The distributed algorithm is numerically real: processors exchange actual
+// complex values during the remap and the assembled result is verified
+// against a direct DFT, while the simulator charges LogP costs for every
+// message and calibrated cycle costs for every butterfly.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes an in-place decimation-in-frequency FFT of x
+// (len a power of two). Results are in bit-reversed order, matching the
+// paper's butterfly: "the outputs are in bit-reverse order, so for some
+// applications an additional rearrangement step is required."
+func Forward(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	for m := n; m >= 2; m >>= 1 {
+		half := m >> 1
+		// Twiddle base for this stage: e^(-2*pi*i/m).
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(m)))
+		for b0 := 0; b0 < n; b0 += m {
+			tw := complex(1, 0)
+			for t := 0; t < half; t++ {
+				i1, i2 := b0+t, b0+t+half
+				a, b := x[i1], x[i2]
+				x[i1] = a + b
+				x[i2] = (a - b) * tw
+				tw *= w
+			}
+		}
+	}
+	return nil
+}
+
+// BitReverse permutes x from bit-reversed to natural order in place.
+func BitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.Len(uint(n))) + 1
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// FFT computes the DFT of x into natural order (a Forward plus BitReverse).
+func FFT(x []complex128) error {
+	if err := Forward(x); err != nil {
+		return err
+	}
+	BitReverse(x)
+	return nil
+}
+
+// DFT computes the discrete Fourier transform directly in O(n^2), the
+// oracle the FFT implementations are verified against.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// stageTwiddle returns the twiddle factor for the butterfly pairing rows
+// (r, r+2^b) at the stage whose block size is 2^(b+1): e^(-2*pi*i*(r mod
+// 2^b)/2^(b+1)). It lets a distributed processor compute twiddles from
+// global row indices alone.
+func stageTwiddle(r, b int) complex128 {
+	half := 1 << uint(b)
+	t := r & (half - 1)
+	return cmplx.Exp(complex(0, -2*math.Pi*float64(t)/float64(2*half)))
+}
+
+// log2 returns log2(n) for a positive power of two, or an error otherwise.
+func log2(n int) (int, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("fft: %d is not a positive power of two", n)
+	}
+	return bits.TrailingZeros(uint(n)), nil
+}

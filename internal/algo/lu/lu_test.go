@@ -1,0 +1,294 @@
+package lu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func TestSequentialFactorResidual(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16, 33, 64} {
+		a := Random(n, int64(n))
+		f := a.Clone()
+		perm, err := Factor(f)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := ResidualPALU(a, f, perm); r > 1e-9*float64(n) {
+			t.Errorf("n=%d: residual %g", n, r)
+		}
+	}
+}
+
+func TestSequentialSolve(t *testing.T) {
+	n := 24
+	a := Random(n, 7)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	f := a.Clone()
+	perm, err := Factor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Solve(f, perm, b)
+	// Check Ax = b.
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-8 {
+			t.Errorf("row %d: Ax=%g, b=%g", i, s, b[i])
+		}
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewDense(3) // all zeros
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	// A matrix with a dependent column.
+	b := Random(4, 1)
+	for i := 0; i < 4; i++ {
+		b.Set(i, 2, 0)
+	}
+	if _, err := Factor(b); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestPivotingIsUsed(t *testing.T) {
+	// Leading zero forces a swap.
+	a := NewDense(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	f := a.Clone()
+	perm, err := Factor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 1 || perm[1] != 0 {
+		t.Errorf("perm = %v, want [1 0]", perm)
+	}
+	if r := ResidualPALU(a, f, perm); r > 1e-12 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestFactorPropertyRandom(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%24) + 1
+		a := Random(n, seed)
+		fac := a.Clone()
+		perm, err := Factor(fac)
+		if err != nil {
+			return true // singular random matrix: astronomically unlikely but legal
+		}
+		return ResidualPALU(a, fac, perm) <= 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func machineCfg(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 20, O: 4, G: 8}}
+}
+
+// TestParallelMatchesSequential: every layout produces the exact bits of the
+// sequential factorization (same pivots, same per-element operation order).
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		n, p   int
+		layout Layout
+	}{
+		{16, 4, ColumnCyclic},
+		{17, 4, ColumnCyclic},
+		{24, 8, ColumnCyclic},
+		{16, 4, ScatteredGrid},
+		{24, 4, ScatteredGrid},
+		{18, 9, ScatteredGrid},
+		{16, 4, BlockedGrid},
+		{24, 4, BlockedGrid},
+		{16, 16, ScatteredGrid},
+	}
+	for _, c := range cases {
+		a := Random(c.n, int64(c.n*31+c.p))
+		seq := a.Clone()
+		seqPerm, err := Factor(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Machine: machineCfg(c.p), Layout: c.layout}
+		got, perm, res, err := Run(cfg, a)
+		if err != nil {
+			t.Fatalf("n=%d P=%d %v: %v", c.n, c.p, c.layout, err)
+		}
+		if d := got.MaxAbsDiff(seq); d != 0 {
+			t.Errorf("n=%d P=%d %v: max diff %g from sequential", c.n, c.p, c.layout, d)
+		}
+		for i := range perm {
+			if perm[i] != seqPerm[i] {
+				t.Errorf("n=%d P=%d %v: perm[%d]=%d, want %d", c.n, c.p, c.layout, i, perm[i], seqPerm[i])
+				break
+			}
+		}
+		if res.Time <= 0 {
+			t.Errorf("n=%d P=%d %v: no simulated time", c.n, c.p, c.layout)
+		}
+		if r := ResidualPALU(a, got, perm); r > 1e-9*float64(c.n) {
+			t.Errorf("n=%d P=%d %v: residual %g", c.n, c.p, c.layout, r)
+		}
+	}
+}
+
+// TestScatteredBeatsBlocked: the load-balance argument of Section 4.2.1. On
+// a blocked grid, processors fall idle as elimination proceeds; the
+// scattered grid keeps everyone busy until the last sqrt(P) steps, so it
+// finishes sooner.
+func TestScatteredBeatsBlocked(t *testing.T) {
+	n, p := 32, 4
+	a := Random(n, 5)
+	run := func(l Layout) logp.Result {
+		_, _, res, err := Run(Config{Machine: machineCfg(p), Layout: l}, a.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	blocked := run(BlockedGrid)
+	scattered := run(ScatteredGrid)
+	if scattered.Time >= blocked.Time {
+		t.Errorf("scattered %d not faster than blocked %d", scattered.Time, blocked.Time)
+	}
+	// The imbalance shows in compute spread: the blocked layout has a much
+	// larger max/min compute ratio across processors.
+	spread := func(r logp.Result) float64 {
+		minC, maxC := int64(1<<62), int64(0)
+		for _, s := range r.Procs {
+			if s.Compute < minC {
+				minC = s.Compute
+			}
+			if s.Compute > maxC {
+				maxC = s.Compute
+			}
+		}
+		if minC == 0 {
+			minC = 1
+		}
+		return float64(maxC) / float64(minC)
+	}
+	if spread(blocked) <= spread(scattered) {
+		t.Errorf("blocked compute spread %.2f not worse than scattered %.2f", spread(blocked), spread(scattered))
+	}
+}
+
+// TestGridCommunicatesLessThanColumn: the sqrt(P) communication advantage.
+// Per update step the column layout delivers the full multiplier column to
+// every processor; the grid layout delivers only 2(n-k)/sqrt(P) values.
+func TestGridCommunicatesLessThanColumn(t *testing.T) {
+	n, p := 32, 16
+	a := Random(n, 9)
+	maxRecv := func(l Layout) int {
+		_, _, res, err := Run(Config{Machine: machineCfg(p), Layout: l}, a.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 0
+		for _, s := range res.Procs {
+			if s.MsgsReceived > m {
+				m = s.MsgsReceived
+			}
+		}
+		return m
+	}
+	col := maxRecv(ColumnCyclic)
+	grid := maxRecv(ScatteredGrid)
+	if grid >= col {
+		t.Errorf("grid max receives %d not below column %d", grid, col)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	a := Random(8, 1)
+	if _, _, _, err := Run(Config{Machine: machineCfg(3), Layout: ScatteredGrid}, a); err == nil {
+		t.Error("non-square P accepted for grid")
+	}
+	if _, _, _, err := Run(Config{Machine: machineCfg(4), Layout: ScatteredGrid}, Random(9, 1)); err == nil {
+		t.Error("n not divisible by grid side accepted")
+	}
+	if _, _, _, err := Run(Config{Machine: machineCfg(16), Layout: ColumnCyclic}, a); err == nil {
+		t.Error("P > n accepted for column layout")
+	}
+	if _, _, _, err := Run(Config{Machine: machineCfg(4), Layout: Layout(99)}, a); err == nil {
+		t.Error("unknown layout accepted")
+	}
+}
+
+func TestParallelSingularDetected(t *testing.T) {
+	a := NewDense(8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if j != 3 {
+				a.Set(i, j, float64((i*7+j*3)%5)+1)
+			}
+		}
+	}
+	// Make it genuinely singular: zero column 3.
+	_, _, _, err := Run(Config{Machine: machineCfg(4), Layout: ColumnCyclic}, a)
+	if err == nil {
+		t.Skip("random-ish matrix happened to be nonsingular apart from the zero column")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	// About 2n^3/3 for large n.
+	n := 100
+	got := float64(FlopCount(n))
+	want := 2.0 * float64(n*n*n) / 3.0
+	if got < want*0.95 || got > want*1.15 {
+		t.Errorf("FlopCount(%d) = %g, want about %g", n, got, want)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	a := Random(4, 2)
+	if a.Clone().MaxAbsDiff(a) != 0 {
+		t.Error("clone differs")
+	}
+	b := a.Clone()
+	b.SwapRows(0, 3)
+	b.SwapRows(3, 0)
+	if b.MaxAbsDiff(a) != 0 {
+		t.Error("double swap changed the matrix")
+	}
+	id := NewDense(3)
+	for i := 0; i < 3; i++ {
+		id.Set(i, i, 1)
+	}
+	c := Random(3, 3)
+	if id.Mul(c).MaxAbsDiff(c) != 0 {
+		t.Error("identity multiply changed the matrix")
+	}
+	perm := []int{2, 0, 1}
+	pc := c.Permute(perm)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if pc.At(i, j) != c.At(perm[i], j) {
+				t.Error("permute wrong")
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package lu implements LU decomposition with partial pivoting
+// (Section 4.2.1): a sequential kernel, and distributed variants on the LogP
+// machine under the column layout and the blocked and scattered grid
+// layouts, exposing the communication-volume and load-balance effects the
+// paper derives ("the fastest Linpack benchmark programs actually employ a
+// scattered grid layout, a scheme whose benefits are obvious from our
+// model").
+package lu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major n x n matrix.
+type Dense struct {
+	N    int
+	Data []float64
+}
+
+// NewDense allocates an n x n zero matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// Random returns an n x n matrix with entries uniform in [-1, 1), using a
+// deterministic source. Such matrices are almost surely well-conditioned
+// enough for partial pivoting.
+func Random(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense(n)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Clone copies the matrix.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SwapRows exchanges rows i and j.
+func (m *Dense) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Data[i*m.N:(i+1)*m.N], m.Data[j*m.N:(j+1)*m.N]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Mul returns m * other.
+func (m *Dense) Mul(other *Dense) *Dense {
+	n := m.N
+	out := NewDense(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func (m *Dense) MaxAbsDiff(other *Dense) float64 {
+	var d float64
+	for i := range m.Data {
+		if v := math.Abs(m.Data[i] - other.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Permute returns the matrix with rows reordered so that row i of the result
+// is row perm[i] of m (the permutation P with PA = LU, where perm records
+// the source row of each output row).
+func (m *Dense) Permute(perm []int) *Dense {
+	out := NewDense(m.N)
+	for i, src := range perm {
+		copy(out.Data[i*m.N:(i+1)*m.N], m.Data[src*m.N:(src+1)*m.N])
+	}
+	return out
+}
+
+// String renders small matrices for debugging.
+func (m *Dense) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += fmt.Sprintf("%8.3f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// SplitLU extracts the unit-lower-triangular L and upper-triangular U from a
+// factored matrix stored in packed form (L below the diagonal, U on and
+// above).
+func SplitLU(f *Dense) (l, u *Dense) {
+	n := f.N
+	l, u = NewDense(n), NewDense(n)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			if j < i {
+				l.Set(i, j, f.At(i, j))
+			} else {
+				u.Set(i, j, f.At(i, j))
+			}
+		}
+	}
+	return l, u
+}
+
+// ResidualPALU returns max|PA - LU| for a factorization of a.
+func ResidualPALU(a, factored *Dense, perm []int) float64 {
+	l, u := SplitLU(factored)
+	return a.Permute(perm).MaxAbsDiff(l.Mul(u))
+}

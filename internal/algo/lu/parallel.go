@@ -1,0 +1,502 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Layout selects the data distribution of the parallel factorization
+// (Section 4.2.1).
+type Layout int
+
+const (
+	// ColumnCyclic allocates column j to processor j mod P: only the
+	// multiplier column needs to be broadcast each step, but each
+	// processor receives the full n-k multipliers.
+	ColumnCyclic Layout = iota
+	// BlockedGrid tiles the matrix into sqrt(P) x sqrt(P) contiguous
+	// blocks: communication drops by sqrt(P), but "by the time the
+	// algorithm completes n/sqrt(P) elimination steps, 2 sqrt(P)
+	// processors would be idle" — severe load imbalance.
+	BlockedGrid
+	// ScatteredGrid assigns element (i,j) to grid processor
+	// (i mod q, j mod q): the same sqrt(P) communication gain while "all
+	// P processors stay active for all but the last sqrt(P) steps" — the
+	// layout the fastest Linpack programs use.
+	ScatteredGrid
+)
+
+func (l Layout) String() string {
+	switch l {
+	case ColumnCyclic:
+		return "column-cyclic"
+	case BlockedGrid:
+		return "blocked-grid"
+	case ScatteredGrid:
+		return "scattered-grid"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// Config describes a parallel factorization run.
+type Config struct {
+	Machine logp.Config
+	Layout  Layout
+	// FlopCycles is the simulated cost of one floating-point operation in
+	// machine cycles (default 1: the model's unit-time local operation).
+	FlopCycles int64
+}
+
+func (c Config) flop() int64 {
+	if c.FlopCycles <= 0 {
+		return 1
+	}
+	return c.FlopCycles
+}
+
+// message tags, made step-unique so a processor running ahead cannot confuse
+// a neighbour still finishing the previous elimination step.
+func tagCand(k int) int { return 5*k + 1 } // pivot candidates to the leader
+func tagPiv(k int) int  { return 5*k + 2 } // pivot decision broadcast
+func tagSwap(k int) int { return 5*k + 3 } // row-swap segment exchange
+func tagMult(k int) int { return 5*k + 4 } // multiplier column
+func tagURow(k int) int { return 5*k + 5 } // pivot row
+
+// pivotMsg carries a pivot candidate or decision: the row index, the
+// magnitude compared during selection, and the raw (signed) value used for
+// scaling.
+type pivotMsg struct {
+	Idx int
+	Abs float64
+	Raw float64
+}
+
+// entryMsg carries one matrix element.
+type entryMsg struct {
+	Idx int // row for multipliers, column for pivot-row entries
+	Val float64
+}
+
+// Run factors a on the simulated LogP machine under the configured layout.
+// It returns the packed LU factors, the permutation (PA = LU), and the
+// machine result. The arithmetic is real: every multiplier and pivot-row
+// element crosses the simulated network, and the result is bit-identical to
+// the sequential Factor (same pivot choices, same operation order per
+// element).
+func Run(cfg Config, a *Dense) (*Dense, []int, logp.Result, error) {
+	n := a.N
+	P := cfg.Machine.P
+	switch cfg.Layout {
+	case ColumnCyclic:
+		if P > n {
+			return nil, nil, logp.Result{}, fmt.Errorf("lu: P=%d exceeds n=%d columns", P, n)
+		}
+	case BlockedGrid, ScatteredGrid:
+		q := int(math.Round(math.Sqrt(float64(P))))
+		if q*q != P {
+			return nil, nil, logp.Result{}, fmt.Errorf("lu: grid layouts need square P, got %d", P)
+		}
+		if n%q != 0 {
+			return nil, nil, logp.Result{}, fmt.Errorf("lu: n=%d not divisible by grid side %d", n, q)
+		}
+	default:
+		return nil, nil, logp.Result{}, fmt.Errorf("lu: unknown layout %v", cfg.Layout)
+	}
+
+	locals := make([]*Dense, P)
+	perms := make([][]int, P)
+	var failed error
+	body := func(p *logp.Proc) {
+		var pm []int
+		var err error
+		switch cfg.Layout {
+		case ColumnCyclic:
+			pm, err = runColumn(p, cfg, a, locals)
+		default:
+			pm, err = runGrid(p, cfg, a, locals)
+		}
+		perms[p.ID()] = pm
+		if err != nil && failed == nil {
+			failed = err
+		}
+	}
+	res, err := logp.Run(cfg.Machine, body)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	if failed != nil {
+		return nil, nil, res, failed
+	}
+
+	// Assemble the factored matrix from each element's owner.
+	q := int(math.Round(math.Sqrt(float64(P))))
+	out := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, locals[ownerOf(cfg.Layout, i, j, n, P, q)].At(i, j))
+		}
+	}
+	return out, perms[0], res, nil
+}
+
+// ownerOf maps element (i,j) to its owning processor.
+func ownerOf(l Layout, i, j, n, P, q int) int {
+	switch l {
+	case ColumnCyclic:
+		return j % P
+	case BlockedGrid:
+		b := n / q
+		return (i/b)*q + j/b
+	case ScatteredGrid:
+		return (i%q)*q + j%q
+	}
+	panic("lu: unknown layout")
+}
+
+// runColumn is the 1D column-cyclic elimination: the owner of column k
+// searches the pivot and scales locally, then streams (pivot, multipliers)
+// to everyone through the pipelined chain broadcast; row swaps are local to
+// every processor (each owns full columns).
+func runColumn(p *logp.Proc, cfg Config, a *Dense, locals []*Dense) ([]int, error) {
+	n := a.N
+	P := p.P()
+	me := p.ID()
+	flop := cfg.flop()
+
+	local := a.Clone() // owned columns: j % P == me
+	locals[me] = local
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	myCols := func(from int) int {
+		c := 0
+		for j := from; j < n; j++ {
+			if j%P == me {
+				c++
+			}
+		}
+		return c
+	}
+
+	for k := 0; k < n-1; k++ {
+		owner := k % P
+		var piv int
+		var mult []float64 // multipliers L[k+1..n-1][k]
+		singular := false
+		if me == owner {
+			piv = k
+			best := math.Abs(local.At(k, k))
+			for i := k + 1; i < n; i++ {
+				if v := math.Abs(local.At(i, k)); v > best {
+					piv, best = i, v
+				}
+			}
+			p.Compute(int64(n-k) * flop) // pivot-search compares
+			if best == 0 {
+				// Tell everyone before bailing out, or they block forever
+				// on this step's broadcast: stream a sentinel followed by
+				// padding.
+				singular = true
+				piv = -1
+			} else {
+				if piv != k {
+					swapColEntries(local, k, piv, me, P, n)
+				}
+				pv := local.At(k, k)
+				for i := k + 1; i < n; i++ {
+					local.Set(i, k, local.At(i, k)/pv)
+				}
+				p.Compute(int64(n-k-1) * flop) // scaling divides
+			}
+		}
+		// Stream pivot index then multipliers through the chain.
+		m := 1 + (n - k - 1)
+		vals := collective.PipelinedChainBroadcast(p, owner, tagPiv(k), m, func(i int) any {
+			if i == 0 {
+				return pivotMsg{Idx: piv}
+			}
+			if singular {
+				return 0.0
+			}
+			return local.At(k+i, k)
+		})
+		piv = vals[0].(pivotMsg).Idx
+		if piv < 0 {
+			return nil, ErrSingular
+		}
+		mult = make([]float64, n)
+		for i := 1; i < m; i++ {
+			mult[k+i] = vals[i].(float64)
+		}
+		// Apply the row swap to owned columns (local: every processor owns
+		// whole columns).
+		if piv != k && me != owner {
+			swapColEntries(local, k, piv, me, P, n)
+		}
+		if piv != k {
+			perm[k], perm[piv] = perm[piv], perm[k]
+			p.Compute(int64(myCols(0)) * flop)
+		}
+		// Rank-1 update of owned columns j > k.
+		cols := myCols(k + 1)
+		for j := k + 1; j < n; j++ {
+			if j%P != me {
+				continue
+			}
+			ukj := local.At(k, j)
+			for i := k + 1; i < n; i++ {
+				local.Set(i, j, local.At(i, j)-mult[i]*ukj)
+			}
+		}
+		if cols > 0 {
+			p.Compute(2 * int64(cols) * int64(n-k-1) * flop)
+		}
+	}
+	if me == (n-1)%P && local.At(n-1, n-1) == 0 {
+		return nil, ErrSingular
+	}
+	return perm, nil
+}
+
+// swapColEntries swaps rows r1 and r2 within the columns owned by processor
+// me under the column-cyclic layout.
+func swapColEntries(local *Dense, r1, r2, me, P, n int) {
+	for j := me; j < n; j += P {
+		v1, v2 := local.At(r1, j), local.At(r2, j)
+		local.Set(r1, j, v2)
+		local.Set(r2, j, v1)
+	}
+}
+
+// runGrid is the 2D elimination on a q x q processor grid, with either
+// blocked or scattered (cyclic) assignment. Each step: the q owners of
+// column k search the pivot and reduce to a leader; the leader broadcasts
+// the decision to everyone; the two affected processor rows exchange row
+// segments; the column owners scale and broadcast multipliers along grid
+// rows; the pivot-row owners broadcast U[k][j] along grid columns; everyone
+// updates its owned trailing submatrix.
+func runGrid(p *logp.Proc, cfg Config, a *Dense, locals []*Dense) ([]int, error) {
+	n := a.N
+	P := p.P()
+	q := int(math.Round(math.Sqrt(float64(P))))
+	me := p.ID()
+	pr, pc := me/q, me%q
+	flop := cfg.flop()
+	blocked := cfg.Layout == BlockedGrid
+	b := n / q
+
+	rowOf := func(i int) int {
+		if blocked {
+			return i / b
+		}
+		return i % q
+	}
+	colOf := func(j int) int {
+		if blocked {
+			return j / b
+		}
+		return j % q
+	}
+	ownsRow := func(i int) bool { return rowOf(i) == pr }
+	ownsCol := func(j int) bool { return colOf(j) == pc }
+
+	local := a.Clone()
+	locals[me] = local
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	countRows := func(from int) int {
+		c := 0
+		for i := from; i < n; i++ {
+			if ownsRow(i) {
+				c++
+			}
+		}
+		return c
+	}
+	countCols := func(from int) int {
+		c := 0
+		for j := from; j < n; j++ {
+			if ownsCol(j) {
+				c++
+			}
+		}
+		return c
+	}
+
+	mult := make([]float64, n)
+	urow := make([]float64, n)
+
+	for k := 0; k < n-1; k++ {
+		pcK := colOf(k)
+		leaderRow := rowOf(k)
+		leader := leaderRow*q + pcK
+
+		// --- Pivot search over column k, rows >= k.
+		var decision pivotMsg
+		if pc == pcK {
+			cand := pivotMsg{Idx: -1, Abs: -1}
+			scanned := 0
+			for i := k; i < n; i++ {
+				if !ownsRow(i) {
+					continue
+				}
+				scanned++
+				raw := local.At(i, k)
+				if v := math.Abs(raw); v > cand.Abs {
+					cand = pivotMsg{Idx: i, Abs: v, Raw: raw}
+				}
+			}
+			if scanned > 0 {
+				p.Compute(int64(scanned) * flop)
+			}
+			if me == leader {
+				best := cand
+				for c := 0; c < q-1; c++ {
+					m := p.RecvTag(tagCand(k)).Data.(pivotMsg)
+					// Tie-break on lowest index to match the sequential
+					// scan order exactly.
+					if m.Abs > best.Abs || (m.Abs == best.Abs && m.Idx >= 0 && (best.Idx < 0 || m.Idx < best.Idx)) {
+						best = m
+					}
+					p.Compute(flop)
+				}
+				if best.Abs == 0 || best.Idx < 0 {
+					best = pivotMsg{Idx: -1} // sentinel: abort collectively
+				}
+				decision = best
+			} else {
+				p.Send(leader, tagCand(k), cand)
+			}
+		}
+		// Leader broadcasts the decision (index and signed pivot value).
+		d := collective.BinomialBroadcast(p, leader, tagPiv(k), decision)
+		decision = d.(pivotMsg)
+		piv := decision.Idx
+		if piv < 0 {
+			return nil, ErrSingular
+		}
+		if piv != k {
+			perm[k], perm[piv] = perm[piv], perm[k]
+		}
+
+		// --- Row swap k <-> piv across processor rows.
+		if piv != k {
+			rk, rp := rowOf(k), rowOf(piv)
+			if rk == rp {
+				if pr == rk {
+					cnt := 0
+					for j := 0; j < n; j++ {
+						if ownsCol(j) {
+							v1, v2 := local.At(k, j), local.At(piv, j)
+							local.Set(k, j, v2)
+							local.Set(piv, j, v1)
+							cnt++
+						}
+					}
+					p.Compute(int64(cnt) * flop)
+				}
+			} else if pr == rk || pr == rp {
+				// Exchange owned segments with the partner in the other
+				// processor row, same grid column. I own one of the two
+				// rows; after the swap my row index holds the partner's
+				// old values.
+				myRow := k
+				partnerR := rp
+				if pr == rp {
+					myRow = piv
+					partnerR = rk
+				}
+				partner := partnerR*q + pc
+				for j := 0; j < n; j++ {
+					if ownsCol(j) {
+						p.Send(partner, tagSwap(k), entryMsg{Idx: j, Val: local.At(myRow, j)})
+					}
+				}
+				cnt := countCols(0)
+				for c := 0; c < cnt; c++ {
+					m := p.RecvTag(tagSwap(k)).Data.(entryMsg)
+					local.Set(myRow, m.Idx, m.Val)
+				}
+				p.Compute(int64(cnt) * flop)
+			}
+		}
+
+		// --- Scale column k and broadcast multipliers along grid rows.
+		expectMult := 0
+		if pc == pcK {
+			for i := k + 1; i < n; i++ {
+				if !ownsRow(i) {
+					continue
+				}
+				v := local.At(i, k) / decision.Raw
+				local.Set(i, k, v)
+				mult[i] = v
+				for t := 1; t < q; t++ {
+					p.Send(pr*q+(pc+t)%q, tagMult(k), entryMsg{Idx: i, Val: v})
+				}
+			}
+			if c := countRows(k + 1); c > 0 {
+				p.Compute(int64(c) * flop) // the divides
+			}
+		} else {
+			expectMult = countRows(k + 1)
+		}
+
+		// --- Broadcast pivot row U[k][j>k] along grid columns.
+		expectURow := 0
+		if pr == leaderRow {
+			for j := k + 1; j < n; j++ {
+				if !ownsCol(j) {
+					continue
+				}
+				v := local.At(k, j)
+				urow[j] = v
+				for t := 1; t < q; t++ {
+					p.Send(((pr+t)%q)*q+pc, tagURow(k), entryMsg{Idx: j, Val: v})
+				}
+			}
+		} else {
+			expectURow = countCols(k + 1)
+		}
+
+		for c := 0; c < expectMult; c++ {
+			m := p.RecvTag(tagMult(k)).Data.(entryMsg)
+			mult[m.Idx] = m.Val
+		}
+		for c := 0; c < expectURow; c++ {
+			m := p.RecvTag(tagURow(k)).Data.(entryMsg)
+			urow[m.Idx] = m.Val
+		}
+
+		// --- Rank-1 update of the owned trailing submatrix.
+		cnt := 0
+		for i := k + 1; i < n; i++ {
+			if !ownsRow(i) {
+				continue
+			}
+			li := mult[i]
+			for j := k + 1; j < n; j++ {
+				if !ownsCol(j) {
+					continue
+				}
+				local.Set(i, j, local.At(i, j)-li*urow[j])
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			p.Compute(2 * int64(cnt) * flop)
+		}
+	}
+	if ownsRow(n-1) && ownsCol(n-1) && local.At(n-1, n-1) == 0 {
+		return nil, ErrSingular
+	}
+	return perm, nil
+}

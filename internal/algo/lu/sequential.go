@@ -1,0 +1,99 @@
+package lu
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports a zero pivot column: the matrix is (numerically)
+// singular.
+var ErrSingular = errors.New("lu: matrix is singular")
+
+// Factor computes the LU decomposition with partial pivoting in place:
+// after return, a holds L (unit diagonal implied) below the diagonal and U
+// on and above, and perm[i] gives the original row now in position i
+// (PA = LU). This is the n-1 elimination-step algorithm of Section 4.2.1.
+func Factor(a *Dense) (perm []int, err error) {
+	n := a.N
+	perm = make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n-1; k++ {
+		// Partial pivoting: the element of column k at or below the
+		// diagonal with the largest absolute value (first on ties).
+		piv, best := k, math.Abs(a.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.At(i, k)); v > best {
+				piv, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if piv != k {
+			a.SwapRows(k, piv)
+			perm[k], perm[piv] = perm[piv], perm[k]
+		}
+		// Scale column k by the pivot to form the multipliers (column k
+		// of L).
+		pv := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/pv)
+		}
+		// Rank-1 update of the trailing submatrix:
+		// A[i][j] -= L[i][k] * U[k][j].
+		for i := k + 1; i < n; i++ {
+			lik := a.At(i, k)
+			if lik == 0 {
+				continue
+			}
+			row := a.Data[i*n:]
+			prow := a.Data[k*n:]
+			for j := k + 1; j < n; j++ {
+				row[j] -= lik * prow[j]
+			}
+		}
+	}
+	if a.At(n-1, n-1) == 0 {
+		return nil, ErrSingular
+	}
+	return perm, nil
+}
+
+// Solve solves Ax = b given the in-place factorization and permutation from
+// Factor, by forward and back substitution.
+func Solve(factored *Dense, perm []int, b []float64) []float64 {
+	n := factored.N
+	x := make([]float64, n)
+	// Apply P and forward-substitute through L (unit diagonal).
+	for i := 0; i < n; i++ {
+		s := b[perm[i]]
+		for j := 0; j < i; j++ {
+			s -= factored.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute through U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= factored.At(i, j) * x[j]
+		}
+		x[i] = s / factored.At(i, i)
+	}
+	return x
+}
+
+// FlopCount returns the floating-point operation count of the factorization,
+// about 2n^3/3, used to express simulated times as rates.
+func FlopCount(n int) int64 {
+	var f int64
+	for k := 0; k < n-1; k++ {
+		m := int64(n - k - 1)
+		f += m            // scaling divides
+		f += 2 * m * m    // rank-1 update multiply-adds
+		f += int64(n - k) // pivot search compares
+	}
+	return f
+}

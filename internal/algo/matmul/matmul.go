@@ -1,0 +1,196 @@
+// Package matmul implements dense matrix multiplication on the LogP
+// machine. Section 6.6 lists matrix multiplication among the problems whose
+// "communication pattern is built around a small set of communication
+// primitives" once data is laid out over large processor nodes; like LU, the
+// 2D (grid) decomposition communicates a factor of about sqrt(P) less than
+// the 1D (row) decomposition, and because computation grows as n^3/P while
+// communication grows as n^2/sqrt(P), large problems become compute-bound —
+// the surface-to-volume argument of Section 6.4.
+package matmul
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/logp-model/logp/internal/algo/lu"
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Algorithm selects the decomposition.
+type Algorithm int
+
+const (
+	// RowBroadcast is the 1D baseline: processor i owns n/P rows of A and
+	// C; B is broadcast in its entirety to everyone (n^2 words of
+	// communication per processor).
+	RowBroadcast Algorithm = iota
+	// SUMMA is the 2D algorithm: an sqrt(P) x sqrt(P) grid owns blocks of
+	// A, B and C; at step k the k-th block column of A is broadcast along
+	// grid rows and the k-th block row of B along grid columns, and every
+	// processor accumulates an outer product (2*n^2/sqrt(P) words per
+	// processor).
+	SUMMA
+)
+
+func (a Algorithm) String() string {
+	if a == RowBroadcast {
+		return "row-broadcast"
+	}
+	return "summa"
+}
+
+// Config describes a run.
+type Config struct {
+	Machine logp.Config
+	Algo    Algorithm
+	// FlopCycles is the cost of one floating-point operation (default 1).
+	FlopCycles int64
+}
+
+func (c Config) flop() int64 {
+	if c.FlopCycles <= 0 {
+		return 1
+	}
+	return c.FlopCycles
+}
+
+const (
+	tagB = 16001
+	tagA = 16002
+)
+
+// Run multiplies a*b on the simulated machine and returns the product with
+// the machine result. The arithmetic is real and the result equals the
+// sequential product exactly (same per-element accumulation order).
+func Run(cfg Config, a, b *lu.Dense) (*lu.Dense, logp.Result, error) {
+	n := a.N
+	if b.N != n {
+		return nil, logp.Result{}, fmt.Errorf("matmul: size mismatch %d vs %d", n, b.N)
+	}
+	P := cfg.Machine.P
+	switch cfg.Algo {
+	case RowBroadcast:
+		if n%P != 0 {
+			return nil, logp.Result{}, fmt.Errorf("matmul: n=%d not divisible by P=%d", n, P)
+		}
+	case SUMMA:
+		q := int(math.Round(math.Sqrt(float64(P))))
+		if q*q != P {
+			return nil, logp.Result{}, fmt.Errorf("matmul: SUMMA needs square P, got %d", P)
+		}
+		if n%q != 0 {
+			return nil, logp.Result{}, fmt.Errorf("matmul: n=%d not divisible by grid side %d", n, q)
+		}
+	default:
+		return nil, logp.Result{}, fmt.Errorf("matmul: unknown algorithm %v", cfg.Algo)
+	}
+
+	out := lu.NewDense(n)
+	var body func(p *logp.Proc)
+	if cfg.Algo == RowBroadcast {
+		body = func(p *logp.Proc) { runRows(p, cfg, a, b, out) }
+	} else {
+		body = func(p *logp.Proc) { runSUMMA(p, cfg, a, b, out) }
+	}
+	res, err := logp.Run(cfg.Machine, body)
+	if err != nil {
+		return nil, res, err
+	}
+	return out, res, nil
+}
+
+// runRows: processor i owns rows [i*n/P, (i+1)*n/P) of A and C. Processor
+// owning each block row of B streams it to everyone (chain pipeline), then
+// local multiplication.
+func runRows(p *logp.Proc, cfg Config, a, b, out *lu.Dense) {
+	n := a.N
+	P := p.P()
+	me := p.ID()
+	rows := n / P
+	flop := cfg.flop()
+
+	// Everyone needs all of B: each owner streams its rows through a chain
+	// rooted at itself.
+	bLocal := lu.NewDense(n)
+	for owner := 0; owner < P; owner++ {
+		members := make([]int, 0, P)
+		for i := 0; i < P; i++ {
+			members = append(members, (owner+i)%P)
+		}
+		m := rows * n
+		vals := collective.PipelinedChainBroadcastGroup(p, members, tagB+owner, m, func(i int) any {
+			return b.At(owner*rows+i/n, i%n)
+		})
+		for i, v := range vals {
+			bLocal.Set(owner*rows+i/n, i%n, v.(float64))
+		}
+	}
+	// Local block multiply: rows x full B.
+	for i := me * rows; i < (me+1)*rows; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.At(i, k)
+			for j := 0; j < n; j++ {
+				out.Set(i, j, out.At(i, j)+aik*bLocal.At(k, j))
+			}
+		}
+	}
+	p.Compute(2 * int64(rows) * int64(n) * int64(n) * flop)
+}
+
+// runSUMMA: the grid algorithm with chain broadcasts along rows and columns.
+func runSUMMA(p *logp.Proc, cfg Config, a, b, out *lu.Dense) {
+	n := a.N
+	P := p.P()
+	q := int(math.Round(math.Sqrt(float64(P))))
+	me := p.ID()
+	pr, pc := me/q, me%q
+	bs := n / q // block side
+	flop := cfg.flop()
+
+	aBlk := make([]float64, bs*bs) // the A block received this step
+	bBlk := make([]float64, bs*bs)
+
+	rowMembers := func(rootC int) []int {
+		out := make([]int, 0, q)
+		for i := 0; i < q; i++ {
+			out = append(out, pr*q+(rootC+i)%q)
+		}
+		return out
+	}
+	colMembers := func(rootR int) []int {
+		out := make([]int, 0, q)
+		for i := 0; i < q; i++ {
+			out = append(out, ((rootR+i)%q)*q+pc)
+		}
+		return out
+	}
+
+	for k := 0; k < q; k++ {
+		// Broadcast A[pr][k] along my grid row (owner: column k).
+		m := bs * bs
+		vals := collective.PipelinedChainBroadcastGroup(p, rowMembers(k), tagA+2*k, m, func(i int) any {
+			return a.At(pr*bs+i/bs, k*bs+i%bs)
+		})
+		for i, v := range vals {
+			aBlk[i] = v.(float64)
+		}
+		// Broadcast B[k][pc] along my grid column (owner: row k).
+		vals = collective.PipelinedChainBroadcastGroup(p, colMembers(k), tagA+2*k+1, m, func(i int) any {
+			return b.At(k*bs+i/bs, pc*bs+i%bs)
+		})
+		for i, v := range vals {
+			bBlk[i] = v.(float64)
+		}
+		// C[pr][pc] += A[pr][k] * B[k][pc].
+		for i := 0; i < bs; i++ {
+			for kk := 0; kk < bs; kk++ {
+				aik := aBlk[i*bs+kk]
+				for j := 0; j < bs; j++ {
+					out.Set(pr*bs+i, pc*bs+j, out.At(pr*bs+i, pc*bs+j)+aik*bBlk[kk*bs+j])
+				}
+			}
+		}
+		p.Compute(2 * int64(bs) * int64(bs) * int64(bs) * flop)
+	}
+}

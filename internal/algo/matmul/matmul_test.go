@@ -1,0 +1,132 @@
+package matmul
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/algo/lu"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func machineCfg(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 20, O: 4, G: 8}}
+}
+
+func TestBothAlgorithmsMatchSequential(t *testing.T) {
+	cases := []struct {
+		n, p int
+		algo Algorithm
+	}{
+		{16, 4, RowBroadcast},
+		{24, 8, RowBroadcast},
+		{16, 4, SUMMA},
+		{24, 4, SUMMA},
+		{18, 9, SUMMA},
+		{32, 16, SUMMA},
+	}
+	for _, c := range cases {
+		a := lu.Random(c.n, int64(c.n))
+		b := lu.Random(c.n, int64(c.n)*7)
+		want := a.Mul(b)
+		got, res, err := Run(Config{Machine: machineCfg(c.p), Algo: c.algo}, a, b)
+		if err != nil {
+			t.Fatalf("n=%d P=%d %v: %v", c.n, c.p, c.algo, err)
+		}
+		if d := got.MaxAbsDiff(want); d > 1e-12 {
+			t.Errorf("n=%d P=%d %v: max diff %g", c.n, c.p, c.algo, d)
+		}
+		if res.Time <= 0 || res.Messages == 0 {
+			t.Errorf("n=%d P=%d %v: degenerate run %+v", c.n, c.p, c.algo, res.Time)
+		}
+	}
+}
+
+// TestSUMMACommunicatesLess: the 2D decomposition moves about sqrt(P)/2
+// times fewer words per processor than the 1D broadcast of all of B.
+func TestSUMMACommunicatesLess(t *testing.T) {
+	n, p := 32, 16
+	a := lu.Random(n, 1)
+	b := lu.Random(n, 2)
+	maxRecv := func(algo Algorithm) int {
+		_, res, err := Run(Config{Machine: machineCfg(p), Algo: algo}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 0
+		for _, s := range res.Procs {
+			if s.MsgsReceived > m {
+				m = s.MsgsReceived
+			}
+		}
+		return m
+	}
+	rows := maxRecv(RowBroadcast)
+	summa := maxRecv(SUMMA)
+	if summa >= rows {
+		t.Errorf("SUMMA receives %d, rows %d", summa, rows)
+	}
+	ratio := float64(rows) / float64(summa)
+	if ratio < 1.5 {
+		t.Errorf("communication ratio %.2f, want about sqrt(P)/2 = 2", ratio)
+	}
+}
+
+// TestSurfaceToVolume: Section 6.4 — "with large enough problem sizes, the
+// cost of communication becomes trivial". The compute fraction of SUMMA
+// rises with n.
+func TestSurfaceToVolume(t *testing.T) {
+	p := 4
+	frac := func(n int) float64 {
+		a := lu.Random(n, 3)
+		b := lu.Random(n, 4)
+		_, res, err := Run(Config{Machine: machineCfg(p), Algo: SUMMA}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BusyFraction()
+	}
+	small, large := frac(8), frac(48)
+	if large <= small {
+		t.Errorf("compute fraction did not grow: n=8 %.3f, n=48 %.3f", small, large)
+	}
+	if large < 0.5 {
+		t.Errorf("large problem not compute-bound: %.3f", large)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := lu.Random(10, 1)
+	b := lu.Random(12, 1)
+	if _, _, err := Run(Config{Machine: machineCfg(4), Algo: SUMMA}, a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	c := lu.Random(10, 1)
+	if _, _, err := Run(Config{Machine: machineCfg(3), Algo: SUMMA}, c, c); err == nil {
+		t.Error("non-square P accepted for SUMMA")
+	}
+	if _, _, err := Run(Config{Machine: machineCfg(9), Algo: SUMMA}, lu.Random(10, 1), lu.Random(10, 1)); err == nil {
+		t.Error("n not divisible by grid side accepted")
+	}
+	if _, _, err := Run(Config{Machine: machineCfg(4), Algo: RowBroadcast}, lu.Random(10, 1), lu.Random(10, 1)); err == nil {
+		t.Error("n not divisible by P accepted")
+	}
+	if _, _, err := Run(Config{Machine: machineCfg(4), Algo: Algorithm(9)}, lu.Random(8, 1), lu.Random(8, 1)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := lu.Random(16, 5)
+	b := lu.Random(16, 6)
+	_, r1, err := Run(Config{Machine: machineCfg(4), Algo: SUMMA}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := Run(Config{Machine: machineCfg(4), Algo: SUMMA}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time || r1.Messages != r2.Messages {
+		t.Error("nondeterministic")
+	}
+}

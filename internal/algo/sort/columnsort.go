@@ -1,0 +1,165 @@
+package sort
+
+import (
+	gosort "sort"
+
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Column sort (Leighton 1985), the example Section 4.2.2 cites for the
+// compute-remap-compute structure: "column sort consists of a series of
+// local sorts and remap steps, similar to our FFT algorithm". The keys form
+// an r x s matrix with one column per processor (s = P); eight steps
+// alternate local column sorts with deterministic remaps:
+//
+//	1. sort columns    2. transpose (pick up column-major, lay down row-major)
+//	3. sort columns    4. untranspose (the inverse)
+//	5. sort columns    6-8. shift by r/2, sort, unshift
+//
+// Steps 6-8 reduce to a boundary merge between adjacent columns: with the
+// +/- infinity padding of the shifted matrix, the only conceptual columns
+// with work to do are those holding the bottom half of column c and the top
+// half of column c+1, so each processor merges its top half with its left
+// neighbour's bottom half and the halves return whence they came.
+//
+// The algorithm is oblivious — every remap is a fixed permutation known in
+// advance, so the exchanges use the staggered schedule like the FFT's.
+// Correctness requires r >= 2(s-1)^2 and even r.
+
+// columnSortMinRows returns the smallest legal r for s columns.
+func columnSortMinRows(s int) int {
+	if s <= 1 {
+		return 1
+	}
+	r := 2 * (s - 1) * (s - 1)
+	if r%2 == 1 {
+		r++
+	}
+	return r
+}
+
+// keyMsg carries one key and its destination slot.
+type keyMsg struct {
+	Idx int
+	Val float64
+}
+
+// columnSort runs the steps for this processor's column and returns the
+// sorted column (global order is column-major: processor 0 holds the
+// smallest r keys).
+func columnSort(p *logp.Proc, cfg Config, mine []float64) []float64 {
+	P := p.P()
+	if P == 1 {
+		localSort(p, cfg, mine)
+		return mine
+	}
+	r := len(mine)
+	me := p.ID()
+
+	// Step 1+2: sort, then transpose: column-major flat index f = me*r+i
+	// lands at row-major position (row f/s, column f mod s).
+	localSort(p, cfg, mine)
+	mine = remapKeys(p, cfg, mine, 1, func(i int) (int, int) {
+		flat := me*r + i
+		return flat % P, flat / P
+	})
+	// Step 3+4: sort, then untranspose: row-major index f' = i*s + me goes
+	// back to column-major (column f'/r, row f' mod r).
+	localSort(p, cfg, mine)
+	mine = remapKeys(p, cfg, mine, 2, func(i int) (int, int) {
+		flat := i*P + me
+		return flat / r, flat % r
+	})
+	// Step 5: sort.
+	localSort(p, cfg, mine)
+	// Steps 6-8 as the boundary merge: my bottom half visits my right
+	// neighbour, is sorted together with its top half, and comes back.
+	half := r / 2
+	const mergeTag = tagData + 500
+	if me < P-1 {
+		for i := half; i < r; i++ {
+			p.Send(me+1, mergeTag, keyMsg{Idx: i - half, Val: mine[i]})
+		}
+	}
+	if me > 0 {
+		combined := make([]float64, half, r)
+		for k := 0; k < half; k++ {
+			m := p.RecvTag(mergeTag).Data.(keyMsg)
+			combined[m.Idx] = m.Val
+		}
+		combined = append(combined, mine[:half]...)
+		localSort(p, cfg, combined)
+		for i := 0; i < half; i++ {
+			p.Send(me-1, mergeTag+1, keyMsg{Idx: i, Val: combined[i]})
+		}
+		copy(mine[:half], combined[half:])
+	}
+	if me < P-1 {
+		for k := 0; k < half; k++ {
+			m := p.RecvTag(mergeTag + 1).Data.(keyMsg)
+			mine[half+m.Idx] = m.Val
+		}
+	}
+	return mine
+}
+
+// remapKeys sends every local key to the (destProc, destIndex) given by
+// dest — a fixed permutation — receives this processor's incoming keys, and
+// returns them ordered by destIndex. Staggered destination order,
+// receive-interleaved.
+func remapKeys(p *logp.Proc, cfg Config, mine []float64, phase int, dest func(i int) (int, int)) []float64 {
+	P := p.P()
+	me := p.ID()
+	tag := tagData + 100*phase
+	ctag := tagCount + 100*phase
+
+	type keyed struct {
+		idx int
+		val float64
+	}
+	buckets := make([][]keyed, P)
+	for i, v := range mine {
+		d, idx := dest(i)
+		buckets[d] = append(buckets[d], keyed{idx, v})
+	}
+	// Counts first so receivers know what to expect.
+	for i := 1; i < P; i++ {
+		d := (me + i) % P
+		p.Send(d, ctag, len(buckets[d]))
+	}
+	expect := len(buckets[me])
+	for i := 1; i < P; i++ {
+		expect += p.RecvTag(ctag).Data.(int)
+	}
+	got := make(map[int]float64, expect)
+	for _, kv := range buckets[me] {
+		got[kv.idx] = kv.val
+	}
+	recvd := len(buckets[me])
+	for i := 1; i < P; i++ {
+		d := (me + i) % P
+		for _, kv := range buckets[d] {
+			for p.HasTag(tag) && recvd < expect {
+				m := p.RecvTag(tag).Data.(keyMsg)
+				got[m.Idx] = m.Val
+				recvd++
+			}
+			p.Send(d, tag, keyMsg{Idx: kv.idx, Val: kv.val})
+		}
+	}
+	for recvd < expect {
+		m := p.RecvTag(tag).Data.(keyMsg)
+		got[m.Idx] = m.Val
+		recvd++
+	}
+	out := make([]float64, 0, len(got))
+	idxs := make([]int, 0, len(got))
+	for idx := range got {
+		idxs = append(idxs, idx)
+	}
+	gosort.Ints(idxs)
+	for _, idx := range idxs {
+		out = append(out, got[idx])
+	}
+	return out
+}

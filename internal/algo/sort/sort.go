@@ -1,0 +1,323 @@
+// Package sort implements the parallel sorting discussion of Section 4.2.2
+// on the LogP machine: splitter sort ("a fast global step identifies P-1
+// values that split the data into P almost equal chunks; the data is
+// remapped using the splitters and then each processor performs a local
+// sort"), following the compute-remap-compute pattern of the FFT, and a
+// bitonic merge sort baseline whose oblivious communication pattern pays a
+// full exchange per merge stage.
+package sort
+
+import (
+	"fmt"
+	"math/rand"
+	gosort "sort"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Algorithm selects the parallel sort.
+type Algorithm int
+
+const (
+	// Splitter is sample sort: splitter selection, one all-to-all remap,
+	// local sort.
+	Splitter Algorithm = iota
+	// Bitonic is the oblivious bitonic merge sort over P processors, each
+	// holding a locally sorted block.
+	Bitonic
+	// Column is Leighton's column sort: local sorts alternating with fixed
+	// remap permutations — oblivious like bitonic, but with the FFT-style
+	// compute-remap-compute structure. Requires n/P >= 2(P-1)^2 (and even).
+	Column
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Splitter:
+		return "splitter"
+	case Bitonic:
+		return "bitonic"
+	case Column:
+		return "column"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Config describes a parallel sort run.
+type Config struct {
+	Machine logp.Config
+	Algo    Algorithm
+	// Oversample is the number of sample candidates per processor for
+	// splitter selection (default 8). Larger values balance the final
+	// chunks better at the cost of a bigger gather.
+	Oversample int
+	// CompareCycles is the simulated cost of one comparison (default 1).
+	CompareCycles int64
+}
+
+func (c Config) cmp() int64 {
+	if c.CompareCycles <= 0 {
+		return 1
+	}
+	return c.CompareCycles
+}
+
+func (c Config) oversample() int {
+	if c.Oversample <= 0 {
+		return 8
+	}
+	return c.Oversample
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Time int64
+	// MaxChunk is the largest per-processor final chunk (load balance).
+	MaxChunk int
+	// Messages is the total message count.
+	Messages int
+}
+
+// Run sorts the input on the simulated machine and returns the sorted data
+// (concatenation of the processors' final chunks), with data distributed
+// blockwise to start: processor i holds input[i*n/P : (i+1)*n/P] plus the
+// remainder on the last processor.
+func Run(cfg Config, input []float64) ([]float64, Stats, error) {
+	P := cfg.Machine.P
+	n := len(input)
+	if P < 1 {
+		return nil, Stats{}, fmt.Errorf("sort: no processors")
+	}
+	if cfg.Algo == Bitonic && P&(P-1) != 0 {
+		return nil, Stats{}, fmt.Errorf("sort: bitonic needs power-of-two P, got %d", P)
+	}
+	if n < P*cfg.oversample() && cfg.Algo == Splitter && P > 1 {
+		return nil, Stats{}, fmt.Errorf("sort: need at least %d keys for splitter sampling, got %d", P*cfg.oversample(), n)
+	}
+	if cfg.Algo == Column && P > 1 {
+		if n%P != 0 {
+			return nil, Stats{}, fmt.Errorf("sort: column sort needs n divisible by P (n=%d, P=%d)", n, P)
+		}
+		r := n / P
+		if r%2 != 0 || r < columnSortMinRows(P) {
+			return nil, Stats{}, fmt.Errorf("sort: column sort needs even n/P >= 2(P-1)^2 (n/P=%d, need %d)", r, columnSortMinRows(P))
+		}
+	}
+
+	// Initial block distribution.
+	chunks := make([][]float64, P)
+	per := n / P
+	for i := 0; i < P; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == P-1 {
+			hi = n
+		}
+		chunks[i] = append([]float64(nil), input[lo:hi]...)
+	}
+
+	final := make([][]float64, P)
+	res, err := logp.Run(cfg.Machine, func(p *logp.Proc) {
+		switch cfg.Algo {
+		case Splitter:
+			final[p.ID()] = splitterSort(p, cfg, chunks[p.ID()])
+		case Bitonic:
+			final[p.ID()] = bitonicSort(p, cfg, chunks[p.ID()])
+		case Column:
+			final[p.ID()] = columnSort(p, cfg, chunks[p.ID()])
+		default:
+			panic(fmt.Sprintf("sort: unknown algorithm %d", int(cfg.Algo)))
+		}
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	st := Stats{Time: res.Time, Messages: res.Messages}
+	var out []float64
+	for _, c := range final {
+		if len(c) > st.MaxChunk {
+			st.MaxChunk = len(c)
+		}
+		out = append(out, c...)
+	}
+	return out, st, nil
+}
+
+// localSort sorts x in place, charging n log2 n comparisons.
+func localSort(p *logp.Proc, cfg Config, x []float64) {
+	gosort.Float64s(x)
+	n := int64(len(x))
+	if n > 1 {
+		lg := int64(0)
+		for v := n; v > 1; v >>= 1 {
+			lg++
+		}
+		p.Compute(n * lg * cfg.cmp())
+	}
+}
+
+const (
+	tagSample = 9001
+	tagSplit  = 9002
+	tagData   = 9003
+	tagCount  = 9004
+)
+
+// splitterSort: each processor samples its chunk, processor 0 gathers the
+// samples and picks P-1 splitters, broadcasts them, everyone partitions its
+// chunk and exchanges, then sorts locally.
+func splitterSort(p *logp.Proc, cfg Config, mine []float64) []float64 {
+	P := p.P()
+	if P == 1 {
+		localSort(p, cfg, mine)
+		return mine
+	}
+	me := p.ID()
+	s := cfg.oversample()
+
+	// Sample pseudorandomly (deterministic per processor) from the local
+	// chunk; non-roots ship their samples to processor 0.
+	rng := rand.New(rand.NewSource(int64(me)*7919 + 17))
+	samples := make([]float64, 0, P*s)
+	for i := 0; i < s; i++ {
+		v := mine[rng.Intn(len(mine))]
+		if me == 0 {
+			samples = append(samples, v)
+		} else {
+			p.Send(0, tagSample, v)
+		}
+	}
+
+	// Processor 0 selects the splitters.
+	var splitters []float64
+	if me == 0 {
+		for len(samples) < P*s {
+			samples = append(samples, p.RecvTag(tagSample).Data.(float64))
+		}
+		localSort(p, cfg, samples)
+		splitters = make([]float64, P-1)
+		for i := 1; i < P; i++ {
+			splitters[i-1] = samples[i*s]
+			p.Compute(1)
+		}
+	}
+	// Broadcast the P-1 splitters down the binomial tree, one word per
+	// message as the model requires.
+	vals := collective.PipelinedBinomialBroadcast(p, 0, tagSplit, P-1, func(i int) any {
+		return splitters[i]
+	})
+	splitters = make([]float64, P-1)
+	for i, v := range vals {
+		splitters[i] = v.(float64)
+	}
+
+	// Partition the local chunk and exchange counts, then data.
+	parts := make([][]float64, P)
+	for _, v := range mine {
+		d := gosort.SearchFloat64s(splitters, v) // log2(P) compares
+		parts[d] = append(parts[d], v)
+	}
+	lg := int64(1)
+	for v := P; v > 1; v >>= 1 {
+		lg++
+	}
+	p.Compute(int64(len(mine)) * lg * cfg.cmp())
+
+	// Tell every peer how many values to expect (staggered destinations),
+	// then stream the data the same way, receiving while sending.
+	expect := len(parts[me])
+	for i := 1; i < P; i++ {
+		d := (me + i) % P
+		p.Send(d, tagCount, len(parts[d]))
+	}
+	for i := 1; i < P; i++ {
+		expect += p.RecvTag(tagCount).Data.(int)
+	}
+	out := append([]float64(nil), parts[me]...)
+	for i := 1; i < P; i++ {
+		d := (me + i) % P
+		for _, v := range parts[d] {
+			for p.HasTag(tagData) && len(out) < expect {
+				out = append(out, p.RecvTag(tagData).Data.(float64))
+			}
+			p.Send(d, tagData, v)
+		}
+	}
+	for len(out) < expect {
+		out = append(out, p.RecvTag(tagData).Data.(float64))
+	}
+	localSort(p, cfg, out)
+	return out
+}
+
+// bitonicSort: locally sort, then log2(P) merge rounds; in round j each
+// processor exchanges its whole block with its partner and keeps the lower
+// or upper half, the classic bitonic merge over blocks.
+func bitonicSort(p *logp.Proc, cfg Config, mine []float64) []float64 {
+	P := p.P()
+	localSort(p, cfg, mine)
+	if P == 1 {
+		return mine
+	}
+	me := p.ID()
+	round := 0
+	for k := 2; k <= P; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			partner := me ^ j
+			ascending := me&k == 0
+			keepLow := (me < partner) == ascending
+			// Exchange blocks (one message per key, interleaved). Tags are
+			// round-specific: a fast pair can start the next round while a
+			// slow pair is still merging, and their messages must not mix.
+			theirs := exchangeBlocks(p, partner, round, mine)
+			mine = mergeKeep(p, cfg, mine, theirs, keepLow)
+			round++
+		}
+	}
+	return mine
+}
+
+// exchangeBlocks swaps key blocks with a partner, receiving while sending.
+func exchangeBlocks(p *logp.Proc, partner, round int, mine []float64) []float64 {
+	tc := tagCount + 16*(round+1)
+	td := tagData + 16*(round+1)
+	theirs := make([]float64, 0, len(mine))
+	// Partner count goes first so both sides know how much to expect.
+	p.Send(partner, tc, len(mine))
+	expect := p.RecvTag(tc).Data.(int)
+	for _, v := range mine {
+		for p.HasTag(td) && len(theirs) < expect {
+			theirs = append(theirs, p.RecvTag(td).Data.(float64))
+		}
+		p.Send(partner, td, v)
+	}
+	for len(theirs) < expect {
+		theirs = append(theirs, p.RecvTag(td).Data.(float64))
+	}
+	return theirs
+}
+
+// mergeKeep merges two sorted blocks and keeps the low or high half
+// (sized to this processor's block), charging one compare per kept key.
+func mergeKeep(p *logp.Proc, cfg Config, a, b []float64, low bool) []float64 {
+	keep := len(a)
+	merged := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	p.Compute(int64(len(merged)) * cfg.cmp())
+	if low {
+		return merged[:keep]
+	}
+	return merged[len(merged)-keep:]
+}

@@ -1,0 +1,236 @@
+package sort
+
+import (
+	"math/rand"
+	gosort "sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func machineCfg(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 20, O: 4, G: 8}}
+}
+
+func randomKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 100
+	}
+	return out
+}
+
+func checkSorted(t *testing.T, name string, in, out []float64) {
+	t.Helper()
+	if len(out) != len(in) {
+		t.Fatalf("%s: %d keys out, %d in", name, len(out), len(in))
+	}
+	if !gosort.Float64sAreSorted(out) {
+		t.Errorf("%s: output not sorted", name)
+		return
+	}
+	want := append([]float64(nil), in...)
+	gosort.Float64s(want)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("%s: output is not a permutation of the input (at %d)", name, i)
+			return
+		}
+	}
+}
+
+func TestSplitterSortSmall(t *testing.T) {
+	for _, pc := range []struct{ n, p int }{
+		{256, 4}, {300, 4}, {512, 8}, {129, 2}, {1000, 5}, {64, 1},
+	} {
+		in := randomKeys(pc.n, int64(pc.n))
+		out, st, err := Run(Config{Machine: machineCfg(pc.p), Algo: Splitter}, in)
+		if err != nil {
+			t.Fatalf("n=%d P=%d: %v", pc.n, pc.p, err)
+		}
+		checkSorted(t, "splitter", in, out)
+		if pc.p > 1 && st.Messages == 0 {
+			t.Errorf("n=%d P=%d: no messages", pc.n, pc.p)
+		}
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	for _, pc := range []struct{ n, p int }{
+		{256, 4}, {512, 8}, {128, 2}, {64, 1}, {96, 4},
+	} {
+		in := randomKeys(pc.n, int64(pc.n)*3)
+		out, _, err := Run(Config{Machine: machineCfg(pc.p), Algo: Bitonic}, in)
+		if err != nil {
+			t.Fatalf("n=%d P=%d: %v", pc.n, pc.p, err)
+		}
+		checkSorted(t, "bitonic", in, out)
+	}
+}
+
+func TestSortPropertyRandom(t *testing.T) {
+	f := func(seed int64, alg bool) bool {
+		algo := Splitter
+		if alg {
+			algo = Bitonic
+		}
+		in := randomKeys(256, seed)
+		out, _, err := Run(Config{Machine: machineCfg(4), Algo: algo}, in)
+		if err != nil {
+			return false
+		}
+		if !gosort.Float64sAreSorted(out) {
+			return false
+		}
+		want := append([]float64(nil), in...)
+		gosort.Float64s(want)
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortWithDuplicates(t *testing.T) {
+	in := make([]float64, 400)
+	for i := range in {
+		in[i] = float64(i % 7)
+	}
+	for _, algo := range []Algorithm{Splitter, Bitonic} {
+		out, _, err := Run(Config{Machine: machineCfg(4), Algo: algo}, in)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		checkSorted(t, algo.String(), in, out)
+	}
+}
+
+func TestSortUnderJitter(t *testing.T) {
+	cfg := Config{Machine: machineCfg(8), Algo: Splitter}
+	cfg.Machine.LatencyJitter = 15
+	cfg.Machine.Seed = 4
+	in := randomKeys(512, 99)
+	out, _, err := Run(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, "splitter-jitter", in, out)
+}
+
+// TestSplitterBeatsBitonicForLargeChunks: with many keys per processor the
+// single remap of splitter sort beats bitonic's log^2(P) block exchanges —
+// the Section 4.2.2 observation that compute-remap-compute wins when
+// "processors handle large subproblems".
+func TestSplitterBeatsBitonicForLargeChunks(t *testing.T) {
+	in := randomKeys(4096, 12)
+	run := func(algo Algorithm) int64 {
+		_, st, err := Run(Config{Machine: machineCfg(8), Algo: algo}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Time
+	}
+	split := run(Splitter)
+	bit := run(Bitonic)
+	if split >= bit {
+		t.Errorf("splitter %d not faster than bitonic %d", split, bit)
+	}
+}
+
+// TestSplitterLoadBalance: oversampling keeps the largest chunk within a
+// reasonable factor of the mean.
+func TestSplitterLoadBalance(t *testing.T) {
+	in := randomKeys(4096, 21)
+	_, st, err := Run(Config{Machine: machineCfg(8), Algo: Splitter, Oversample: 32}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 4096 / 8
+	if st.MaxChunk > 3*mean {
+		t.Errorf("max chunk %d more than 3x the mean %d", st.MaxChunk, mean)
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	if _, _, err := Run(Config{Machine: machineCfg(6), Algo: Bitonic}, randomKeys(128, 1)); err == nil {
+		t.Error("bitonic accepted non-power-of-two P")
+	}
+	if _, _, err := Run(Config{Machine: machineCfg(8), Algo: Splitter}, randomKeys(10, 1)); err == nil {
+		t.Error("splitter accepted too few keys for sampling")
+	}
+}
+
+func TestColumnSort(t *testing.T) {
+	// n/P must be even and >= 2(P-1)^2.
+	for _, pc := range []struct{ n, p int }{
+		{64, 1}, {128, 2}, {256, 4}, {1024, 4}, {800, 5},
+	} {
+		in := randomKeys(pc.n, int64(pc.n)*11)
+		out, st, err := Run(Config{Machine: machineCfg(pc.p), Algo: Column}, in)
+		if err != nil {
+			t.Fatalf("n=%d P=%d: %v", pc.n, pc.p, err)
+		}
+		checkSorted(t, "column", in, out)
+		if pc.p > 1 && st.Messages == 0 {
+			t.Errorf("n=%d P=%d: no messages", pc.n, pc.p)
+		}
+	}
+}
+
+func TestColumnSortWithDuplicates(t *testing.T) {
+	in := make([]float64, 512)
+	for i := range in {
+		in[i] = float64(i % 5)
+	}
+	out, _, err := Run(Config{Machine: machineCfg(4), Algo: Column}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, "column-dup", in, out)
+}
+
+func TestColumnSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomKeys(512, seed)
+		out, _, err := Run(Config{Machine: machineCfg(4), Algo: Column}, in)
+		if err != nil {
+			return false
+		}
+		if !gosort.Float64sAreSorted(out) {
+			return false
+		}
+		want := append([]float64(nil), in...)
+		gosort.Float64s(want)
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnSortValidation(t *testing.T) {
+	// n not divisible by P.
+	if _, _, err := Run(Config{Machine: machineCfg(4), Algo: Column}, randomKeys(130, 1)); err == nil {
+		t.Error("indivisible n accepted")
+	}
+	// r below 2(P-1)^2.
+	if _, _, err := Run(Config{Machine: machineCfg(8), Algo: Column}, randomKeys(256, 1)); err == nil {
+		t.Error("too-small r accepted")
+	}
+	if columnSortMinRows(1) != 1 || columnSortMinRows(4) != 18 {
+		t.Errorf("min rows wrong: %d %d", columnSortMinRows(1), columnSortMinRows(4))
+	}
+}

@@ -1,0 +1,254 @@
+// Package stencil implements a 2D Jacobi iteration on the LogP machine, the
+// "local, regular communication pattern, such as stencil calculation on a
+// grid" of Section 6.4: tiles of the grid live on a sqrt(P) x sqrt(P)
+// processor grid, each iteration exchanges halo edges with the four
+// neighbours and updates the interior. The interprocessor communication
+// "diminishes like the surface to volume ratio and with large enough
+// problem sizes, the cost of communication becomes trivial" — per-processor
+// communication is 4*n/sqrt(P) words per iteration against (n/sqrt(P))^2
+// cell updates.
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Config describes a run.
+type Config struct {
+	Machine logp.Config
+	// N is the grid side; the grid is distributed in square tiles over a
+	// square processor grid, so N must be divisible by sqrt(P).
+	N int
+	// Iterations of Jacobi relaxation.
+	Iterations int
+	// CellFlops is the cost of one interior update (default 4: three adds
+	// and a multiply).
+	CellFlops int64
+}
+
+func (c Config) flops() int64 {
+	if c.CellFlops <= 0 {
+		return 4
+	}
+	return c.CellFlops
+}
+
+// Stats reports a run.
+type Stats struct {
+	Time         int64
+	Messages     int
+	HaloWords    int     // words exchanged per processor per iteration (max)
+	CommFraction float64 // 1 - compute fraction of the busiest phase
+}
+
+const tagBase = 17000
+
+type cellMsg struct {
+	Idx int
+	Val float64
+}
+
+// Run performs Jacobi iterations with Dirichlet boundaries (edge cells of
+// the global grid stay fixed) and returns the resulting grid, bit-identical
+// to the sequential Reference.
+func Run(cfg Config, grid [][]float64) ([][]float64, Stats, error) {
+	n := cfg.N
+	if len(grid) != n {
+		return nil, Stats{}, fmt.Errorf("stencil: grid size %d != N %d", len(grid), n)
+	}
+	P := cfg.Machine.P
+	q := int(math.Round(math.Sqrt(float64(P))))
+	if q*q != P {
+		return nil, Stats{}, fmt.Errorf("stencil: need square P, got %d", P)
+	}
+	if n%q != 0 {
+		return nil, Stats{}, fmt.Errorf("stencil: N=%d not divisible by grid side %d", n, q)
+	}
+	bs := n / q
+
+	// Tiles with a one-cell halo ring.
+	tiles := make([][][]float64, P)
+	for t := range tiles {
+		tile := make([][]float64, bs+2)
+		for i := range tile {
+			tile[i] = make([]float64, bs+2)
+		}
+		tiles[t] = tile
+	}
+	load := func(t int) {
+		pr, pc := t/q, t%q
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				tiles[t][i+1][j+1] = grid[pr*bs+i][pc*bs+j]
+			}
+		}
+	}
+	for t := range tiles {
+		load(t)
+	}
+
+	res, err := logp.Run(cfg.Machine, func(p *logp.Proc) {
+		runTile(p, cfg, q, bs, tiles[p.ID()])
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for t := range tiles {
+		pr, pc := t/q, t%q
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				out[pr*bs+i][pc*bs+j] = tiles[t][i+1][j+1]
+			}
+		}
+	}
+
+	st := Stats{Time: res.Time, Messages: res.Messages}
+	if q > 1 {
+		st.HaloWords = 4 * bs // interior tiles exchange four edges
+	}
+	var busy, total int64
+	for _, s := range res.Procs {
+		busy += s.Compute
+		total += res.Time
+	}
+	if total > 0 {
+		st.CommFraction = 1 - float64(busy)/float64(total)
+	}
+	return out, st, nil
+}
+
+// runTile is one processor's iteration loop over its (bs+2)^2 haloed tile.
+func runTile(p *logp.Proc, cfg Config, q, bs int, tile [][]float64) {
+	me := p.ID()
+	pr, pc := me/q, me%q
+	n := cfg.N
+	flops := cfg.flops()
+
+	type nb struct {
+		proc int
+		dir  int // 0 up, 1 down, 2 left, 3 right
+	}
+	var nbs []nb
+	if pr > 0 {
+		nbs = append(nbs, nb{(pr-1)*q + pc, 0})
+	}
+	if pr < q-1 {
+		nbs = append(nbs, nb{(pr+1)*q + pc, 1})
+	}
+	if pc > 0 {
+		nbs = append(nbs, nb{pr*q + pc - 1, 2})
+	}
+	if pc < q-1 {
+		nbs = append(nbs, nb{pr*q + pc + 1, 3})
+	}
+
+	next := make([][]float64, bs+2)
+	for i := range next {
+		next[i] = make([]float64, bs+2)
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		tag := func(dir int) int { return tagBase + 8*iter + dir }
+		// Send my edges; direction encodes which side of the *receiver*
+		// the data lands on (my bottom edge is their top halo).
+		for _, nn := range nbs {
+			for k := 1; k <= bs; k++ {
+				var v float64
+				switch nn.dir {
+				case 0:
+					v = tile[1][k] // my top row -> their bottom halo
+				case 1:
+					v = tile[bs][k]
+				case 2:
+					v = tile[k][1]
+				case 3:
+					v = tile[k][bs]
+				}
+				p.Send(nn.proc, tag(nn.dir), cellMsg{Idx: k, Val: v})
+			}
+		}
+		// Receive the four (or fewer) halos.
+		for _, nn := range nbs {
+			// The message I get from my up-neighbour was sent with dir=1
+			// (their bottom edge): it fills my row-0 halo.
+			var want int
+			switch nn.dir {
+			case 0:
+				want = 1
+			case 1:
+				want = 0
+			case 2:
+				want = 3
+			case 3:
+				want = 2
+			}
+			for k := 0; k < bs; k++ {
+				m := p.RecvTag(tag(want)).Data.(cellMsg)
+				switch want {
+				case 1:
+					tile[0][m.Idx] = m.Val
+				case 0:
+					tile[bs+1][m.Idx] = m.Val
+				case 3:
+					tile[m.Idx][0] = m.Val
+				case 2:
+					tile[m.Idx][bs+1] = m.Val
+				}
+			}
+		}
+		// Update: global-boundary cells stay fixed (Dirichlet).
+		cells := 0
+		for i := 1; i <= bs; i++ {
+			gi := pr*bs + i - 1
+			for j := 1; j <= bs; j++ {
+				gj := pc*bs + j - 1
+				if gi == 0 || gi == n-1 || gj == 0 || gj == n-1 {
+					next[i][j] = tile[i][j]
+					continue
+				}
+				next[i][j] = 0.25 * (tile[i-1][j] + tile[i+1][j] + tile[i][j-1] + tile[i][j+1])
+				cells++
+			}
+		}
+		for i := 1; i <= bs; i++ {
+			copy(tile[i][1:bs+1], next[i][1:bs+1])
+		}
+		if cells > 0 {
+			p.Compute(int64(cells) * flops)
+		}
+	}
+}
+
+// Reference runs the same Jacobi iteration sequentially.
+func Reference(grid [][]float64, iterations int) [][]float64 {
+	n := len(grid)
+	cur := make([][]float64, n)
+	for i := range cur {
+		cur[i] = append([]float64(nil), grid[i]...)
+	}
+	next := make([][]float64, n)
+	for i := range next {
+		next[i] = make([]float64, n)
+	}
+	for t := 0; t < iterations; t++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == 0 || i == n-1 || j == 0 || j == n-1 {
+					next[i][j] = cur[i][j]
+					continue
+				}
+				next[i][j] = 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

@@ -1,0 +1,154 @@
+package stencil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func machineCfg(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 20, O: 4, G: 8}}
+}
+
+func randomGrid(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+		for j := range g[i] {
+			g[i][j] = rng.Float64() * 100
+		}
+	}
+	return g
+}
+
+func maxDiff(a, b [][]float64) float64 {
+	var m float64
+	for i := range a {
+		for j := range a[i] {
+			d := a[i][j] - b[i][j]
+			if d < 0 {
+				d = -d
+			}
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+func TestMatchesSequentialExactly(t *testing.T) {
+	for _, c := range []struct{ n, p, iters int }{
+		{8, 4, 3}, {16, 4, 5}, {12, 9, 4}, {16, 16, 2}, {8, 1, 4},
+	} {
+		g := randomGrid(c.n, int64(c.n*c.p))
+		want := Reference(g, c.iters)
+		got, st, err := Run(Config{Machine: machineCfg(c.p), N: c.n, Iterations: c.iters}, g)
+		if err != nil {
+			t.Fatalf("n=%d P=%d: %v", c.n, c.p, err)
+		}
+		if d := maxDiff(got, want); d != 0 {
+			t.Errorf("n=%d P=%d: differs from sequential by %g", c.n, c.p, d)
+		}
+		if c.p > 1 && st.Messages == 0 {
+			t.Errorf("n=%d P=%d: no halo exchange", c.n, c.p)
+		}
+	}
+}
+
+func TestHaloMessageCountExact(t *testing.T) {
+	// Per iteration, every interior tile edge is crossed twice (once per
+	// direction): 2 * 2*q*(q-1) edges * bs words.
+	n, p, iters := 16, 4, 3
+	q, bs := 2, 8
+	_, st, err := Run(Config{Machine: machineCfg(p), N: n, Iterations: iters}, randomGrid(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := iters * 2 * 2 * q * (q - 1) * bs
+	if st.Messages != want {
+		t.Errorf("messages %d, want %d", st.Messages, want)
+	}
+}
+
+// TestSurfaceToVolume: Section 6.4 — the communication share shrinks as the
+// per-processor tile grows.
+func TestSurfaceToVolume(t *testing.T) {
+	frac := func(n int) float64 {
+		_, st, err := Run(Config{Machine: machineCfg(4), N: n, Iterations: 4}, randomGrid(n, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.CommFraction
+	}
+	small, large := frac(8), frac(64)
+	if large >= small {
+		t.Errorf("comm fraction did not shrink: n=8 %.3f, n=64 %.3f", small, large)
+	}
+	if large > 0.5 {
+		t.Errorf("large tiles still communication-dominated: %.3f", large)
+	}
+}
+
+func TestCorrectUnderJitter(t *testing.T) {
+	g := randomGrid(16, 3)
+	want := Reference(g, 4)
+	cfg := Config{Machine: machineCfg(4), N: 16, Iterations: 4}
+	cfg.Machine.LatencyJitter = 15
+	cfg.Machine.Seed = 9
+	got, _, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(got, want); d != 0 {
+		t.Errorf("jitter changed the result by %g", d)
+	}
+}
+
+func TestPropertyRandomGrids(t *testing.T) {
+	f := func(seed int64, it uint8) bool {
+		iters := int(it%5) + 1
+		g := randomGrid(12, seed)
+		want := Reference(g, iters)
+		got, _, err := Run(Config{Machine: machineCfg(9), N: 12, Iterations: iters}, g)
+		if err != nil {
+			return false
+		}
+		return maxDiff(got, want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := Run(Config{Machine: machineCfg(3), N: 9, Iterations: 1}, randomGrid(9, 1)); err == nil {
+		t.Error("non-square P accepted")
+	}
+	if _, _, err := Run(Config{Machine: machineCfg(4), N: 9, Iterations: 1}, randomGrid(9, 1)); err == nil {
+		t.Error("indivisible N accepted")
+	}
+	if _, _, err := Run(Config{Machine: machineCfg(4), N: 8, Iterations: 1}, randomGrid(6, 1)); err == nil {
+		t.Error("grid/N mismatch accepted")
+	}
+}
+
+func TestBoundariesFixed(t *testing.T) {
+	n := 8
+	g := randomGrid(n, 4)
+	got, _, err := Run(Config{Machine: machineCfg(4), N: n, Iterations: 6}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range []int{0, n - 1} {
+			if got[i][j] != g[i][j] || got[j][i] != g[j][i] {
+				t.Fatalf("boundary cell changed")
+			}
+		}
+	}
+}

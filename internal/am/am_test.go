@@ -1,0 +1,209 @@
+package am
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func cfg(p int, l, o, g int64) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: l, O: o, G: g}}
+}
+
+// TestRemoteIncrement: the classic active-message demo — a histogram of
+// remote atomic increments, no request/reply needed.
+func TestRemoteIncrement(t *testing.T) {
+	const P = 4
+	counters := make([]int, P)
+	c := cfg(P, 10, 2, 4)
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n := New(p)
+		n.Register(1, func(n *Node, from int, data any) {
+			counters[n.Proc().ID()] += data.(int)
+			n.Proc().Compute(1)
+		})
+		// Everyone increments everyone else's counter by its own id+1.
+		for i := 1; i < P; i++ {
+			n.Send((p.ID()+i)%P, 1, p.ID()+1)
+		}
+		n.PollN(P - 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range counters {
+		want := 10 - (i + 1) // sum of all ids+1 except my own
+		if v != want {
+			t.Errorf("counter %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestAMCostIsOneMessage: an active message costs exactly one LogP message:
+// delivered and handled at 2o+L.
+func TestAMCostIsOneMessage(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	var handledAt int64
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n := New(p)
+		n.Register(1, func(n *Node, from int, data any) {
+			handledAt = n.Proc().Now()
+		})
+		switch p.ID() {
+		case 0:
+			n.Send(1, 1, "x")
+		case 1:
+			n.PollWait()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.Params.PointToPoint(); handledAt != want {
+		t.Errorf("handled at %d, want 2o+L = %d", handledAt, want)
+	}
+}
+
+// TestSyncProtocolCostFormula: Section 5.2 — the synchronous send/receive
+// protocol costs 3(L+2o) + ng: an RTS, a CTS, and the pipelined stream
+// whose last word lands 2o+L after its initiation at (n-1) gaps past the
+// stream start.
+func TestSyncProtocolCostFormula(t *testing.T) {
+	c := cfg(2, 20, 2, 8)
+	const words = 16
+	var done int64
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n := New(p)
+		switch p.ID() {
+		case 0:
+			data := make([]any, words)
+			n.SyncSend(1, data)
+		case 1:
+			got := n.SyncRecv()
+			if len(got) != words {
+				t.Errorf("received %d words", len(got))
+			}
+			done = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Params
+	// RTS: 2o+L; CTS: 2o+L; stream: (words-1) gaps then a full 2o+L for the
+	// last word = 3(L+2o) + (n-1)g.
+	want := 3*p.PointToPoint() + int64(words-1)*p.SendInterval()
+	if done != want {
+		t.Errorf("sync protocol took %d, want 3(L+2o)+(n-1)g = %d", done, want)
+	}
+}
+
+// TestAMBeatsSyncProtocol: the Table 1 story — the same payload moved by
+// active messages (no handshake) versus the vendor protocol.
+func TestAMBeatsSyncProtocol(t *testing.T) {
+	c := cfg(2, 20, 2, 8)
+	const words = 16
+	amTime := func() int64 {
+		var done int64
+		_, err := logp.Run(c, func(p *logp.Proc) {
+			n := New(p)
+			got := 0
+			n.Register(1, func(n *Node, from int, data any) { got++ })
+			switch p.ID() {
+			case 0:
+				for i := 0; i < words; i++ {
+					n.Send(1, 1, i)
+				}
+			case 1:
+				n.PollN(words)
+				done = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}()
+	syncTime := func() int64 {
+		var done int64
+		_, err := logp.Run(c, func(p *logp.Proc) {
+			n := New(p)
+			switch p.ID() {
+			case 0:
+				n.SyncSend(1, make([]any, words))
+			case 1:
+				n.SyncRecv()
+				done = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}()
+	if amTime >= syncTime {
+		t.Errorf("AM %d not faster than the synchronous protocol %d", amTime, syncTime)
+	}
+	// The difference is about two round trips of handshake.
+	if d := syncTime - amTime; d != 2*c.Params.PointToPoint() {
+		t.Errorf("handshake overhead %d, want 2(2o+L) = %d", d, 2*c.Params.PointToPoint())
+	}
+}
+
+func TestHandlerValidation(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		n := New(p)
+		n.Register(1, func(*Node, int, any) {})
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate handler accepted")
+			}
+		}()
+		n.Register(1, func(*Node, int, any) {})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = logp.Run(c, func(p *logp.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		n := New(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("unregistered handler send accepted")
+			}
+		}()
+		n.Send(1, 9, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n := New(p)
+		n.Register(1, func(*Node, int, any) {})
+		if p.ID() == 1 {
+			if n.Poll() {
+				t.Error("poll on empty inbox handled something")
+			}
+			p.Wait(20)
+			if !n.Poll() {
+				t.Error("poll missed an arrived message")
+			}
+			return
+		}
+		n.Send(1, 1, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package bsp implements Valiant's bulk-synchronous programming model on
+// top of the LogP machine, for the Section 6.3 comparison. A computation is
+// a sequence of supersteps; within one, a processor computes on local data,
+// sends messages, and receives messages — but "the messages sent at the
+// beginning of a superstep can only be used in the next superstep", and a
+// global synchronization ends every superstep. Running BSP programs on the
+// simulated LogP machine charges them honest message costs, exposing the
+// two BSP overheads the paper calls out: the barrier per superstep, and the
+// inability to use a message the moment it arrives.
+package bsp
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Message is one superstep-delimited message.
+type Message struct {
+	From int
+	Data any
+}
+
+// Superstep is the per-processor view of one superstep.
+type Superstep struct {
+	step int
+	p    *logp.Proc
+	in   []Message
+	out  [][]any
+}
+
+// Step reports the superstep index (0-based).
+func (s *Superstep) Step() int { return s.step }
+
+// Proc exposes the processor (for ID, P and Compute; direct Send/Recv would
+// break the model and should not be used inside BSP programs).
+func (s *Superstep) Proc() *logp.Proc { return s.p }
+
+// Received returns the messages sent to this processor during the previous
+// superstep.
+func (s *Superstep) Received() []Message { return s.in }
+
+// Send queues a message for delivery at the start of the next superstep.
+func (s *Superstep) Send(dst int, data any) {
+	if dst < 0 || dst >= s.p.P() {
+		panic(fmt.Sprintf("bsp: destination %d out of range", dst))
+	}
+	if dst == s.p.ID() {
+		panic("bsp: self-send")
+	}
+	s.out[dst] = append(s.out[dst], data)
+}
+
+// Compute charges local work.
+func (s *Superstep) Compute(w int64) { s.p.Compute(w) }
+
+const tagBase = 21000
+
+// Run executes the given number of supersteps on the machine. body is
+// called once per processor per superstep. The end-of-superstep exchange
+// delivers all queued messages (staggered destinations, counts first) and a
+// message-based dissemination barrier provides the global synchronization.
+func Run(cfg logp.Config, steps int, body func(s *Superstep)) (logp.Result, error) {
+	return logp.Run(cfg, func(p *logp.Proc) {
+		P := p.P()
+		me := p.ID()
+		var in []Message
+		for step := 0; step < steps; step++ {
+			s := &Superstep{step: step, p: p, in: in, out: make([][]any, P)}
+			body(s)
+			// Exchange: counts, then data, then the barrier.
+			ctag := tagBase + 32*step
+			dtag := ctag + 1
+			btag := ctag + 2
+			for i := 1; i < P; i++ {
+				d := (me + i) % P
+				p.Send(d, ctag, len(s.out[d]))
+			}
+			expect := 0
+			for i := 1; i < P; i++ {
+				expect += p.RecvTag(ctag).Data.(int)
+			}
+			next := make([]Message, 0, expect)
+			for i := 1; i < P; i++ {
+				d := (me + i) % P
+				for _, v := range s.out[d] {
+					for p.HasTag(dtag) && len(next) < expect {
+						m := p.RecvTag(dtag)
+						next = append(next, Message{From: m.From, Data: m.Data})
+					}
+					p.Send(d, dtag, v)
+				}
+			}
+			for len(next) < expect {
+				m := p.RecvTag(dtag)
+				next = append(next, Message{From: m.From, Data: m.Data})
+			}
+			collective.Barrier(p, btag)
+			in = next
+		}
+	})
+}
+
+// Cost is the analytic BSP charge for one superstep: w + g*h + l, with g
+// and l derived from the LogP parameters as in internal/models (gBSP =
+// max(g,o), l = L + 2o per synchronization round times the dissemination
+// depth).
+func Cost(p core.Params, w int64, h int) int64 {
+	g := p.SendInterval()
+	l := (p.L + 2*p.O) * int64(collective.BarrierRounds(p.P))
+	return w + g*int64(h) + l
+}

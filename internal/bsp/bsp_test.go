@@ -1,0 +1,179 @@
+package bsp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func machine(p int) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: 20, O: 4, G: 8}}
+}
+
+// TestMessagesArriveNextSuperstep: the defining BSP restriction.
+func TestMessagesArriveNextSuperstep(t *testing.T) {
+	got := make([][]int, 3) // per-step message counts at proc 1
+	_, err := Run(machine(2), 3, func(s *Superstep) {
+		if s.Proc().ID() == 0 && s.Step() == 0 {
+			s.Send(1, "x")
+		}
+		if s.Proc().ID() == 1 {
+			got[s.Step()] = append(got[s.Step()], len(s.Received()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 0 {
+		t.Error("message visible in its own superstep")
+	}
+	if got[1][0] != 1 {
+		t.Errorf("message not delivered in the next superstep: %v", got)
+	}
+	if got[2][0] != 0 {
+		t.Error("message redelivered")
+	}
+}
+
+// TestBSPReduction: a tree reduction across supersteps computes correctly.
+func TestBSPReduction(t *testing.T) {
+	P := 8
+	sums := make([]int, P)
+	steps := 3 // log2(8)
+	_, err := Run(machine(P), steps+1, func(s *Superstep) {
+		me := s.Proc().ID()
+		if s.Step() == 0 {
+			sums[me] = me + 1 // values 1..8
+		}
+		for _, m := range s.Received() {
+			sums[me] += m.Data.(int)
+			s.Compute(1)
+		}
+		stride := 1 << uint(s.Step())
+		if s.Step() < steps && me&(2*stride-1) == stride {
+			s.Send(me-stride, sums[me])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 36 {
+		t.Errorf("reduction = %d, want 36", sums[0])
+	}
+}
+
+// TestBarrierSynchronizesSteps: a processor cannot race ahead — everyone
+// observes step k's messages before anyone computes step k+2.
+func TestBSPDeterminism(t *testing.T) {
+	run := func() int64 {
+		res, err := Run(machine(4), 4, func(s *Superstep) {
+			me := s.Proc().ID()
+			s.Compute(int64(me + 1))
+			s.Send((me+1)%4, me)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	if run() != run() {
+		t.Error("nondeterministic BSP run")
+	}
+}
+
+// TestBSPChargesBarriers: an empty superstep still costs a barrier — the
+// overhead the paper criticizes ("the length of a superstep must be
+// sufficient to accommodate an arbitrary h-relation").
+func TestBSPChargesBarriers(t *testing.T) {
+	res1, err := Run(machine(8), 1, func(s *Superstep) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, err := Run(machine(8), 4, func(s *Superstep) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Time == 0 || res4.Time < 3*res1.Time {
+		t.Errorf("barrier cost not charged per superstep: %d vs %d", res1.Time, res4.Time)
+	}
+}
+
+// TestCostFormula matches the standard shape.
+func TestCostFormula(t *testing.T) {
+	p := core.Params{P: 8, L: 20, O: 4, G: 8}
+	c := Cost(p, 100, 10)
+	if c != 100+8*10+(20+8)*3 {
+		t.Errorf("cost = %d", c)
+	}
+}
+
+// TestBSPExchangeProperty: arbitrary send patterns are delivered exactly.
+func TestBSPExchangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		P := 4
+		sent := make([][]int, P)   // per source: list of dests
+		recvd := make([]int, P)    // messages seen at each proc
+		expected := make([]int, P) // messages expected
+		rng := seed
+		next := func() int64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng }
+		for src := 0; src < P; src++ {
+			k := int(uint64(next()) % 5)
+			for i := 0; i < k; i++ {
+				d := int(uint64(next()) % uint64(P))
+				if d == src {
+					continue
+				}
+				sent[src] = append(sent[src], d)
+				expected[d]++
+			}
+		}
+		_, err := Run(machine(P), 2, func(s *Superstep) {
+			me := s.Proc().ID()
+			if s.Step() == 0 {
+				for _, d := range sent[me] {
+					s.Send(d, me)
+				}
+				return
+			}
+			recvd[me] = len(s.Received())
+		})
+		if err != nil {
+			return false
+		}
+		for i := range recvd {
+			if recvd[i] != expected[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	_, err := Run(machine(2), 1, func(s *Superstep) {
+		if s.Proc().ID() != 0 {
+			return
+		}
+		for _, f := range []func(){
+			func() { s.Send(0, nil) }, // self
+			func() { s.Send(5, nil) }, // range
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("bad send did not panic")
+					}
+				}()
+				f()
+			}()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

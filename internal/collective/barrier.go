@@ -1,0 +1,55 @@
+package collective
+
+import "github.com/logp-model/logp/internal/logp"
+
+// Barrier is a message-based dissemination barrier: ceil(log2 P) rounds in
+// which processor i signals (i + 2^k) mod P and waits for the signal from
+// (i - 2^k) mod P. The paper notes (Section 5.5) that barrier hardware "is
+// not yet sufficiently available" and synchronization can always be done
+// with messages, at higher cost; Proc.Barrier is the hardware alternative.
+//
+// Distinct rounds use tag+round so delayed messages from earlier rounds are
+// never confused with the current one.
+func Barrier(p *logp.Proc, tag int) {
+	P := p.P()
+	if P == 1 {
+		return
+	}
+	me := p.ID()
+	for k, round := 1, 0; k < P; k, round = k<<1, round+1 {
+		p.Send((me+k)%P, tag+round, nil)
+		p.RecvTag(tag + round)
+	}
+}
+
+// BarrierRounds reports the number of message rounds Barrier uses for P
+// processors.
+func BarrierRounds(P int) int {
+	rounds := 0
+	for k := 1; k < P; k <<= 1 {
+		rounds++
+	}
+	return rounds
+}
+
+// Scan computes an inclusive prefix reduction (Hillis-Steele dissemination):
+// after ceil(log2 P) rounds, processor i holds op(v_0, ..., v_i). Each
+// combining step charges one cycle. The scan-model of Section 6.2 treats
+// this as a unit-time primitive; under LogP it costs ceil(log2 P) message
+// rounds.
+func Scan(p *logp.Proc, tag int, value any, op func(a, b any) any) any {
+	P := p.P()
+	me := p.ID()
+	acc := value
+	for k, round := 1, 0; k < P; k, round = k<<1, round+1 {
+		if me+k < P {
+			p.Send(me+k, tag+round, acc)
+		}
+		if me-k >= 0 {
+			m := p.RecvTag(tag + round)
+			acc = op(m.Data, acc)
+			p.Compute(1)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,73 @@
+package collective
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func checkStream(t *testing.T, name string, got [][]any, P, m int) {
+	t.Helper()
+	for i := 0; i < P; i++ {
+		if len(got[i]) != m {
+			t.Fatalf("%s: proc %d got %d values, want %d", name, i, len(got[i]), m)
+		}
+		for v := 0; v < m; v++ {
+			if got[i][v] != v*v {
+				t.Errorf("%s: proc %d value %d = %v, want %d", name, i, v, got[i][v], v*v)
+			}
+		}
+	}
+}
+
+func TestPipelinedChainBroadcast(t *testing.T) {
+	params := core.Params{P: 6, L: 6, O: 2, G: 4}
+	const m = 10
+	for _, root := range []int{0, 3} {
+		got := make([][]any, 6)
+		mustRun(t, logp.Config{Params: params}, func(p *logp.Proc) {
+			got[p.ID()] = PipelinedChainBroadcast(p, root, 30, m, func(i int) any { return i * i })
+		})
+		checkStream(t, "chain", got, 6, m)
+	}
+}
+
+func TestPipelinedBinomialBroadcast(t *testing.T) {
+	for _, P := range []int{2, 5, 8, 11} {
+		params := core.Params{P: P, L: 6, O: 2, G: 4}
+		const m = 7
+		got := make([][]any, P)
+		mustRun(t, logp.Config{Params: params}, func(p *logp.Proc) {
+			got[p.ID()] = PipelinedBinomialBroadcast(p, 1%P, 30, m, func(i int) any { return i * i })
+		})
+		checkStream(t, "binomial", got, P, m)
+	}
+}
+
+// TestChainBeatsBinomialForLongStreams: for a long stream the chain's
+// per-value cost at the root is one send (max(g,o)) versus ceil(log2 P)
+// sends for the binomial tree.
+func TestChainBeatsBinomialForLongStreams(t *testing.T) {
+	params := core.Params{P: 8, L: 6, O: 2, G: 4}
+	const m = 200
+	chain := mustRun(t, logp.Config{Params: params}, func(p *logp.Proc) {
+		PipelinedChainBroadcast(p, 0, 30, m, func(i int) any { return i })
+	})
+	binom := mustRun(t, logp.Config{Params: params}, func(p *logp.Proc) {
+		PipelinedBinomialBroadcast(p, 0, 30, m, func(i int) any { return i })
+	})
+	if chain.Time >= binom.Time {
+		t.Errorf("chain %d not faster than binomial %d for m=%d", chain.Time, binom.Time, m)
+	}
+	// And the reverse for a single value: the chain pays P-1 hops.
+	chain1 := mustRun(t, logp.Config{Params: params}, func(p *logp.Proc) {
+		PipelinedChainBroadcast(p, 0, 30, 1, func(i int) any { return i })
+	})
+	binom1 := mustRun(t, logp.Config{Params: params}, func(p *logp.Proc) {
+		PipelinedBinomialBroadcast(p, 0, 30, 1, func(i int) any { return i })
+	})
+	if binom1.Time >= chain1.Time {
+		t.Errorf("binomial %d not faster than chain %d for m=1", binom1.Time, chain1.Time)
+	}
+}

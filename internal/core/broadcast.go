@@ -1,0 +1,210 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// SendEvent is one transmission in a communication schedule: the processor
+// initiates a send to Child at time At (the processor is then busy for o
+// cycles and may not initiate again for max(g,o) cycles).
+type SendEvent struct {
+	Child int
+	At    int64
+}
+
+// BroadcastSchedule is the optimal single-source broadcast of Section 3.3
+// (Figure 3): every informed processor retransmits as fast as the gap allows,
+// and no processor receives more than one message. The tree is unbalanced,
+// with fan-out determined by L, o and g.
+type BroadcastSchedule struct {
+	Params Params
+	Root   int
+	// Parent[i] is the processor that informs i (-1 for the root).
+	Parent []int
+	// RecvDone[i] is the time processor i has fully received the datum
+	// (including its o receive overhead) and can begin retransmitting.
+	// RecvDone[Root] = 0.
+	RecvDone []int64
+	// Sends[i] lists i's transmissions in initiation order.
+	Sends [][]SendEvent
+	// Finish is the time the last processor holds the datum: the broadcast
+	// completion time.
+	Finish int64
+}
+
+// slot is a processor able to initiate its next send at time t.
+type slot struct {
+	t    int64
+	proc int
+}
+
+type slotHeap []slot
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].proc < h[j].proc
+}
+func (h slotHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)   { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() any     { old := *h; n := len(old); s := old[n-1]; *h = old[:n-1]; return s }
+
+// OptimalBroadcast computes the optimal broadcast schedule from processor
+// root. Greedy construction: repeatedly let the processor able to initiate
+// the earliest send inform the next uninformed processor. Greedy is optimal
+// because a send initiated earlier is never worse: it both delivers its datum
+// no later and frees the sender's next slot no later.
+func OptimalBroadcast(p Params, root int) (*BroadcastSchedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= p.P {
+		return nil, fmt.Errorf("core: broadcast root %d out of range [0,%d)", root, p.P)
+	}
+	s := &BroadcastSchedule{
+		Params:   p,
+		Root:     root,
+		Parent:   make([]int, p.P),
+		RecvDone: make([]int64, p.P),
+		Sends:    make([][]SendEvent, p.P),
+	}
+	for i := range s.Parent {
+		s.Parent[i] = -1
+	}
+	interval := p.SendInterval()
+	h := slotHeap{{t: 0, proc: root}}
+	// Assign physical IDs to informed processors in discovery order,
+	// skipping the root's ID.
+	next := 0
+	for informed := 1; informed < p.P; informed++ {
+		if next == root {
+			next++
+		}
+		sl := heap.Pop(&h).(slot)
+		child := next
+		next++
+		rc := sl.t + 2*p.O + p.L // child holds datum after send o + flight L + recv o
+		s.Parent[child] = sl.proc
+		s.RecvDone[child] = rc
+		s.Sends[sl.proc] = append(s.Sends[sl.proc], SendEvent{Child: child, At: sl.t})
+		heap.Push(&h, slot{t: sl.t + interval, proc: sl.proc})
+		heap.Push(&h, slot{t: rc, proc: child})
+		if rc > s.Finish {
+			s.Finish = rc
+		}
+	}
+	return s, nil
+}
+
+// BroadcastTime returns only the completion time of the optimal broadcast,
+// without materializing the schedule.
+func BroadcastTime(p Params) int64 {
+	s, err := OptimalBroadcast(p, 0)
+	if err != nil || p.P == 1 {
+		return 0
+	}
+	return s.Finish
+}
+
+// BinomialBroadcastTime is the classic binomial-tree broadcast, charged
+// honestly under LogP: in each round every informed processor forwards to one
+// new processor, so a round lasts max(2o+L, max(g,o)) — the receive must
+// complete before the recipient forwards, and a processor's consecutive sends
+// must respect the gap. It is the natural schedule under models without g,
+// and the baseline the optimal LogP schedule is compared against.
+func BinomialBroadcastTime(p Params) int64 {
+	if p.P <= 1 {
+		return 0
+	}
+	round := p.PointToPoint()
+	if iv := p.SendInterval(); round < iv {
+		round = iv
+	}
+	rounds := int64(0)
+	for n := 1; n < p.P; n *= 2 {
+		rounds++
+	}
+	return rounds * round
+}
+
+// LinearBroadcastTime is the naive source-sends-to-everyone schedule: the
+// root initiates P-1 sends back to back.
+func LinearBroadcastTime(p Params) int64 {
+	if p.P <= 1 {
+		return 0
+	}
+	return int64(p.P-2)*p.SendInterval() + p.PointToPoint()
+}
+
+// Validate checks the internal consistency of a broadcast schedule:
+// every processor informed exactly once, timing lawful under (L,o,g), and
+// Finish is the max receive time. It is used by property tests.
+func (s *BroadcastSchedule) Validate() error {
+	p := s.Params
+	informed := make([]bool, p.P)
+	informed[s.Root] = true
+	if s.RecvDone[s.Root] != 0 {
+		return fmt.Errorf("root RecvDone = %d, want 0", s.RecvDone[s.Root])
+	}
+	interval := p.SendInterval()
+	var finish int64
+	for proc, sends := range s.Sends {
+		for i, ev := range sends {
+			if ev.At < s.RecvDone[proc] {
+				return fmt.Errorf("proc %d sends at %d before holding datum at %d", proc, ev.At, s.RecvDone[proc])
+			}
+			if i > 0 && ev.At-sends[i-1].At < interval {
+				return fmt.Errorf("proc %d sends at %d and %d: violates interval %d", proc, sends[i-1].At, ev.At, interval)
+			}
+			if informed[ev.Child] {
+				return fmt.Errorf("proc %d informed twice", ev.Child)
+			}
+			informed[ev.Child] = true
+			want := ev.At + 2*p.O + p.L
+			if s.RecvDone[ev.Child] != want {
+				return fmt.Errorf("child %d RecvDone = %d, want %d", ev.Child, s.RecvDone[ev.Child], want)
+			}
+			if s.Parent[ev.Child] != proc {
+				return fmt.Errorf("child %d parent = %d, want %d", ev.Child, s.Parent[ev.Child], proc)
+			}
+			if want > finish {
+				finish = want
+			}
+		}
+	}
+	for i, ok := range informed {
+		if !ok {
+			return fmt.Errorf("processor %d never informed", i)
+		}
+	}
+	if finish != s.Finish && p.P > 1 {
+		return fmt.Errorf("Finish = %d, want %d", s.Finish, finish)
+	}
+	return nil
+}
+
+// RecvTimes returns the sorted multiset of RecvDone times for the non-root
+// processors, the quantity Figure 3 annotates on each tree node.
+func (s *BroadcastSchedule) RecvTimes() []int64 {
+	out := make([]int64, 0, len(s.RecvDone)-1)
+	for i, t := range s.RecvDone {
+		if i != s.Root {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Children returns proc's children in send order.
+func (s *BroadcastSchedule) Children(proc int) []int {
+	out := make([]int, len(s.Sends[proc]))
+	for i, ev := range s.Sends[proc] {
+		out[i] = ev.Child
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fig3 is the exact configuration of Figure 3: P=8, L=6, g=4, o=2.
+var fig3 = Params{P: 8, L: 6, O: 2, G: 4}
+
+// TestFigure3OptimalBroadcast reproduces Figure 3 exactly: the optimal
+// broadcast tree for P=8, L=6, g=4, o=2 delivers the datum at times
+// {10, 14, 18, 20, 22, 24, 24} and completes at 24.
+func TestFigure3OptimalBroadcast(t *testing.T) {
+	s, err := OptimalBroadcast(fig3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Finish != 24 {
+		t.Errorf("Finish = %d, want 24 (Figure 3)", s.Finish)
+	}
+	want := []int64{10, 14, 18, 20, 22, 24, 24}
+	got := s.RecvTimes()
+	if len(got) != len(want) {
+		t.Fatalf("got %d receive times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("receive times %v, want %v", got, want)
+		}
+	}
+	// The source initiates sends at 0, g, 2g, 3g = 0,4,8,12 (Figure 3 right).
+	src := s.Sends[0]
+	wantAt := []int64{0, 4, 8, 12}
+	if len(src) != len(wantAt) {
+		t.Fatalf("root makes %d sends, want %d", len(src), len(wantAt))
+	}
+	for i, ev := range src {
+		if ev.At != wantAt[i] {
+			t.Errorf("root send %d at %d, want %d", i, ev.At, wantAt[i])
+		}
+	}
+	// First child holds the datum at L+2o = 10 and fans out itself.
+	first := src[0].Child
+	if s.RecvDone[first] != 10 {
+		t.Errorf("first child done at %d, want L+2o=10", s.RecvDone[first])
+	}
+	if len(s.Sends[first]) != 2 {
+		t.Errorf("first child sends %d times, want 2 (at 10 and 14)", len(s.Sends[first]))
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+func TestBroadcastDegenerateCases(t *testing.T) {
+	if got := BroadcastTime(Params{P: 1, L: 6, O: 2, G: 4}); got != 0 {
+		t.Errorf("P=1 broadcast time = %d, want 0", got)
+	}
+	p2 := Params{P: 2, L: 6, O: 2, G: 4}
+	if got := BroadcastTime(p2); got != 10 {
+		t.Errorf("P=2 broadcast time = %d, want 2o+L=10", got)
+	}
+	// Zero-cost communication: the PRAM corner. Everything arrives at once.
+	free := Params{P: 16, L: 0, O: 0, G: 0}
+	if got := BroadcastTime(free); got != 0 {
+		t.Errorf("free-communication broadcast = %d, want 0", got)
+	}
+}
+
+func TestBroadcastRootChoice(t *testing.T) {
+	for root := 0; root < fig3.P; root++ {
+		s, err := OptimalBroadcast(fig3, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Finish != 24 {
+			t.Errorf("root %d: finish %d, want 24", root, s.Finish)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("root %d: %v", root, err)
+		}
+	}
+	if _, err := OptimalBroadcast(fig3, 8); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := OptimalBroadcast(Params{P: 0, L: 1, O: 1, G: 1}, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestOptimalBeatsBaselines: the optimal schedule is never slower than the
+// binomial or linear baselines (it can equal them in corners).
+func TestOptimalBeatsBaselines(t *testing.T) {
+	f := func(pp, ll, oo, gg uint8) bool {
+		p := Params{
+			P: int(pp%64) + 1,
+			L: int64(ll % 50),
+			O: int64(oo % 20),
+			G: int64(gg%20) + 1,
+		}
+		opt := BroadcastTime(p)
+		return opt <= BinomialBroadcastTime(p) && opt <= LinearBroadcastTime(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastScheduleValidProperty: schedules are lawful for random
+// parameters.
+func TestBroadcastScheduleValidProperty(t *testing.T) {
+	f := func(pp, ll, oo, gg uint8) bool {
+		p := Params{
+			P: int(pp%128) + 1,
+			L: int64(ll % 100),
+			O: int64(oo % 30),
+			G: int64(gg%30) + 1,
+		}
+		s, err := OptimalBroadcast(p, 0)
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastMonotoneInParams: increasing any of L, o, g never speeds up
+// the broadcast.
+func TestBroadcastMonotoneInParams(t *testing.T) {
+	base := Params{P: 32, L: 10, O: 3, G: 5}
+	b := BroadcastTime(base)
+	if BroadcastTime(base.WithG(6)) < b {
+		t.Error("larger g made broadcast faster")
+	}
+	if BroadcastTime(base.WithO(4)) < b {
+		t.Error("larger o made broadcast faster")
+	}
+	l := base
+	l.L = 11
+	if BroadcastTime(l) < b {
+		t.Error("larger L made broadcast faster")
+	}
+	if BroadcastTime(base.WithP(33)) < b {
+		t.Error("more processors finished sooner than fewer")
+	}
+}
+
+// TestBroadcastLowerBound: no schedule can beat ceil(log2 P) message chains,
+// and the optimal time is at least 2o+L for P>1.
+func TestBroadcastLowerBound(t *testing.T) {
+	f := func(pp uint8) bool {
+		p := Params{P: int(pp%200) + 2, L: 6, O: 2, G: 4}
+		return BroadcastTime(p) >= p.PointToPoint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChildrenAccessor(t *testing.T) {
+	s, err := OptimalBroadcast(fig3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := s.Children(0)
+	if len(kids) != 4 {
+		t.Fatalf("root has %d children, want 4", len(kids))
+	}
+	for _, c := range kids {
+		if s.Parent[c] != 0 {
+			t.Errorf("child %d parent = %d, want 0", c, s.Parent[c])
+		}
+	}
+}
+
+func BenchmarkOptimalBroadcastConstruction(b *testing.B) {
+	p := Params{P: 1024, L: 20, O: 4, G: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalBroadcast(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

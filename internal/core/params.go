@@ -1,0 +1,97 @@
+// Package core implements the analytical content of the LogP model
+// (Culler et al., PPoPP 1993): the four machine parameters, the derived cost
+// formulas of Section 3, and the provably optimal broadcast and summation
+// schedules of Section 3.3.
+//
+// Everything in this package is closed-form or combinatorial; executing the
+// schedules on a simulated machine lives in internal/logp and
+// internal/collective.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the four LogP parameters. L, O and G are expressed in processor
+// cycles (the unit of local work).
+type Params struct {
+	P int   // number of processor/memory modules
+	L int64 // upper bound on network latency for a small message
+	O int64 // send/receive overhead ("o" in the paper)
+	G int64 // gap between consecutive sends or receives at one processor
+}
+
+// Validate reports whether the parameters describe a legal machine.
+func (p Params) Validate() error {
+	switch {
+	case p.P < 1:
+		return fmt.Errorf("core: P = %d, need at least one processor", p.P)
+	case p.L < 0 || p.O < 0 || p.G < 0:
+		return errors.New("core: L, o and g must be non-negative")
+	case p.G == 0 && p.L > 0:
+		// Capacity ceil(L/g) would be unbounded; the PRAM loophole the
+		// model exists to close. Represent "infinite bandwidth" with G=0
+		// and L=0 only.
+		return errors.New("core: g = 0 with L > 0 gives unbounded capacity; use g >= 1")
+	}
+	return nil
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("LogP(P=%d, L=%d, o=%d, g=%d)", p.P, p.L, p.O, p.G)
+}
+
+// Capacity is the network capacity constraint of Section 3: at most
+// ceil(L/g) messages may be in transit from any processor or to any
+// processor at any time.
+func (p Params) Capacity() int {
+	if p.G <= 0 {
+		return 1
+	}
+	c := (p.L + p.G - 1) / p.G
+	if c < 1 {
+		c = 1
+	}
+	return int(c)
+}
+
+// SendInterval is the minimum spacing between consecutive message initiations
+// at one processor: the gap g, but never less than the overhead o, since the
+// processor is busy for o cycles per message.
+func (p Params) SendInterval() int64 {
+	if p.O > p.G {
+		return p.O
+	}
+	return p.G
+}
+
+// PointToPoint is the end-to-end time for one small message between two
+// otherwise idle processors: o at the sender, L in the network, o at the
+// receiver (Section 5: "the time to transmit a small message will be 2o+L").
+func (p Params) PointToPoint() int64 { return 2*p.O + p.L }
+
+// RemoteRead is the time to read a remote location in a shared-memory style:
+// a request message and a reply, 2L + 4o (Section 3.2).
+func (p Params) RemoteRead() int64 { return 2*p.L + 4*p.O }
+
+// PrefetchCost is the processing time consumed by issuing a prefetch
+// (initiate a read and continue): 2o per operation, one issue every g cycles
+// (Section 3.2).
+func (p Params) PrefetchCost() int64 { return 2 * p.O }
+
+// MaxVirtualProcessors is the multithreading limit of Section 3.2: latency
+// masking supports at most ceil(L/g) virtual processors per physical one
+// before the capacity constraint stalls the pipeline.
+func (p Params) MaxVirtualProcessors() int { return p.Capacity() }
+
+// WithO returns a copy with the overhead replaced, a convenience for the
+// approximation technique of Section 3.1 (raise o to g so g can be ignored).
+func (p Params) WithO(o int64) Params { p.O = o; return p }
+
+// WithG returns a copy with the gap replaced (for example the double-network
+// variant of Section 4.1.4, which halves g).
+func (p Params) WithG(g int64) Params { p.G = g; return p }
+
+// WithP returns a copy with the processor count replaced.
+func (p Params) WithP(n int) Params { p.P = n; return p }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// cm5 is the calibrated CM-5 configuration of Section 4.1.4, in 33 MHz
+// hardware clock ticks: o = 2us = 66 ticks, L = 6us = 200 ticks,
+// g = 4us = 132 ticks.
+func cm5(p int) Params { return Params{P: p, L: 200, O: 66, G: 132} }
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{P: 1, L: 0, O: 0, G: 1}, true},
+		{Params{P: 128, L: 200, O: 66, G: 132}, true},
+		{Params{P: 0, L: 1, O: 1, G: 1}, false},
+		{Params{P: 4, L: -1, O: 1, G: 1}, false},
+		{Params{P: 4, L: 1, O: -1, G: 1}, false},
+		{Params{P: 4, L: 10, O: 1, G: 0}, false}, // unbounded capacity
+		{Params{P: 4, L: 0, O: 0, G: 0}, true},   // idealized PRAM-like point
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%v Validate() = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestCapacityIsCeilLOverG(t *testing.T) {
+	cases := []struct {
+		l, g int64
+		want int
+	}{
+		{6, 4, 2},
+		{8, 4, 2},
+		{9, 4, 3},
+		{1, 4, 1},
+		{0, 4, 1}, // never below one outstanding message
+		{200, 132, 2},
+	}
+	for _, c := range cases {
+		p := Params{P: 2, L: c.l, O: 0, G: c.g}
+		if got := p.Capacity(); got != c.want {
+			t.Errorf("Capacity(L=%d,g=%d) = %d, want %d", c.l, c.g, got, c.want)
+		}
+		if p.MaxVirtualProcessors() != c.want {
+			t.Errorf("MaxVirtualProcessors(L=%d,g=%d) = %d, want %d", c.l, c.g, p.MaxVirtualProcessors(), c.want)
+		}
+	}
+}
+
+func TestDerivedCosts(t *testing.T) {
+	p := Params{P: 8, L: 6, O: 2, G: 4}
+	if got := p.PointToPoint(); got != 10 {
+		t.Errorf("PointToPoint = %d, want 10 (2o+L)", got)
+	}
+	// Section 3.2: reading a remote location requires time 2L+4o.
+	if got := p.RemoteRead(); got != 20 {
+		t.Errorf("RemoteRead = %d, want 20 (2L+4o)", got)
+	}
+	// Prefetches cost 2o of processing time and issue every g cycles.
+	if got := p.PrefetchCost(); got != 4 {
+		t.Errorf("PrefetchCost = %d, want 4", got)
+	}
+	if got := p.SendInterval(); got != 4 {
+		t.Errorf("SendInterval = %d, want g=4 when g>o", got)
+	}
+	if got := p.WithO(9).SendInterval(); got != 9 {
+		t.Errorf("SendInterval = %d, want o=9 when o>g", got)
+	}
+}
+
+func TestWithersDoNotMutate(t *testing.T) {
+	p := Params{P: 8, L: 6, O: 2, G: 4}
+	q := p.WithG(2).WithO(1).WithP(16)
+	if p.G != 4 || p.O != 2 || p.P != 8 {
+		t.Errorf("original mutated: %v", p)
+	}
+	if q.G != 2 || q.O != 1 || q.P != 16 || q.L != 6 {
+		t.Errorf("derived wrong: %v", q)
+	}
+}
+
+func TestCapacityProperty(t *testing.T) {
+	// Capacity is ceil(L/g) and always at least 1.
+	f := func(l uint16, g uint16) bool {
+		p := Params{P: 2, L: int64(l), O: 0, G: int64(g%100) + 1}
+		c := int64(p.Capacity())
+		if c < 1 {
+			return false
+		}
+		return (c-1)*p.G < p.L+p.G && c*p.G >= p.L
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

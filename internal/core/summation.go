@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SumNode is one processor's role in an optimal summation schedule
+// (Section 3.3, Figure 4). The processor sums LocalInputs original values
+// and the partial results of its children, finishing (and, unless it is the
+// root, initiating the send of its partial sum to its parent) at Deadline.
+type SumNode struct {
+	Proc        int
+	Deadline    int64 // completion time bound T for this subtree
+	LocalInputs int   // original input values assigned to this processor
+	Children    []*SumNode
+	Parent      *SumNode
+}
+
+// Additions is the number of additions the subtree's result represents:
+// one fewer than the values it sums.
+func (n *SumNode) Additions() int64 { return n.SubtreeValues() - 1 }
+
+// SubtreeValues is the number of original input values summed in the subtree.
+func (n *SumNode) SubtreeValues() int64 {
+	v := int64(n.LocalInputs)
+	for _, c := range n.Children {
+		v += c.SubtreeValues()
+	}
+	return v
+}
+
+// SumSchedule is the complete optimal summation plan: the communication tree
+// (the same shape as an optimal broadcast tree, reversed in time) plus the
+// distribution of input values over processors. Note the inputs are not
+// equally distributed.
+type SumSchedule struct {
+	Params      Params
+	Root        *SumNode
+	Deadline    int64
+	TotalValues int64 // number of input values summed by Deadline
+	ProcsUsed   int
+	// ByProc[i] is processor i's node, nil if the processor is unused
+	// (tree pruned to the processor budget).
+	ByProc []*SumNode
+}
+
+// recvPeriod is the spacing between consecutive receptions in a summation
+// schedule: the gap g, but at least o+1 because each reception costs o cycles
+// of overhead plus one cycle to add the received value.
+func recvPeriod(p Params) int64 {
+	if p.G > p.O+1 {
+		return p.G
+	}
+	return p.O + 1
+}
+
+// sumBuilder memoizes the two mutually recursive quantities of the optimal
+// summation DP:
+//
+//	best(t, q):  the maximum number of values a subtree with deadline t and
+//	             at most q processors can sum;
+//	slots(b, q): the maximum *net* gain from the root's reception slots with
+//	             child bounds b, b-period, b-period*2, ..., using at most q
+//	             processors, where each used slot costs the root o+1 cycles
+//	             of local summing (o to receive, 1 to add).
+//
+// The structure follows Section 3.3: the root's receptions are packed as
+// late as possible at the reception period, child k completes at
+// t-(2o+L+1)-k*period, and a transmitted partial sum must represent at least
+// o additions. Splitting the processor budget across children is a knapsack,
+// which the greedy "first child takes what it wants" rule gets wrong; the DP
+// solves it exactly (and makes SumCapacity monotone in t, which greedy
+// violates).
+type sumBuilder struct {
+	p       Params
+	period  int64
+	minRecv int64 // L + 2o + 1: earliest deadline that admits a reception
+	best    map[sumKey]int64
+	slots   map[sumKey]int64
+}
+
+type sumKey struct {
+	t int64
+	q int
+}
+
+func newSumBuilder(p Params) *sumBuilder {
+	return &sumBuilder{
+		p:       p,
+		period:  recvPeriod(p),
+		minRecv: p.L + 2*p.O + 1,
+		best:    make(map[sumKey]int64),
+		slots:   make(map[sumKey]int64),
+	}
+}
+
+func (b *sumBuilder) bestVal(t int64, q int) int64 {
+	if q <= 0 || t < 0 {
+		return 0
+	}
+	key := sumKey{t, q}
+	if v, ok := b.best[key]; ok {
+		return v
+	}
+	v := t + 1 // single-processor chain of t additions
+	if q > 1 && t >= b.minRecv {
+		if s := b.slotVal(t-b.minRecv, q-1); s > 0 {
+			v = t + 1 + s
+		}
+	}
+	b.best[key] = v
+	return v
+}
+
+func (b *sumBuilder) slotVal(bound int64, q int) int64 {
+	if bound < 0 || q <= 0 {
+		return 0
+	}
+	key := sumKey{bound, q}
+	if v, ok := b.slots[key]; ok {
+		return v
+	}
+	bestNet := int64(0) // stopping (using no further slots) is always legal
+	for use := 1; use <= q; use++ {
+		cv := b.bestVal(bound, use)
+		if cv-1 < b.p.O {
+			break // even more processors cannot make a too-early child worth o additions
+		}
+		net := cv - (b.p.O + 1) + b.slotVal(bound-b.period, q-use)
+		if net > bestNet {
+			bestNet = net
+		}
+	}
+	b.slots[key] = bestNet
+	return bestNet
+}
+
+// build reconstructs the schedule tree for (t, q) by replaying the DP argmax.
+func (b *sumBuilder) build(t int64, q int) *SumNode {
+	node := &SumNode{Deadline: t}
+	total := b.bestVal(t, q)
+	if q <= 1 || t < b.minRecv || total == t+1 {
+		node.LocalInputs = int(t + 1)
+		return node
+	}
+	// Re-derive the slot choices.
+	bound, rem := t-b.minRecv, q-1
+	for bound >= 0 && rem > 0 {
+		target := b.slotVal(bound, rem)
+		if target == 0 {
+			break
+		}
+		chosen := 0
+		for use := 1; use <= rem; use++ {
+			cv := b.bestVal(bound, use)
+			if cv-1 < b.p.O {
+				break
+			}
+			if cv-(b.p.O+1)+b.slotVal(bound-b.period, rem-use) == target {
+				chosen = use
+				break
+			}
+		}
+		if chosen == 0 {
+			break
+		}
+		child := b.build(bound, chosen)
+		child.Parent = node
+		node.Children = append(node.Children, child)
+		rem -= chosen
+		bound -= b.period
+	}
+	k := int64(len(node.Children))
+	node.LocalInputs = int(t - k*(b.p.O+1) + 1)
+	return node
+}
+
+// OptimalSummation computes the schedule that sums the maximum number of
+// values within deadline T on at most P processors (the "fixed amount of
+// time" formulation the paper derives first). See sumBuilder for the
+// recursion; briefly (Section 3.3):
+//
+//   - If T < L+2o+1 there is no time to receive anything: a single processor
+//     sums T+1 values in a chain of T additions.
+//   - Otherwise the root's last step, at time T-1, adds a received partial
+//     sum; that child completed at T-(2o+L+1), and further children at
+//     reception-period intervals before it. Each reception costs the root
+//     o+1 cycles; all remaining cycles are a chain of local input additions.
+//     Transmitted partial sums must represent at least o additions.
+func OptimalSummation(p Params, deadline int64) (*SumSchedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("core: negative deadline %d", deadline)
+	}
+	b := newSumBuilder(p)
+	root := b.build(deadline, p.P)
+	s := &SumSchedule{
+		Params:   p,
+		Root:     root,
+		Deadline: deadline,
+		ByProc:   make([]*SumNode, p.P),
+	}
+	s.ProcsUsed = assignProcs(root, 0)
+	var index func(n *SumNode)
+	index = func(n *SumNode) {
+		s.ByProc[n.Proc] = n
+		for _, c := range n.Children {
+			index(c)
+		}
+	}
+	index(root)
+	s.TotalValues = root.SubtreeValues()
+	return s, nil
+}
+
+func assignProcs(n *SumNode, next int) int {
+	n.Proc = next
+	next++
+	for _, c := range n.Children {
+		next = assignProcs(c, next)
+	}
+	return next
+}
+
+// SumCapacity returns the maximum number of values summable in time T on at
+// most P processors.
+func SumCapacity(p Params, deadline int64) int64 {
+	if deadline < 0 {
+		return 0
+	}
+	if err := p.Validate(); err != nil {
+		return 0
+	}
+	return newSumBuilder(p).bestVal(deadline, p.P)
+}
+
+// MinSumTime returns the smallest deadline T such that n values can be
+// summed on at most P processors, found by binary search (SumCapacity is
+// nondecreasing in T).
+func MinSumTime(p Params, n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	b := newSumBuilder(p)
+	lo, hi := int64(0), n-1 // one processor sums n values in n-1 cycles
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if b.bestVal(mid, p.P) >= n {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// BinaryTreeSumTime is the baseline: distribute n values evenly, local-sum,
+// then combine with a balanced binary reduction tree where every combining
+// round costs a full message time plus one addition. This is the natural
+// PRAM-style schedule, charged honestly under LogP.
+func BinaryTreeSumTime(p Params, n int64) int64 {
+	per := (n + int64(p.P) - 1) / int64(p.P)
+	t := per - 1 // local chain
+	if t < 0 {
+		t = 0
+	}
+	step := p.PointToPoint() + 1
+	if iv := p.SendInterval(); step < iv {
+		step = iv
+	}
+	for m := 1; m < p.P; m *= 2 {
+		t += step
+	}
+	return t
+}
+
+// Validate checks that the schedule is executable under the model: receptions
+// at each node fit the period and start at or after the child's send
+// completes, local additions fit the remaining cycles, and every transmitted
+// partial sum represents at least o additions. Used by property tests.
+func (s *SumSchedule) Validate() error {
+	p := s.Params
+	period := recvPeriod(p)
+	minRecv := p.L + 2*p.O + 1
+	var walk func(n *SumNode) error
+	walk = func(n *SumNode) error {
+		if n.LocalInputs < 1 {
+			return fmt.Errorf("proc %d has %d local inputs", n.Proc, n.LocalInputs)
+		}
+		k := int64(len(n.Children))
+		busy := int64(n.LocalInputs-1) + k*(p.O+1)
+		if busy > n.Deadline {
+			return fmt.Errorf("proc %d busy %d cycles exceeds deadline %d", n.Proc, busy, n.Deadline)
+		}
+		for i, c := range n.Children {
+			wantBound := n.Deadline - minRecv - int64(i)*period
+			if c.Deadline > wantBound {
+				return fmt.Errorf("proc %d child %d deadline %d exceeds bound %d", n.Proc, i, c.Deadline, wantBound)
+			}
+			if c.Additions() < p.O {
+				return fmt.Errorf("proc %d transmits only %d additions < o=%d", c.Proc, c.Additions(), p.O)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s.Root)
+}
+
+// ChildDeadlines returns the root's children's completion deadlines in
+// schedule order, the labels Figure 4 places on the second tree level.
+func (s *SumSchedule) ChildDeadlines() []int64 {
+	out := make([]int64, len(s.Root.Children))
+	for i, c := range s.Root.Children {
+		out[i] = c.Deadline
+	}
+	return out
+}
+
+// LeafDeadlines returns the deadlines of all leaves, sorted descending.
+func (s *SumSchedule) LeafDeadlines() []int64 {
+	var out []int64
+	var walk func(n *SumNode)
+	walk = func(n *SumNode) {
+		if len(n.Children) == 0 {
+			out = append(out, n.Deadline)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(s.Root)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/am"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/machine"
+	"github.com/logp-model/logp/internal/stats"
+)
+
+// ActiveMessages regenerates the mechanism behind Table 1's vendor-vs-AM
+// rows: the vendor synchronous send/receive "involves a pair of messages
+// before transmitting the first data element. This protocol is easily
+// modeled in terms of our parameters as 3(L+2o) + ng" (Section 5.2), while
+// active messages dispatch a handler per message with no handshake. Both
+// run on the simulated CM-5, and the measured times hit the formulas
+// exactly.
+func ActiveMessages() Report {
+	params := core.Params{P: 2, L: 200, O: 66, G: 132}
+	const words = 16
+	c := logp.Config{Params: params}
+
+	var amTime int64
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n := am.New(p)
+		n.Register(1, func(*am.Node, int, any) {})
+		if p.ID() == 0 {
+			for i := 0; i < words; i++ {
+				n.Send(1, 1, i)
+			}
+			return
+		}
+		n.PollN(words)
+		amTime = p.Now()
+	})
+	if err != nil {
+		return Report{ID: "am", Checks: []Check{check("am run", false, "%v", err)}}
+	}
+	var syncTime int64
+	_, err = logp.Run(c, func(p *logp.Proc) {
+		n := am.New(p)
+		if p.ID() == 0 {
+			n.SyncSend(1, make([]any, words))
+			return
+		}
+		n.SyncRecv()
+		syncTime = p.Now()
+	})
+	if err != nil {
+		return Report{ID: "am", Checks: []Check{check("sync run", false, "%v", err)}}
+	}
+
+	formula := 3*params.PointToPoint() + int64(words-1)*params.SendInterval()
+	amFormula := params.PointToPoint() + int64(words-1)*params.SendInterval()
+	cm5, _ := machine.ByName("CM-5")
+	cm5am, _ := machine.ByName("CM-5 (AM)")
+
+	tb := stats.Table{Header: []string{"transfer of 16 words", "measured (cycles)", "formula", "value"}}
+	tb.Add("active messages", amTime, "(2o+L) + (n-1)g", amFormula)
+	tb.Add("synchronous send/receive", syncTime, "3(L+2o) + (n-1)g", formula)
+	text := tb.String()
+	text += fmt.Sprintf("\nthe handshake costs two extra round trips: %d cycles\n", syncTime-amTime)
+	text += fmt.Sprintf("Table 1's software-layer story: CM-5 vendor overhead %d network cycles vs AM %d (%.0fx)\n",
+		cm5.Overhead, cm5am.Overhead, float64(cm5.Overhead)/float64(cm5am.Overhead))
+	return Report{
+		ID:    "am",
+		Title: "Active messages vs the vendor synchronous protocol (Section 5.2, Table 1)",
+		Text:  text,
+		Checks: []Check{
+			check("sync protocol hits 3(L+2o)+(n-1)g exactly", syncTime == formula, "%d vs %d", syncTime, formula),
+			check("AM stream hits (2o+L)+(n-1)g exactly", amTime == amFormula, "%d vs %d", amTime, amFormula),
+			check("handshake overhead is two round trips", syncTime-amTime == 2*params.PointToPoint(), "%d", syncTime-amTime),
+			check("Table 1's overhead gap is an order of magnitude", float64(cm5.Overhead)/float64(cm5am.Overhead) > 10, "%.0fx", float64(cm5.Overhead)/float64(cm5am.Overhead)),
+		},
+	}
+}

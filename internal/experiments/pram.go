@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/network"
+	"github.com/logp-model/logp/internal/stats"
+)
+
+// PRAMEmulation regenerates the Section 6.1 argument against the PRAM as an
+// implementation vehicle: "implementation of these algorithms can be
+// achieved by general-purpose simulations of the PRAM on distributed-memory
+// machines. However, these simulations ... may be unacceptably slow,
+// especially when network bandwidth and processor overhead for sending and
+// receiving messages are properly accounted."
+//
+// The workload is a prefix sum over n values. The PRAM-style execution runs
+// the classic Hillis-Steele algorithm with n virtual processors: log2 n
+// synchronous steps, each moving Theta(n) fine-grained values between
+// (cyclically assigned) virtual processors. The native LogP algorithm sums
+// each processor's local chunk, scans the P partial sums, and fixes up
+// locally — Theta(n/P) local work and Theta(log P) messages per processor.
+// Both run on the same simulated machine and produce identical results; the
+// emulation's message bill is what the PRAM hides.
+func PRAMEmulation() Report {
+	const n = 1 << 10
+	params := core.Params{P: 8, L: 20, O: 4, G: 8}
+	input := make([]int64, n)
+	for i := range input {
+		input[i] = int64(i%17 + 1)
+	}
+	want := make([]int64, n)
+	var acc int64
+	for i, v := range input {
+		acc += v
+		want[i] = acc
+	}
+
+	emulated, emuRes, err := pramPrefix(params, input)
+	if err != nil {
+		return Report{ID: "pram", Checks: []Check{check("emulated run", false, "%v", err)}}
+	}
+	native, natRes, err := nativePrefix(params, input)
+	if err != nil {
+		return Report{ID: "pram", Checks: []Check{check("native run", false, "%v", err)}}
+	}
+	okEmu := equalInt64(emulated, want)
+	okNat := equalInt64(native, want)
+
+	tb := stats.Table{Header: []string{"execution", "time (cycles)", "messages", "correct"}}
+	tb.Add("PRAM emulation (n virtual procs)", emuRes.Time, emuRes.Messages, okEmu)
+	tb.Add("native LogP algorithm", natRes.Time, natRes.Messages, okNat)
+	slow := float64(emuRes.Time) / float64(natRes.Time)
+	msgRatio := float64(emuRes.Messages) / float64(natRes.Messages)
+	text := tb.String()
+	text += fmt.Sprintf("\nprefix sum of %d values on %v: emulation is %.0fx slower and sends %.0fx more messages\n",
+		n, params, slow, msgRatio)
+	return Report{
+		ID:    "pram",
+		Title: "The cost of PRAM emulation vs a native LogP algorithm (Section 6.1)",
+		Text:  text,
+		Checks: []Check{
+			check("both executions are correct", okEmu && okNat, ""),
+			check("emulation is unacceptably slow", slow > 5, "%.0fx", slow),
+			check("the message bill explains it", msgRatio > 10, "%.0fx more messages", msgRatio),
+		},
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pramPrefix runs Hillis-Steele with one virtual processor per element,
+// assigned cyclically (virtual v on physical v mod P), pushing each step's
+// values to their readers.
+func pramPrefix(params core.Params, input []int64) ([]int64, logp.Result, error) {
+	n := len(input)
+	P := params.P
+	out := make([]int64, n)
+	res, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+		me := p.ID()
+		// Local slots for owned virtual processors.
+		vals := map[int]int64{}
+		for v := me; v < n; v += P {
+			vals[v] = input[v]
+		}
+		step := 0
+		for k := 1; k < n; k <<= 1 {
+			tag := 18000 + step
+			// Count how many values this processor will receive: owned
+			// readers v with v >= k whose source v-k lives elsewhere.
+			expect := 0
+			for v := me; v < n; v += P {
+				if v >= k && (v-k)%P != me {
+					expect++
+				}
+			}
+			add := map[int]int64{}
+			// Push owned values to their readers (reader of v is v+k).
+			for v := me; v < n; v += P {
+				reader := v + k
+				if reader >= n {
+					continue
+				}
+				if reader%P == me {
+					add[reader] += vals[v]
+					continue
+				}
+				for p.HasTag(tag) && expect > 0 {
+					m := p.RecvTag(tag).Data.([2]int64)
+					add[int(m[0])] += m[1]
+					expect--
+				}
+				p.Send(reader%P, tag, [2]int64{int64(v + k), vals[v]})
+			}
+			for expect > 0 {
+				m := p.RecvTag(tag).Data.([2]int64)
+				add[int(m[0])] += m[1]
+				expect--
+			}
+			// The synchronous PRAM step boundary.
+			adds := 0
+			for v, d := range add {
+				vals[v] += d
+				adds++
+			}
+			p.Compute(int64(adds))
+			p.Barrier()
+			step++
+		}
+		for v, x := range vals {
+			out[v] = x
+		}
+	})
+	return out, res, err
+}
+
+// nativePrefix is the LogP-appropriate algorithm: local chain, scan of the
+// P partials, local fixup.
+func nativePrefix(params core.Params, input []int64) ([]int64, logp.Result, error) {
+	n := len(input)
+	P := params.P
+	per := n / P
+	out := make([]int64, n)
+	res, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+		me := p.ID()
+		lo, hi := me*per, (me+1)*per
+		if me == P-1 {
+			hi = n
+		}
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += input[i]
+		}
+		p.Compute(int64(hi - lo - 1))
+		incl := collective.Scan(p, 19000, sum, func(a, b any) any {
+			return a.(int64) + b.(int64)
+		}).(int64)
+		offset := incl - sum
+		acc := offset
+		for i := lo; i < hi; i++ {
+			acc += input[i]
+			out[i] = acc
+		}
+		p.Compute(int64(hi - lo))
+	})
+	return out, res, err
+}
+
+// Robustness regenerates the Section 2 motivations about real networks:
+// faults are routed around ("the physical interconnect on a single system
+// will vary over time to avoid broken components") and adaptive routing
+// relieves contention ("adaptive routing techniques are becoming
+// increasingly practical") — both reasons the model abstracts topology.
+func Robustness() Report {
+	// Fault tolerance on a 5-cube.
+	h := network.Hypercube(5)
+	before := h.AverageDistance()
+	cut := [][2]int{{0, 1}, {3, 7}, {12, 28}, {17, 19}, {24, 25}, {9, 13}}
+	for _, e := range cut {
+		if !h.FailLink(e[0], e[1]) {
+			return Report{ID: "robustness", Checks: []Check{check("links exist", false, "edge %v missing", e)}}
+		}
+	}
+	after := h.AverageDistance()
+	lcfg := network.LoadConfig{RouterDelay: 2, Load: 0.1, Pattern: network.UniformTraffic, Horizon: 3000, Warmup: 500, Seed: 3}
+	faulty, err := network.RunLoad(h, lcfg)
+	if err != nil {
+		return Report{ID: "robustness", Checks: []Check{check("degraded run", false, "%v", err)}}
+	}
+
+	// Adaptive routing on a loaded mesh.
+	mesh := network.Mesh2D(8, 8, false)
+	mcfg := network.LoadConfig{RouterDelay: 2, Load: 0.3, Pattern: network.UniformTraffic, Horizon: 3000, Warmup: 500, Seed: 6}
+	det, err := network.RunLoad(mesh, mcfg)
+	if err != nil {
+		return Report{ID: "robustness", Checks: []Check{check("deterministic run", false, "%v", err)}}
+	}
+	mcfg.Adaptive = true
+	ad, err := network.RunLoad(mesh, mcfg)
+	if err != nil {
+		return Report{ID: "robustness", Checks: []Check{check("adaptive run", false, "%v", err)}}
+	}
+
+	tb := stats.Table{Header: []string{"study", "metric", "value"}}
+	tb.Add("5-cube, 6 failed links", "avg distance before", before)
+	tb.Add("5-cube, 6 failed links", "avg distance after", after)
+	tb.Add("5-cube, 6 failed links", "mean latency degraded net", faulty.MeanLatency)
+	tb.Add("8x8 mesh @ load 0.3", "deterministic latency", det.MeanLatency)
+	tb.Add("8x8 mesh @ load 0.3", "adaptive latency", ad.MeanLatency)
+	return Report{
+		ID:    "robustness",
+		Title: "Faults and adaptive routing: why topology is abstracted (Section 2)",
+		Text:  tb.String(),
+		Checks: []Check{
+			check("network survives the failures", h.Connected(), ""),
+			check("routes lengthen only slightly", after >= before && after < before*1.2, "%.2f -> %.2f", before, after),
+			check("traffic still flows on the degraded network", faulty.Delivered > 0, "%d delivered", faulty.Delivered),
+			check("adaptive routing relieves contention", ad.MeanLatency < det.MeanLatency, "%.1f vs %.1f", ad.MeanLatency, det.MeanLatency),
+			check("adaptivity stays on shortest paths", ad.MeanDistance <= det.MeanDistance+1e-9, "%.2f vs %.2f", ad.MeanDistance, det.MeanDistance),
+		},
+	}
+}

@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulators and analytical schedules in this
+// repository. Each experiment returns a Report containing the rendered
+// data and a set of qualitative checks (orderings, ratios, knees) that
+// encode what the paper's figure shows; cmd/figures prints them and the
+// repository benchmarks execute them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check is one qualitative assertion an experiment makes about its own
+// results — the "shape" of the paper's figure.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string // e.g. "fig3", "table1"
+	Title  string
+	Text   string // rendered tables / series / schedule art
+	Checks []Check
+}
+
+// Failed returns the failing checks.
+func (r Report) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the report with its checks.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n%s\n", r.ID, r.Title, r.Text)
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s — %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+func check(name string, pass bool, format string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Scale trades fidelity for speed: 1 is the scaled-down default used by
+// tests and benchmarks; larger values enlarge problem sizes toward the
+// paper's (the paper's CM-5 runs use 128 processors and up to 16M-point
+// FFTs, which are minutes of simulation).
+type Scale int
+
+// clamp returns at least 1.
+func (s Scale) clamp() int {
+	if s < 1 {
+		return 1
+	}
+	return int(s)
+}

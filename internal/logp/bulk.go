@@ -1,0 +1,130 @@
+package logp
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/sim"
+	"github.com/logp-model/logp/internal/trace"
+)
+
+// Long messages (Section 5.4). The basic model gives no special treatment
+// to long messages: "the overhead o is paid for each word (or small number
+// of words)". Machines with a DMA device attached to the network interface
+// pay the setup overhead once and stream the message at the network rate,
+// overlapping the transfer with computation — "tantamount to providing two
+// processors on each node, one to handle messages and one to do the
+// computation", which "can at best double the performance of each node".
+//
+// SendBulk implements both regimes, selected by Config.Coprocessor:
+//
+//	without coprocessor (PIO): the processor is engaged o per word, words
+//	spaced by max(g,o); the receiver is likewise engaged o per word.
+//	total, idle endpoints: (k-1)*max(g,o) + 2o + L.
+//
+//	with coprocessor (DMA): the processor pays o once to set up the
+//	device, which streams the words at the gap; the receiver's device
+//	collects them and its processor pays o once to consume the message.
+//	total: 2o + (k-1)*g + L — the LogGP long-message formula.
+//
+// Either way the k words travel as one message train delivered as a single
+// Message with Size = k, and count one unit against the capacity
+// constraint.
+
+// Coprocessor configuration lives in Config (machine.go); this file holds
+// the bulk-transfer mechanics.
+
+// SendBulk transmits words words of payload to processor to as one message
+// train. See the package notes above for the cost model. words must be
+// positive; SendBulk(.., 1) costs exactly Send.
+func (p *Proc) SendBulk(to, tag int, data any, words int) {
+	if words < 1 {
+		panic(fmt.Sprintf("logp: bulk send of %d words", words))
+	}
+	if to == p.id {
+		panic(fmt.Sprintf("logp: proc %d sending to itself", p.id))
+	}
+	if to < 0 || to >= p.m.cfg.P {
+		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
+	}
+	cfg := &p.m.cfg
+	p.idleUntil(p.nextSend)
+	initiation := p.Now()
+
+	var engaged, portBusy, lastInjection int64
+	if cfg.Coprocessor {
+		// Set up the DMA device: o cycles, then the device streams the
+		// words at the gap while the processor is free.
+		engaged = cfg.O
+		lastInjection = cfg.O + int64(words-1)*cfg.G
+		portBusy = cfg.O + int64(words)*cfg.G
+	} else {
+		// Programmed I/O: o per word, spaced by the send interval.
+		iv := cfg.SendInterval()
+		engaged = int64(words-1)*iv + cfg.O
+		lastInjection = engaged
+		portBusy = int64(words) * iv
+	}
+	p.ps.Wait(sim.Time(engaged))
+	p.stats.SendOverhead += engaged
+	p.stats.MsgsSent++
+	p.record(trace.SendOverhead, initiation, p.Now())
+	p.nextSend = initiation + portBusy
+
+	// Capacity: the train takes one in-transit unit from injection of its
+	// last word to arrival.
+	if p.m.outCap != nil {
+		start := p.Now()
+		p.m.outCap[p.id].Acquire(p.ps)
+		p.m.inCap[to].Acquire(p.ps)
+		if d := p.Now() - start; d > 0 {
+			p.stats.Stall += d
+			p.record(trace.Stall, start, p.Now())
+		}
+	}
+	p.m.inTransitFrom[p.id]++
+	p.m.inTransitTo[to]++
+	if u := p.m.inTransitFrom[p.id]; u > p.m.maxOut {
+		p.m.maxOut = u
+	}
+	if u := p.m.inTransitTo[to]; u > p.m.maxIn {
+		p.m.maxIn = u
+	}
+
+	lat := cfg.L
+	if cfg.LatencyJitter > 0 {
+		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
+	}
+	// The train's last word was injected at initiation+lastInjection; the
+	// message is complete at the destination L later. (The DMA processor
+	// may already be past this point in simulated time; the arrival event
+	// is scheduled from absolute times.)
+	arriveAt := initiation + lastInjection + lat
+	now := int64(p.m.kernel.Now())
+	delay := arriveAt - now
+	if delay < 0 {
+		delay = 0
+	}
+	msg := Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation}
+	dst := p.m.procs[to]
+	p.m.kernel.After(sim.Time(delay), func() {
+		msg.ArrivedAt = int64(p.m.kernel.Now())
+		dst.inbox = append(dst.inbox, msg)
+		if !p.m.cfg.HoldCapacityUntilReceive {
+			p.m.settle(msg)
+		}
+		dst.inboxSig.Notify()
+	})
+}
+
+// recvCost is the processor engagement for consuming msg: o per word
+// without a coprocessor, o once with one.
+func (p *Proc) recvCost(msg Message) int64 {
+	words := msg.Size
+	if words < 1 {
+		words = 1
+	}
+	if p.m.cfg.Coprocessor {
+		return p.m.cfg.O
+	}
+	return int64(words) * p.m.cfg.O
+}

@@ -1,0 +1,273 @@
+package logp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBulkDMATimingIsLogGP: with a coprocessor, a k-word transfer between
+// idle processors completes in exactly 2o + (k-1)g + L — the long-message
+// (LogGP) formula.
+func TestBulkDMATimingIsLogGP(t *testing.T) {
+	c := cfg(2, 30, 2, 4)
+	c.Coprocessor = true
+	for _, k := range []int{1, 2, 8, 50} {
+		var done int64
+		_, err := Run(c, func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.SendBulk(1, 0, "payload", k)
+			case 1:
+				m := p.Recv()
+				if m.Size != k {
+					t.Errorf("size %d, want %d", m.Size, k)
+				}
+				done = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2*c.O + int64(k-1)*c.G + c.L
+		if done != want {
+			t.Errorf("k=%d: done at %d, want 2o+(k-1)g+L = %d", k, done, want)
+		}
+	}
+}
+
+// TestBulkPIOTiming: without a coprocessor the processor is engaged o per
+// word spaced by max(g,o), so the transfer ends at (k-1)*max(g,o) + 2o + L
+// and both endpoints burn k*o cycles of overhead.
+func TestBulkPIOTiming(t *testing.T) {
+	c := cfg(2, 30, 2, 4)
+	const k = 10
+	var done int64
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.SendBulk(1, 0, nil, k)
+		case 1:
+			p.Recv()
+			done = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender engaged until (k-1)*interval + o = 38; arrival 38+L = 68;
+	// receiver engaged k*o = 20 more.
+	want := int64(k-1)*c.Params.SendInterval() + c.O + c.L + int64(k)*c.O
+	if done != want {
+		t.Errorf("done at %d, want %d", done, want)
+	}
+	if res.Procs[0].SendOverhead != int64(k-1)*c.Params.SendInterval()+c.O {
+		t.Errorf("sender engaged %d", res.Procs[0].SendOverhead)
+	}
+	if res.Procs[1].RecvOverhead != int64(k)*c.O {
+		t.Errorf("receiver engaged %d, want k*o", res.Procs[1].RecvOverhead)
+	}
+}
+
+// TestBulkSingleWordEqualsSend: SendBulk of one word costs exactly Send in
+// both modes.
+func TestBulkSingleWordEqualsSend(t *testing.T) {
+	for _, cop := range []bool{false, true} {
+		c := cfg(2, 30, 2, 4)
+		c.Coprocessor = cop
+		var viaBulk, viaSend int64
+		_, err := Run(c, func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.SendBulk(1, 0, nil, 1)
+			case 1:
+				p.Recv()
+				viaBulk = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(c, func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.Send(1, 0, nil)
+			case 1:
+				p.Recv()
+				viaSend = p.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaBulk != viaSend {
+			t.Errorf("coprocessor=%v: bulk-1 %d != send %d", cop, viaBulk, viaSend)
+		}
+	}
+}
+
+// TestDMAOverlapsComputation: the coprocessor frees the processor after the
+// o setup, so computation overlaps the stream; PIO keeps the processor
+// engaged for the whole train.
+func TestDMAOverlapsComputation(t *testing.T) {
+	const k = 40
+	const work = 100
+	run := func(cop bool) int64 {
+		c := cfg(2, 30, 2, 4)
+		c.Coprocessor = cop
+		var senderDone int64
+		_, err := Run(c, func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.SendBulk(1, 0, nil, k)
+				p.Compute(work)
+				senderDone = p.Now()
+			case 1:
+				p.Recv()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return senderDone
+	}
+	pio := run(false)
+	dma := run(true)
+	c := cfg(2, 30, 2, 4)
+	if want := c.O + work; dma != want {
+		t.Errorf("DMA sender done at %d, want o+work = %d", dma, want)
+	}
+	if want := int64(k-1)*c.Params.SendInterval() + c.O + work; pio != want {
+		t.Errorf("PIO sender done at %d, want %d", pio, want)
+	}
+	if dma >= pio {
+		t.Error("DMA did not overlap computation")
+	}
+}
+
+// TestCoprocessorAtBestDoubles: Section 5.4 — "providing a separate network
+// processor ... can at best double the performance of each node". On a
+// balanced workload (communication overhead equals computation) the speedup
+// approaches but does not exceed 2.
+func TestCoprocessorAtBestDoubles(t *testing.T) {
+	const rounds = 20
+	const k = 25
+	run := func(cop bool) int64 {
+		c := cfg(2, 30, 2, 2) // o = 2 >= g: overhead-bound communication
+		c.Coprocessor = cop
+		work := int64(k) * c.O // computation balancing the PIO overhead
+		var done int64
+		res, err := Run(c, func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				for r := 0; r < rounds; r++ {
+					p.SendBulk(1, 0, nil, k)
+					p.Compute(work)
+				}
+				done = p.Now()
+			case 1:
+				for r := 0; r < rounds; r++ {
+					p.Recv()
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+		return done
+	}
+	pio := run(false)
+	dma := run(true)
+	speedup := float64(pio) / float64(dma)
+	if speedup <= 1.3 {
+		t.Errorf("speedup %.2f, expected a substantial gain on balanced work", speedup)
+	}
+	if speedup > 2.0 {
+		t.Errorf("speedup %.2f exceeds the at-best-double bound", speedup)
+	}
+}
+
+// TestBulkCapacityCountsOneUnit: a train takes one in-transit slot.
+func TestBulkCapacityCountsOneUnit(t *testing.T) {
+	c := cfg(2, 30, 2, 4) // capacity ceil(30/4) = 8
+	c.Coprocessor = true
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 5; i++ {
+				p.SendBulk(1, 0, nil, 20)
+			}
+		case 1:
+			for i := 0; i < 5; i++ {
+				p.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInTransitTo > c.Params.Capacity() {
+		t.Errorf("in transit %d exceeds capacity", res.MaxInTransitTo)
+	}
+	if res.Messages != 5 {
+		t.Errorf("%d messages, want 5 trains", res.Messages)
+	}
+}
+
+// TestBulkStreamOrderingProperty: trains from one sender arrive in order and
+// carry their payloads intact, for any sizes.
+func TestBulkStreamOrderingProperty(t *testing.T) {
+	f := func(sizes []uint8, cop bool) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		c := cfg(2, 30, 2, 4)
+		c.Coprocessor = cop
+		ok := true
+		_, err := Run(c, func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				for i, s := range sizes {
+					p.SendBulk(1, i, i, int(s%40)+1)
+				}
+			case 1:
+				for i, s := range sizes {
+					m := p.Recv()
+					if m.Tag != i || m.Data != i || m.Size != int(s%40)+1 {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkValidation(t *testing.T) {
+	c := cfg(2, 30, 2, 4)
+	_, err := Run(c, func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		for _, f := range []func(){
+			func() { p.SendBulk(1, 0, nil, 0) },
+			func() { p.SendBulk(0, 0, nil, 2) },
+			func() { p.SendBulk(9, 0, nil, 2) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("bad bulk send did not panic")
+					}
+				}()
+				f()
+			}()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package logp
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/logp-model/logp/internal/sim"
+)
+
+func TestProcSkewSystematic(t *testing.T) {
+	c := cfg(4, 6, 2, 4)
+	c.ProcSkew = 0.5
+	c.Seed = 3
+	res, err := Run(c, func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every processor computes at its own fixed rate in [1000, 1500].
+	distinct := map[int64]bool{}
+	for _, s := range res.Procs {
+		if s.Compute < 1000 || s.Compute > 1500 {
+			t.Errorf("proc %d compute %d outside skew range", s.Proc, s.Compute)
+		}
+		distinct[s.Compute] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("skew produced identical processors")
+	}
+	// Same seed, same skews.
+	res2, err := Run(c, func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Procs {
+		if res.Procs[i].Compute != res2.Procs[i].Compute {
+			t.Error("skew not deterministic in seed")
+		}
+	}
+	bad := cfg(2, 6, 2, 4)
+	bad.ProcSkew = -0.1
+	if _, err := New(bad); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+// TestHoldCapacityUntilReceive: under the stricter reading, slots free only
+// when the destination processor receives, so a sender outpacing a busy
+// receiver stalls even one-on-one.
+func TestHoldCapacityUntilReceive(t *testing.T) {
+	c := cfg(2, 10, 1, 2) // capacity ceil(10/2) = 5
+	c.HoldCapacityUntilReceive = true
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 20; i++ {
+				p.Send(1, 0, i)
+			}
+		case 1:
+			p.Compute(500) // busy: messages pile up at the module
+			for i := 0; i < 20; i++ {
+				p.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInTransitTo > 5 {
+		t.Errorf("outstanding count %d exceeds capacity 5", res.MaxInTransitTo)
+	}
+	if res.Procs[0].Stall == 0 {
+		t.Error("sender never stalled against the busy receiver")
+	}
+	// Default semantics: the same program never stalls (arrival frees the
+	// slot regardless of the receiver being busy).
+	c.HoldCapacityUntilReceive = false
+	res2, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 20; i++ {
+				p.Send(1, 0, i)
+			}
+		case 1:
+			p.Compute(500)
+			for i := 0; i < 20; i++ {
+				p.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Procs[0].Stall != 0 {
+		t.Errorf("arrival-release sender stalled %d cycles", res2.Procs[0].Stall)
+	}
+}
+
+// TestHoldCapacityDeadlocksFlood documents why the model ends "in transit"
+// at arrival: if slots are held until reception, an all-to-one flood where
+// senders only receive between sends deadlocks — every processor is blocked
+// inside Send and cannot drain its own inbox. The kernel detects it.
+func TestHoldCapacityDeadlocksFlood(t *testing.T) {
+	c := cfg(4, 10, 1, 2)
+	c.HoldCapacityUntilReceive = true
+	_, err := Run(c, func(p *Proc) {
+		expect := 3 * 20
+		got := 0
+		for i := 0; i < 20; i++ {
+			for d := 0; d < 4; d++ {
+				if d == p.ID() {
+					continue
+				}
+				if p.HasMessage() && got < expect {
+					p.Recv()
+					got++
+				}
+				p.Send(d, 0, nil)
+			}
+		}
+		for got < expect {
+			p.Recv()
+			got++
+		}
+	})
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestInTransitTrackedWithoutEnforcement(t *testing.T) {
+	c := cfg(4, 20, 0, 1)
+	c.DisableCapacity = true
+	res, err := Run(c, func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 30; i++ {
+				p.Recv()
+			}
+			return
+		}
+		for i := 0; i < 10; i++ {
+			p.Send(0, 0, i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInTransitTo <= c.Params.Capacity() {
+		t.Errorf("flood without enforcement peaked at %d, expected above capacity %d",
+			res.MaxInTransitTo, c.Params.Capacity())
+	}
+}

@@ -1,0 +1,266 @@
+// Package logp implements the LogP abstract machine as a deterministic
+// discrete-event simulator: P asynchronous processors that communicate by
+// point-to-point messages, with send/receive overhead o, gap g between
+// consecutive transmissions or receptions at one processor, latency at most
+// L, and the network capacity constraint of at most ceil(L/g) messages in
+// transit from any processor or to any processor.
+//
+// Algorithm code is written as an ordinary Go function per processor using
+// blocking Send/Recv/Compute primitives; the simulator charges model costs
+// and reports per-processor activity, so the measured completion time of a
+// run is the algorithm's LogP cost.
+package logp
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/sim"
+	"github.com/logp-model/logp/internal/trace"
+)
+
+// Config describes the machine to simulate.
+type Config struct {
+	core.Params
+
+	// LatencyJitter makes message latency uniform in [L-LatencyJitter, L]
+	// instead of exactly L. The model defines L as an upper bound and
+	// algorithms must be correct under any latency; jitter also produces
+	// the asynchronous drift the paper observes on the real CM-5 (Fig. 8).
+	LatencyJitter int64
+
+	// ComputeJitter stretches each Compute call by a uniform factor in
+	// [1, 1+ComputeJitter], modeling cache misses and other local timing
+	// noise ("processors execute asynchronously due to cache effects,
+	// network collisions, etc.", Section 4.1.4).
+	ComputeJitter float64
+
+	// ProcSkew gives each processor a fixed systematic speed factor drawn
+	// uniformly from [1, 1+ProcSkew] (deterministic in Seed), modeling
+	// persistent per-node differences (cache conflicts depend on data
+	// addresses). This is what makes processors "gradually drift out of
+	// sync during the remap phase" in Figure 8.
+	ProcSkew float64
+
+	// Seed drives all randomness (jitter). Runs with equal Config and
+	// program are bit-reproducible.
+	Seed int64
+
+	// DisableCapacity removes the ceil(L/g) capacity constraint, for
+	// ablation: this reopens the infinite-bandwidth loophole the model
+	// exists to close.
+	DisableCapacity bool
+
+	// HoldCapacityUntilReceive keeps a message's capacity slot occupied
+	// until the destination processor actually receives it, instead of
+	// releasing it on arrival at the destination module: a stricter
+	// finite-buffering reading of "in transit to any processor".
+	HoldCapacityUntilReceive bool
+
+	// Coprocessor equips every node with a network DMA device for bulk
+	// transfers (Section 5.4): SendBulk pays the setup overhead o once and
+	// streams at the gap while the processor computes, and receiving a
+	// train costs o once. Without it, bulk transfers engage the processor
+	// o per word on both ends.
+	Coprocessor bool
+
+	// CollectTrace records per-processor activity segments (costly for
+	// long runs; used for Figure 3/4 style Gantt output).
+	CollectTrace bool
+
+	// BarrierCost is the completion cost of the hardware barrier
+	// (Section 5.5); Proc.Barrier releases all processors BarrierCost
+	// cycles after the last arrival. The CM-5 implementation of Section
+	// 4.1.4 uses such a barrier to resynchronize the remap phase.
+	BarrierCost int64
+}
+
+// ProcStats aggregates one processor's activity over a run.
+type ProcStats struct {
+	Proc         int
+	Compute      int64 // cycles of local work
+	SendOverhead int64 // cycles paying o on sends
+	RecvOverhead int64 // cycles paying o on receives
+	Stall        int64 // cycles stalled on the capacity constraint
+	Finish       int64 // local completion time
+	MsgsSent     int
+	MsgsReceived int
+}
+
+// Idle is the time the processor spent waiting (gap spacing, message waits
+// and end-of-program skew) out of the given horizon.
+func (s ProcStats) Idle(horizon int64) int64 {
+	busy := s.Compute + s.SendOverhead + s.RecvOverhead + s.Stall
+	if horizon < s.Finish {
+		horizon = s.Finish
+	}
+	return horizon - busy
+}
+
+// Result summarizes a machine run.
+type Result struct {
+	// Time is the completion time of the slowest processor, the "maximum
+	// time ... used by any processor" metric of Section 3.
+	Time int64
+	// Procs holds per-processor statistics.
+	Procs []ProcStats
+	// Messages is the total number of messages delivered.
+	Messages int
+	// MaxInTransitFrom / MaxInTransitTo are the largest observed in-transit
+	// counts; both are bounded by the capacity constraint when enabled.
+	MaxInTransitFrom int
+	MaxInTransitTo   int
+	// Trace is the activity log (nil unless Config.CollectTrace).
+	Trace *trace.Log
+}
+
+// BusyFraction is the fraction of processor-cycles spent on computation, a
+// measure of efficiency.
+func (r Result) BusyFraction() float64 {
+	if r.Time == 0 || len(r.Procs) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, s := range r.Procs {
+		busy += s.Compute
+	}
+	return float64(busy) / float64(r.Time*int64(len(r.Procs)))
+}
+
+// TotalStall sums capacity-stall cycles across processors.
+func (r Result) TotalStall() int64 {
+	var total int64
+	for _, s := range r.Procs {
+		total += s.Stall
+	}
+	return total
+}
+
+// Machine is a LogP machine ready to run one program.
+type Machine struct {
+	cfg    Config
+	kernel *sim.Kernel
+	procs  []*Proc
+	// capacity semaphores, one pair per processor, nil if disabled
+	outCap  []*sim.Semaphore
+	inCap   []*sim.Semaphore
+	barrier *sim.Barrier
+	tr      *trace.Log
+	skew    []float64 // per-processor systematic speed factor
+	// in-transit tracking (kept even when enforcement is disabled, so the
+	// ablation can show the flood)
+	inTransitFrom []int
+	inTransitTo   []int
+	maxOut        int
+	maxIn         int
+}
+
+// New builds a machine. Config.Params must validate.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LatencyJitter < 0 || cfg.LatencyJitter > cfg.L {
+		return nil, fmt.Errorf("logp: latency jitter %d outside [0, L=%d]", cfg.LatencyJitter, cfg.L)
+	}
+	if cfg.ComputeJitter < 0 {
+		return nil, fmt.Errorf("logp: negative compute jitter %v", cfg.ComputeJitter)
+	}
+	if cfg.ProcSkew < 0 {
+		return nil, fmt.Errorf("logp: negative processor skew %v", cfg.ProcSkew)
+	}
+	m := &Machine{
+		cfg:           cfg,
+		kernel:        sim.NewKernel(cfg.Seed),
+		barrier:       sim.NewBarrier(cfg.P),
+		inTransitFrom: make([]int, cfg.P),
+		inTransitTo:   make([]int, cfg.P),
+	}
+	if cfg.ProcSkew > 0 {
+		m.skew = make([]float64, cfg.P)
+		for i := range m.skew {
+			m.skew[i] = 1 + cfg.ProcSkew*m.kernel.Rand().Float64()
+		}
+	}
+	if cfg.CollectTrace {
+		m.tr = &trace.Log{}
+	}
+	if !cfg.DisableCapacity {
+		capUnits := cfg.Params.Capacity()
+		m.outCap = make([]*sim.Semaphore, cfg.P)
+		m.inCap = make([]*sim.Semaphore, cfg.P)
+		for i := 0; i < cfg.P; i++ {
+			m.outCap[i] = sim.NewSemaphore(capUnits)
+			m.inCap[i] = sim.NewSemaphore(capUnits)
+		}
+	}
+	return m, nil
+}
+
+// settle ends a message's in-transit accounting and frees its capacity
+// slots: at arrival normally, or at reception under
+// HoldCapacityUntilReceive.
+func (m *Machine) settle(msg Message) {
+	m.inTransitFrom[msg.From]--
+	m.inTransitTo[msg.To]--
+	if m.outCap != nil {
+		m.outCap[msg.From].Release()
+		m.inCap[msg.To].Release()
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Params returns the LogP parameters.
+func (m *Machine) Params() core.Params { return m.cfg.Params }
+
+// Run executes body on every processor (as processor p.ID) until all return,
+// and reports the run. A Machine runs one program; build a fresh Machine per
+// run.
+func (m *Machine) Run(body func(p *Proc)) (Result, error) {
+	if m.procs != nil {
+		return Result{}, fmt.Errorf("logp: machine already ran")
+	}
+	m.procs = make([]*Proc, m.cfg.P)
+	for i := 0; i < m.cfg.P; i++ {
+		i := i
+		pr := &Proc{id: i, m: m}
+		m.procs[i] = pr
+		m.kernel.Spawn(fmt.Sprintf("proc%d", i), func(ps *sim.Process) {
+			pr.ps = ps
+			body(pr)
+			pr.stats.Finish = int64(ps.Now())
+		})
+	}
+	if err := m.kernel.Run(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Procs:            make([]ProcStats, m.cfg.P),
+		Trace:            m.tr,
+		MaxInTransitFrom: m.maxOut,
+		MaxInTransitTo:   m.maxIn,
+	}
+	for i, pr := range m.procs {
+		pr.stats.Proc = i
+		res.Procs[i] = pr.stats
+		if pr.stats.Finish > res.Time {
+			res.Time = pr.stats.Finish
+		}
+		res.Messages += pr.stats.MsgsReceived
+		if n := len(pr.inbox); n > 0 {
+			return res, fmt.Errorf("logp: proc %d finished with %d undelivered messages", i, n)
+		}
+	}
+	return res, nil
+}
+
+// Run is a convenience wrapper: build a machine from cfg and run body.
+func Run(cfg Config, body func(p *Proc)) (Result, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(body)
+}

@@ -1,0 +1,551 @@
+package logp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+func cfg(p int, l, o, g int64) Config {
+	return Config{Params: core.Params{P: p, L: l, O: o, G: g}}
+}
+
+func TestPointToPointTiming(t *testing.T) {
+	// One message between idle processors takes 2o+L end to end (Section 5).
+	c := cfg(2, 6, 2, 4)
+	var recvDone, arrived int64
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 0, "x")
+		case 1:
+			m := p.Recv()
+			arrived = m.ArrivedAt
+			recvDone = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrived != 8 { // o + L
+		t.Errorf("arrival at %d, want o+L=8", arrived)
+	}
+	if recvDone != 10 { // 2o + L
+		t.Errorf("receive done at %d, want 2o+L=10", recvDone)
+	}
+	if res.Time != 10 {
+		t.Errorf("run time %d, want 10", res.Time)
+	}
+	if res.Messages != 1 {
+		t.Errorf("messages = %d, want 1", res.Messages)
+	}
+}
+
+func TestSendGapSpacing(t *testing.T) {
+	// Consecutive sends at one processor are spaced max(g, o) apart.
+	c := cfg(2, 6, 2, 4)
+	var finish int64
+	_, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 4; i++ {
+				p.Send(1, 0, i)
+			}
+			finish = p.Now()
+		case 1:
+			for i := 0; i < 4; i++ {
+				p.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initiations at 0, 4, 8, 12; the last occupies the processor until 14.
+	if finish != 14 {
+		t.Errorf("sender finished at %d, want 3g+o=14", finish)
+	}
+}
+
+func TestSendGapWhenOverheadDominates(t *testing.T) {
+	// With o > g the overhead spaces the sends (Section 3.1: increase o to g
+	// or vice versa; the processor cannot inject faster than 1/o).
+	c := cfg(2, 6, 5, 2)
+	var finish int64
+	_, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 0, 0)
+			p.Send(1, 0, 1)
+			finish = p.Now()
+		case 1:
+			p.Recv()
+			p.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish != 10 { // initiations at 0 and 5, each busy 5
+		t.Errorf("sender finished at %d, want 2o=10", finish)
+	}
+}
+
+func TestReceiverSerialization(t *testing.T) {
+	// Many processors sending to one target: the target's receptions are
+	// spaced at least max(g, o) apart, so total time grows with the fan-in.
+	// This is the effect that ruins the naive FFT schedule (Section 4.1.2).
+	c := cfg(5, 6, 2, 4)
+	var recvTimes []int64
+	_, err := Run(c, func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 4; i++ {
+				p.Recv()
+				recvTimes = append(recvTimes, p.Now())
+			}
+			return
+		}
+		p.Send(0, 0, p.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recvTimes) != 4 {
+		t.Fatalf("received %d messages, want 4", len(recvTimes))
+	}
+	for i := 1; i < len(recvTimes); i++ {
+		if d := recvTimes[i] - recvTimes[i-1]; d < 4 {
+			t.Errorf("receptions %d cycles apart, want >= g=4", d)
+		}
+	}
+	// First reception completes at 2o+L=10; the rest every g: 14, 18, 22.
+	want := []int64{10, 14, 18, 22}
+	for i := range want {
+		if recvTimes[i] != want[i] {
+			t.Errorf("reception %d done at %d, want %d", i, recvTimes[i], want[i])
+		}
+	}
+}
+
+func TestSingleSenderNeverStalls(t *testing.T) {
+	// A single sender cannot exceed the capacity on its own: the gap already
+	// limits its injection rate to 1/g, and ceil(L/g) >= L/g messages fit in
+	// flight at that rate. The constraint binds only on fan-in.
+	c := cfg(2, 10, 0, 1)
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 30; i++ {
+				p.Send(1, 0, i)
+			}
+		case 1:
+			for i := 0; i < 30; i++ {
+				p.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInTransitTo > 10 || res.MaxInTransitFrom > 10 {
+		t.Errorf("in transit (from=%d,to=%d) exceeds capacity 10", res.MaxInTransitFrom, res.MaxInTransitTo)
+	}
+	if res.TotalStall() != 0 {
+		t.Errorf("single sender stalled %d cycles", res.TotalStall())
+	}
+}
+
+func TestCapacityConstraintStallsOnFanIn(t *testing.T) {
+	// Three senders flooding one destination inject at combined rate 3/g,
+	// far beyond what ceil(L/g) in-flight slots sustain: senders must stall
+	// and the in-transit count stays within capacity. This is the model
+	// "discouraging communication patterns in which no processor is flooded
+	// with incoming messages" (Section 3.2).
+	flood := func(disable bool) Result {
+		c := cfg(4, 10, 0, 1)
+		c.DisableCapacity = disable
+		res, err := Run(c, func(p *Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < 30; i++ {
+					p.Recv()
+				}
+				return
+			}
+			for i := 0; i < 10; i++ {
+				p.Send(0, 0, i)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := flood(false)
+	if res.MaxInTransitTo > 10 {
+		t.Errorf("max in transit to = %d, exceeds capacity 10", res.MaxInTransitTo)
+	}
+	if res.TotalStall() == 0 {
+		t.Error("fan-in past capacity produced no stalls")
+	}
+	// Ablation: without the constraint there are no stalls and the
+	// destination is flooded far beyond capacity.
+	res2 := flood(true)
+	if res2.TotalStall() != 0 {
+		t.Errorf("capacity disabled but stalled %d cycles", res2.TotalStall())
+	}
+}
+
+func TestRemoteReadCost(t *testing.T) {
+	// Section 3.2: reading a remote location requires 2L+4o — a request
+	// message and a reply.
+	c := cfg(2, 6, 2, 4)
+	var done int64
+	_, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 0, "read x")
+			p.Recv()
+			done = p.Now()
+		case 1:
+			p.Recv()
+			p.Send(0, 0, 42)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Params.RemoteRead()
+	if done != want {
+		t.Errorf("remote read took %d, want 2L+4o=%d", done, want)
+	}
+}
+
+func TestComputeAdvancesOnlyLocalClock(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	res, err := Run(c, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[0].Compute != 100 || res.Procs[0].Finish != 100 {
+		t.Errorf("proc0 compute=%d finish=%d, want 100/100", res.Procs[0].Compute, res.Procs[0].Finish)
+	}
+	if res.Procs[1].Finish != 0 {
+		t.Errorf("proc1 finish=%d, want 0 (asynchronous processors)", res.Procs[1].Finish)
+	}
+	if res.Time != 100 {
+		t.Errorf("run time %d, want 100", res.Time)
+	}
+}
+
+func TestLatencyJitterBoundsAndReordering(t *testing.T) {
+	// With jitter, latency stays within [L-jitter, L] and messages can
+	// arrive out of order; the model only bounds latency above.
+	c := cfg(2, 100, 1, 2)
+	c.LatencyJitter = 90
+	c.Seed = 7
+	reordered := false
+	var arrivals []int64
+	_, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 50; i++ {
+				p.Send(1, i, i)
+			}
+		case 1:
+			prev := -1
+			for i := 0; i < 50; i++ {
+				m := p.Recv()
+				arrivals = append(arrivals, m.ArrivedAt-m.SentAt)
+				if m.Tag < prev {
+					reordered = true
+				} else {
+					prev = m.Tag
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range arrivals {
+		lat := d - 1 // minus send overhead o=1
+		if lat < 10 || lat > 100 {
+			t.Errorf("latency %d outside [10,100]", lat)
+		}
+	}
+	if !reordered {
+		t.Error("no reordering observed with 90%% jitter over 50 messages")
+	}
+}
+
+func TestBarrierHardware(t *testing.T) {
+	c := cfg(4, 6, 2, 4)
+	c.BarrierCost = 3
+	var releases []int64
+	_, err := Run(c, func(p *Proc) {
+		p.Compute(int64(10 * (p.ID() + 1)))
+		p.Barrier()
+		releases = append(releases, p.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range releases {
+		if r != 43 { // last arrival 40 + cost 3
+			t.Errorf("released at %d, want 43", r)
+		}
+	}
+}
+
+func TestRecvTagSkipsOtherTags(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	_, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 1, "first")
+			p.Send(1, 2, "wanted")
+		case 1:
+			m := p.RecvTag(2)
+			if m.Data != "wanted" {
+				t.Errorf("RecvTag(2) returned %v", m.Data)
+			}
+			m = p.Recv()
+			if m.Data != "first" {
+				t.Errorf("leftover message %v, want first", m.Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	_, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			if _, ok := p.TryRecv(); ok {
+				t.Error("TryRecv returned a message on an empty inbox")
+			}
+			p.Send(1, 0, "x")
+		case 1:
+			p.Wait(20)
+			if !p.HasMessage() || p.Pending() != 1 {
+				t.Error("message not pending after 20 cycles")
+			}
+			if _, ok := p.TryRecv(); !ok {
+				t.Error("TryRecv failed with pending message")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("self-send did not panic")
+		}
+	}()
+	// Run executes bodies on kernel goroutines; panic propagates through the
+	// kernel's event loop into Run's caller goroutine... it does not, so
+	// test the panic directly on a handcrafted machine below instead.
+	m, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	panicInBody(t, c)
+}
+
+// panicInBody drives a machine whose body self-sends and re-panics the
+// failure on the test goroutine.
+func panicInBody(t *testing.T, c Config) {
+	t.Helper()
+	var caught any
+	_, err := Run(c, func(p *Proc) {
+		if p.ID() == 0 {
+			defer func() { caught = recover() }()
+			p.Send(0, 0, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught == nil {
+		t.Error("self-send did not panic inside body")
+	}
+	panic(caught) // satisfy the outer recover check
+}
+
+func TestDeterminism(t *testing.T) {
+	c := cfg(8, 20, 2, 3)
+	c.LatencyJitter = 10
+	c.ComputeJitter = 0.2
+	c.Seed = 99
+	run := func() Result {
+		res, err := Run(c, func(p *Proc) {
+			if p.ID() == 0 {
+				sum := 0
+				for i := 1; i < p.P(); i++ {
+					m := p.Recv()
+					sum += m.Data.(int)
+					p.Compute(3)
+				}
+				return
+			}
+			p.Compute(int64(p.ID()))
+			p.Send(0, 0, p.ID())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Time != b.Time || a.Messages != b.Messages {
+		t.Errorf("nondeterministic: %v vs %v", a.Time, b.Time)
+	}
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			t.Errorf("proc %d stats differ between identical runs", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Compute(5)
+			p.Send(1, 0, nil)
+		case 1:
+			p.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := res.Procs[0], res.Procs[1]
+	if s0.Compute != 5 || s0.SendOverhead != 2 || s0.MsgsSent != 1 {
+		t.Errorf("proc0 stats %+v", s0)
+	}
+	if s1.RecvOverhead != 2 || s1.MsgsReceived != 1 {
+		t.Errorf("proc1 stats %+v", s1)
+	}
+	// proc1: idle until arrival at 5+2+6=13, then 2 cycles receiving = 15.
+	if s1.Finish != 15 {
+		t.Errorf("proc1 finish %d, want 15", s1.Finish)
+	}
+	if got := s1.Idle(res.Time); got != 13 {
+		t.Errorf("proc1 idle %d, want 13", got)
+	}
+}
+
+func TestCapacityInvariantProperty(t *testing.T) {
+	// Random traffic never exceeds the capacity bound.
+	f := func(seed int64, ll, gg uint8) bool {
+		l := int64(ll%20) + 1
+		g := int64(gg%5) + 1
+		c := cfg(4, l, 1, g)
+		c.Seed = seed
+		c.LatencyJitter = l / 2
+		res, err := Run(c, func(p *Proc) {
+			r := int(seed&3) + 1
+			for i := 0; i < 10; i++ {
+				dst := (p.ID() + r) % p.P()
+				if dst == p.ID() {
+					dst = (dst + 1) % p.P()
+				}
+				p.Send(dst, 0, i)
+			}
+			for i := 0; i < 10; i++ {
+				p.Recv()
+			}
+		})
+		if err != nil {
+			return false
+		}
+		capUnits := c.Params.Capacity()
+		return res.MaxInTransitFrom <= capUnits && res.MaxInTransitTo <= capUnits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	c.CollectTrace = true
+	res, err := Run(c, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Compute(3)
+			p.Send(1, 0, nil)
+		case 1:
+			p.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace collected")
+	}
+	if err := res.Trace.Validate(2); err != nil {
+		t.Error(err)
+	}
+	if got := res.Trace.Busy(0, 0 /* compute */); got != 3 {
+		t.Errorf("trace compute busy %d, want 3", got)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := New(Config{Params: core.Params{P: 0, L: 1, O: 1, G: 1}}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	bad := cfg(2, 6, 2, 4)
+	bad.LatencyJitter = 7
+	if _, err := New(bad); err == nil {
+		t.Error("jitter > L accepted")
+	}
+	bad = cfg(2, 6, 2, 4)
+	bad.ComputeJitter = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative compute jitter accepted")
+	}
+}
+
+func TestMachineRunsOnce(t *testing.T) {
+	m, err := New(cfg(2, 6, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(func(p *Proc) {}); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	res, err := Run(c, func(p *Proc) { p.Compute(50) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf := res.BusyFraction(); bf != 1.0 {
+		t.Errorf("busy fraction %v, want 1.0", bf)
+	}
+}

@@ -1,0 +1,287 @@
+package logp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/logp-model/logp/internal/sim"
+	"github.com/logp-model/logp/internal/trace"
+)
+
+// Message is a small message in the sense of the model: a word or small
+// number of words. Data carries the payload; algorithms that move bulk data
+// send one message per word-sized unit (Section 5.4: long messages are not
+// given special treatment in the basic model).
+type Message struct {
+	From, To  int
+	Tag       int
+	Data      any
+	Size      int   // words in the message: 1 for Send, k for SendBulk
+	SentAt    int64 // initiation time at the sender
+	ArrivedAt int64 // arrival time at the destination module
+}
+
+// Proc is one of the P processor/memory modules. All methods must be called
+// from the processor's own body function. Methods advance this processor's
+// simulated clock according to the model's cost rules.
+type Proc struct {
+	id    int
+	m     *Machine
+	ps    *sim.Process
+	stats ProcStats
+
+	nextSend int64 // earliest next send initiation (gap/overhead spacing)
+	nextRecv int64 // earliest next reception start
+
+	inbox    []Message
+	inboxSig sim.Signal
+}
+
+// ID is the processor number in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the machine's processor count.
+func (p *Proc) P() int { return p.m.cfg.P }
+
+// Now is this processor's current local time in cycles.
+func (p *Proc) Now() int64 { return int64(p.ps.Now()) }
+
+// Rand returns the machine's deterministic random source. It must only be
+// used from processor bodies (the kernel runs one process at a time, so
+// access is race-free and the draw order is reproducible).
+func (p *Proc) Rand() *rand.Rand { return p.m.kernel.Rand() }
+
+// Stats returns a snapshot of the processor's activity counters.
+func (p *Proc) Stats() ProcStats { s := p.stats; s.Proc = p.id; s.Finish = p.Now(); return s }
+
+func (p *Proc) record(kind trace.Kind, start, end int64) {
+	if p.m.tr != nil {
+		p.m.tr.Add(p.id, kind, start, end)
+	}
+}
+
+// Compute performs cycles of local work (the model charges unit time per
+// local operation). With Config.ComputeJitter the actual duration stretches
+// by a random factor, modeling local timing noise.
+func (p *Proc) Compute(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("logp: negative compute %d", cycles))
+	}
+	if cycles == 0 {
+		return
+	}
+	if p.m.skew != nil {
+		cycles = int64(float64(cycles) * p.m.skew[p.id])
+	}
+	if j := p.m.cfg.ComputeJitter; j > 0 {
+		cycles += int64(float64(cycles) * j * p.m.kernel.Rand().Float64())
+	}
+	start := p.Now()
+	p.ps.Wait(sim.Time(cycles))
+	p.stats.Compute += p.Now() - start
+	p.record(trace.Compute, start, p.Now())
+}
+
+// idleUntil waits until absolute time t, recording the wait as idle.
+func (p *Proc) idleUntil(t int64) {
+	if t <= p.Now() {
+		return
+	}
+	start := p.Now()
+	p.ps.WaitUntil(sim.Time(t))
+	p.record(trace.Idle, start, p.Now())
+}
+
+// Send transmits one small message to processor to. Model costs:
+//
+//   - the initiation respects the gap: consecutive initiations at this
+//     processor are at least max(g, o) apart;
+//   - the capacity constraint: if ceil(L/g) messages are already in transit
+//     from this processor or to the destination, the processor stalls;
+//   - the processor is then busy for o cycles; the message enters the
+//     network and arrives at the destination module L cycles later (or
+//     up to LatencyJitter earlier).
+//
+// Send to self is a programming error and panics: the model has no loopback
+// network path.
+func (p *Proc) Send(to, tag int, data any) {
+	if to == p.id {
+		panic(fmt.Sprintf("logp: proc %d sending to itself", p.id))
+	}
+	if to < 0 || to >= p.m.cfg.P {
+		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
+	}
+	cfg := &p.m.cfg
+	p.idleUntil(p.nextSend)
+	initiation := p.Now()
+	p.ps.Wait(sim.Time(cfg.O)) // send overhead: the processor engages the interface
+	p.stats.SendOverhead += cfg.O
+	p.stats.MsgsSent++
+	p.record(trace.SendOverhead, initiation, p.Now())
+
+	// Capacity: a message is "in transit" during its L-cycle flight, from
+	// injection to arrival at the destination module. If injecting now would
+	// exceed ceil(L/g) in transit from this processor or to the destination,
+	// the processor stalls until it can send (Section 3). A lone sender
+	// never self-stalls: its injections are already spaced g apart.
+	if p.m.outCap != nil {
+		start := p.Now()
+		p.m.outCap[p.id].Acquire(p.ps)
+		p.m.inCap[to].Acquire(p.ps)
+		if d := p.Now() - start; d > 0 {
+			p.stats.Stall += d
+			p.record(trace.Stall, start, p.Now())
+		}
+	}
+	p.m.inTransitFrom[p.id]++
+	p.m.inTransitTo[to]++
+	if u := p.m.inTransitFrom[p.id]; u > p.m.maxOut {
+		p.m.maxOut = u
+	}
+	if u := p.m.inTransitTo[to]; u > p.m.maxIn {
+		p.m.maxIn = u
+	}
+	injection := p.Now()
+	// Consecutive injections at one processor are at least g apart even if a
+	// stall delayed this one.
+	p.nextSend = initiation + cfg.SendInterval()
+	if t := injection + cfg.G - cfg.O; t > p.nextSend {
+		p.nextSend = t
+	}
+
+	lat := cfg.L
+	if cfg.LatencyJitter > 0 {
+		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
+	}
+	msg := Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation}
+	dst := p.m.procs[to]
+	p.m.kernel.After(sim.Time(lat), func() {
+		msg.ArrivedAt = int64(p.m.kernel.Now())
+		dst.inbox = append(dst.inbox, msg)
+		if !p.m.cfg.HoldCapacityUntilReceive {
+			p.m.settle(msg)
+		}
+		dst.inboxSig.Notify()
+	})
+}
+
+// HasMessage reports whether a message has arrived and is waiting, at no
+// cost: it models the processor glancing at its network interface.
+func (p *Proc) HasMessage() bool { return len(p.inbox) > 0 }
+
+// Pending reports the number of arrived, unreceived messages.
+func (p *Proc) Pending() int { return len(p.inbox) }
+
+// RecvReady reports whether a Recv would proceed immediately: a message has
+// arrived and the reception gap has elapsed. Polling loops that interleave
+// receives with other work should gate on this rather than HasMessage, or
+// the Recv blocks waiting out the gap and delays the other work.
+func (p *Proc) RecvReady() bool {
+	return len(p.inbox) > 0 && p.Now() >= p.nextRecv
+}
+
+// HasTag reports whether a message with the given tag has arrived and is
+// waiting, at no cost.
+func (p *Proc) HasTag(tag int) bool {
+	for _, m := range p.inbox {
+		if m.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Recv receives the earliest-arrived message, blocking until one is
+// available. Model costs: reception start respects the gap (consecutive
+// receptions at least max(g, o) apart) and the processor is busy for o
+// cycles. The wait for arrival is idle time.
+func (p *Proc) Recv() Message {
+	for len(p.inbox) == 0 {
+		start := p.Now()
+		p.inboxSig.Wait(p.ps)
+		p.record(trace.Idle, start, p.Now())
+	}
+	p.idleUntil(p.nextRecv)
+	msg := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	start := p.Now()
+	cost := p.recvCost(msg)
+	p.ps.Wait(sim.Time(cost)) // receive overhead (per word without a coprocessor)
+	p.stats.RecvOverhead += cost
+	p.stats.MsgsReceived++
+	p.record(trace.RecvOverhead, start, p.Now())
+	p.nextRecv = start + p.m.cfg.SendInterval()
+	if t := start + cost; t > p.nextRecv {
+		p.nextRecv = t
+	}
+	if p.m.cfg.HoldCapacityUntilReceive {
+		p.m.settle(msg)
+	}
+	return msg
+}
+
+// TryRecv receives a message if one has arrived, without blocking for
+// arrival (it still pays the gap and overhead when a message is taken).
+func (p *Proc) TryRecv() (Message, bool) {
+	if len(p.inbox) == 0 {
+		return Message{}, false
+	}
+	return p.Recv(), true
+}
+
+// RecvTag receives the earliest message with the given tag, blocking until
+// one arrives. Messages with other tags stay queued in arrival order. Each
+// inspection that lands on a matching message costs one reception (o).
+func (p *Proc) RecvTag(tag int) Message {
+	for {
+		for i, m := range p.inbox {
+			if m.Tag == tag {
+				p.idleUntil(p.nextRecv)
+				p.inbox = append(p.inbox[:i:i], p.inbox[i+1:]...)
+				start := p.Now()
+				cost := p.recvCost(m)
+				p.ps.Wait(sim.Time(cost))
+				p.stats.RecvOverhead += cost
+				p.stats.MsgsReceived++
+				p.record(trace.RecvOverhead, start, p.Now())
+				p.nextRecv = start + p.m.cfg.SendInterval()
+				if t := start + cost; t > p.nextRecv {
+					p.nextRecv = t
+				}
+				if p.m.cfg.HoldCapacityUntilReceive {
+					p.m.settle(m)
+				}
+				return m
+			}
+		}
+		start := p.Now()
+		p.inboxSig.Wait(p.ps)
+		p.record(trace.Idle, start, p.Now())
+	}
+}
+
+// Barrier blocks until all P processors have arrived, then releases everyone
+// Config.BarrierCost cycles after the last arrival. This models the special
+// synchronization hardware of Section 5.5 (the CM-5 control network); the
+// message-based alternative is collective.Barrier.
+func (p *Proc) Barrier() {
+	start := p.Now()
+	p.m.barrier.Await(p.ps)
+	if c := p.m.cfg.BarrierCost; c > 0 {
+		p.ps.Wait(sim.Time(c))
+	}
+	p.record(trace.Idle, start, p.Now())
+}
+
+// Wait idles for the given number of cycles without counting as computation.
+func (p *Proc) Wait(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	start := p.Now()
+	p.ps.Wait(sim.Time(cycles))
+	p.record(trace.Idle, start, p.Now())
+}
+
+// WaitUntil idles until the given absolute time (no-op if already past).
+func (p *Proc) WaitUntil(t int64) { p.idleUntil(t) }

@@ -1,0 +1,113 @@
+// Package machine is the machine database of Sections 2 and 5: the Table 1
+// network timing parameters of five 1992-era multiprocessors (plus the
+// Active Message variants), the unloaded message time model
+// T(M,H) = Tsnd + ceil(M/w) + H*r + Trcv, the derivation of LogP parameters
+// from hardware numbers, and the Figure 2 SPEC performance series.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+// Spec is one row of Table 1: network timing parameters for a one-way
+// message without contention. Times are in network cycles of the given
+// cycle time.
+type Spec struct {
+	Name     string
+	Network  string
+	CycleNs  float64 // network cycle time in nanoseconds
+	WidthW   int     // channel width w in bits
+	Overhead int     // Tsnd + Trcv in cycles
+	RouterR  int     // per-hop delay r in cycles
+	AvgHops  float64 // average H at 1024 processors
+	// TM160 is the paper's reported total time T(M=160) at 1024
+	// processors, in cycles.
+	TM160 int
+	// BisectionMBs is the per-processor bisection bandwidth in MB/s where
+	// the paper reports one (CM-5: 5 MB/s), else 0.
+	BisectionMBs float64
+}
+
+// UnloadedTime evaluates the Section 5.2 model for an M-bit message over H
+// hops: T = (Tsnd + Trcv) + ceil(M/w) + H*r.
+func (s Spec) UnloadedTime(mBits int, hops float64) float64 {
+	return float64(s.Overhead) + math.Ceil(float64(mBits)/float64(s.WidthW)) + hops*float64(s.RouterR)
+}
+
+// Table1 returns the rows of Table 1 exactly as published (overheads for
+// the vendor communication layers, and the Active Message variants that
+// expose the raw hardware).
+func Table1() []Spec {
+	return []Spec{
+		{Name: "nCUBE/2", Network: "hypercube", CycleNs: 25, WidthW: 1, Overhead: 6400, RouterR: 40, AvgHops: 5, TM160: 6760},
+		{Name: "CM-5", Network: "fat-tree", CycleNs: 25, WidthW: 4, Overhead: 3600, RouterR: 8, AvgHops: 9.3, TM160: 3714, BisectionMBs: 5},
+		{Name: "Dash", Network: "torus", CycleNs: 30, WidthW: 16, Overhead: 30, RouterR: 2, AvgHops: 6.8, TM160: 53},
+		{Name: "J-Machine", Network: "3d-mesh", CycleNs: 31, WidthW: 8, Overhead: 16, RouterR: 2, AvgHops: 12.1, TM160: 60},
+		{Name: "Monsoon", Network: "butterfly", CycleNs: 20, WidthW: 16, Overhead: 10, RouterR: 2, AvgHops: 5, TM160: 30},
+		{Name: "nCUBE/2 (AM)", Network: "hypercube", CycleNs: 25, WidthW: 1, Overhead: 1000, RouterR: 40, AvgHops: 5, TM160: 1360},
+		{Name: "CM-5 (AM)", Network: "fat-tree", CycleNs: 25, WidthW: 4, Overhead: 132, RouterR: 8, AvgHops: 9.3, TM160: 246, BisectionMBs: 5},
+	}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("machine: unknown machine %q", name)
+}
+
+// DeriveLogP converts hardware numbers into LogP parameters following
+// Section 5.2: o = (Tsnd+Trcv)/2, L = H*r + ceil(M/w) for the fixed message
+// size in use, and g = M / (per-processor bisection bandwidth). Times are in
+// network cycles; mBits is the message size (the paper uses 160 bits:
+// 16 bytes of data plus 4 of address).
+func DeriveLogP(s Spec, p int, mBits int, maxHops float64) core.Params {
+	o := int64(s.Overhead / 2)
+	l := int64(math.Ceil(maxHops*float64(s.RouterR) + math.Ceil(float64(mBits)/float64(s.WidthW))))
+	var g int64
+	if s.BisectionMBs > 0 {
+		bytesPerMsg := float64(mBits) / 8
+		secs := bytesPerMsg / (s.BisectionMBs * 1e6)
+		g = int64(math.Round(secs * 1e9 / s.CycleNs))
+	} else {
+		g = o
+		if g < 1 {
+			g = 1
+		}
+	}
+	if g < 1 {
+		g = 1
+	}
+	return core.Params{P: p, L: l, O: o, G: g}
+}
+
+// SpecPoint is one microprocessor of Figure 2 (performance relative to the
+// VAX-11/780).
+type SpecPoint struct {
+	Year    float64
+	Name    string
+	Integer float64
+	FP      float64
+}
+
+// Figure2 returns the SPEC trend data behind Figure 2: state-of-the-art
+// microprocessor performance 1987-1992, consistent with the paper's fitted
+// growth rates of about 54%/year (integer) and 97%/year (floating point).
+// Individual values are reconstructed from the fitted trend lines (the
+// figure prints the curve, not a table).
+func Figure2() []SpecPoint {
+	return []SpecPoint{
+		{1987, "Sun 4/260", 9, 6},
+		{1988, "MIPS M/120", 13, 11},
+		{1989, "MIPS M2000", 18, 21},
+		{1990, "IBM RS6000/540", 30, 48},
+		{1991, "HP 9000/750", 48, 86},
+		{1992, "DEC alpha", 75, 165},
+	}
+}

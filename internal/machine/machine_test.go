@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/logp-model/logp/internal/stats"
+)
+
+// TestTable1Reproduced recomputes the T(M=160) column of Table 1 from the
+// primary columns with the Section 5.2 model and checks it against the
+// published values.
+func TestTable1Reproduced(t *testing.T) {
+	for _, s := range Table1() {
+		got := s.UnloadedTime(160, s.AvgHops)
+		want := float64(s.TM160)
+		// The paper's column is the same formula; allow a couple of
+		// cycles of rounding (the CM-5 row rounds H*r).
+		if math.Abs(got-want) > 2 {
+			t.Errorf("%s: T(160) = %.1f, want %.0f", s.Name, got, want)
+		}
+	}
+}
+
+// TestOverheadDominates: the Section 5.2 observation that "message
+// communication time through a lightly loaded network is dominated by the
+// send and receive overheads" for the commercial machines.
+func TestOverheadDominates(t *testing.T) {
+	for _, name := range []string{"nCUBE/2", "CM-5"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		network := s.UnloadedTime(160, s.AvgHops) - float64(s.Overhead)
+		if float64(s.Overhead) < 5*network {
+			t.Errorf("%s: overhead %d not dominant over network %f", name, s.Overhead, network)
+		}
+	}
+}
+
+// TestTopologySpreadIsSmall: Section 5.1 — "for configurations of practical
+// interest the difference between topologies is a factor of two, except for
+// very primitive networks". Hop-count contribution H*r varies far less than
+// the overheads do across machines.
+func TestTopologySpreadIsSmall(t *testing.T) {
+	var minHr, maxHr = math.Inf(1), math.Inf(-1)
+	for _, s := range Table1() {
+		hr := s.AvgHops * float64(s.RouterR)
+		if hr < minHr {
+			minHr = hr
+		}
+		if hr > maxHr {
+			maxHr = hr
+		}
+	}
+	if maxHr/minHr > 20 {
+		t.Errorf("H*r spread %.1f..%.1f implausible", minHr, maxHr)
+	}
+	// Overheads span more than two orders of magnitude.
+	if 6400/10 < 100 {
+		t.Error("unreachable")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("CM-5 (AM)"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("iPSC"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+// TestDeriveLogPForCM5: deriving LogP parameters for the CM-5 Active
+// Message layer lands near the Section 4.1.4 calibration (o = 66 ticks,
+// L = 200 ticks, g = 132 ticks at 33 MHz; Table 1 cycles are 25 ns so
+// values here are in 40 MHz cycles — compare microseconds).
+func TestDeriveLogPForCM5(t *testing.T) {
+	s, err := ByName("CM-5 (AM)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DeriveLogP(s, 128, 160, s.AvgHops)
+	usOf := func(cycles int64) float64 { return float64(cycles) * s.CycleNs / 1000 }
+	if o := usOf(p.O); o < 1.2 || o > 2.5 {
+		t.Errorf("derived o = %.2f us, want about 2", o)
+	}
+	if l := usOf(p.L); l < 2 || l > 7 {
+		t.Errorf("derived L = %.2f us, want a few microseconds", l)
+	}
+	if g := usOf(p.G); g < 3 || g > 5 {
+		t.Errorf("derived g = %.2f us, want about 4 (16B+4B at 5 MB/s)", g)
+	}
+	if p.Validate() != nil {
+		t.Errorf("derived params invalid: %v", p)
+	}
+}
+
+func TestDeriveLogPWithoutBisection(t *testing.T) {
+	s, err := ByName("J-Machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DeriveLogP(s, 1024, 160, s.AvgHops)
+	if p.G < 1 || p.Validate() != nil {
+		t.Errorf("derived params invalid: %v", p)
+	}
+}
+
+// TestFigure2GrowthRates: the fitted exponential growth of the Figure 2
+// series matches the paper's "floating point SPEC benchmarks improved at
+// about 97% per year since 1987, and integer SPEC benchmarks improved at
+// about 54% per year".
+func TestFigure2GrowthRates(t *testing.T) {
+	pts := Figure2()
+	years := make([]float64, len(pts))
+	ints := make([]float64, len(pts))
+	fps := make([]float64, len(pts))
+	for i, p := range pts {
+		years[i] = p.Year
+		ints[i] = p.Integer
+		fps[i] = p.FP
+	}
+	ri, err := stats.GrowthRate(years, ints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := stats.GrowthRate(years, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.45 || ri > 0.62 {
+		t.Errorf("integer growth %.0f%%/yr, want about 54%%", ri*100)
+	}
+	if rf < 0.85 || rf > 1.10 {
+		t.Errorf("FP growth %.0f%%/yr, want about 97%%", rf*100)
+	}
+}

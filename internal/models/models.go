@@ -1,0 +1,172 @@
+// Package models implements the competing cost models surveyed in Section 6
+// — the PRAM, Valiant's BSP, and the postal model — so that predicted costs
+// of the paper's kernel operations (broadcast, summation) can be compared
+// across models on the same machine parameters. The divergence between the
+// PRAM's free communication, BSP's superstep charges and LogP's
+// fine-grained schedule is the paper's core argument for the model.
+package models
+
+import (
+	"math"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+// Model predicts costs of kernel operations from LogP machine parameters.
+// Each model interprets the parameters per its own assumptions; the PRAM
+// ignores them entirely.
+type Model interface {
+	Name() string
+	// Broadcast is the predicted time to deliver one word from one
+	// processor to the other P-1.
+	Broadcast(p core.Params) int64
+	// Sum is the predicted time to add n values spread over P processors.
+	Sum(p core.Params, n int64) int64
+}
+
+// PRAM is the classic model: synchronous processors, free communication
+// (g = 0, L = 0, o = 0). Broadcast through shared memory is one step;
+// summation is a balanced binary tree of unit-time additions after local
+// chains.
+type PRAM struct{}
+
+// Name implements Model.
+func (PRAM) Name() string { return "PRAM" }
+
+// Broadcast implements Model: a single shared-memory write plus reads,
+// charged one unit step.
+func (PRAM) Broadcast(p core.Params) int64 {
+	if p.P <= 1 {
+		return 0
+	}
+	return 1
+}
+
+// Sum implements Model: local chains then a log-depth combining tree of
+// unit-time steps.
+func (PRAM) Sum(p core.Params, n int64) int64 {
+	per := (n + int64(p.P) - 1) / int64(p.P)
+	t := per - 1
+	if t < 0 {
+		t = 0
+	}
+	return t + log2ceil(p.P)
+}
+
+// BSP is Valiant's bulk-synchronous model: supersteps of local work w, an
+// h-relation charged g*h, and a synchronization cost l per superstep. We
+// map LogP parameters as gBSP = max(g, o) — BSP's gap must absorb the
+// per-message processor overhead, since the model has no separate o — and
+// l = L + 2o (the minimum full message time, standing in for the barrier
+// latency).
+type BSP struct{}
+
+// Name implements Model.
+func (BSP) Name() string { return "BSP" }
+
+func bspL(p core.Params) int64 { return p.L + 2*p.O }
+
+// Broadcast implements Model: the better of a single superstep in which the
+// root sends P-1 messages (h = P-1) and log2 P supersteps of 1-relations
+// (the two canonical BSP broadcast strategies).
+func (BSP) Broadcast(p core.Params) int64 {
+	if p.P <= 1 {
+		return 0
+	}
+	l := bspL(p)
+	g := p.SendInterval()
+	oneShot := g*int64(p.P-1) + l
+	tree := log2ceil(p.P) * (g + l)
+	if oneShot < tree {
+		return oneShot
+	}
+	return tree
+}
+
+// Sum implements Model: a local-chain superstep followed by log2 P
+// combining supersteps, each a 1-relation plus one addition.
+func (BSP) Sum(p core.Params, n int64) int64 {
+	per := (n + int64(p.P) - 1) / int64(p.P)
+	t := per - 1
+	if t < 0 {
+		t = 0
+	}
+	return t + log2ceil(p.P)*(p.SendInterval()+bspL(p)+1)
+}
+
+// Postal is the postal model of Bar-Noy and Kipnis [4]: a sender is busy
+// for one unit, and the message arrives lambda units after submission
+// (lambda = L + 2o in LogP terms, normalized by the send interval). The
+// paper notes the optimal LogP broadcast "with o = 0 and g = 1 appears in
+// [4]".
+type Postal struct{}
+
+// Name implements Model.
+func (Postal) Name() string { return "Postal" }
+
+// Broadcast implements Model: greedy optimal postal broadcast — identical
+// machinery to the LogP optimal tree with o = 0 and g = 1 scaled to the
+// send interval.
+func (Postal) Broadcast(p core.Params) int64 {
+	if p.P <= 1 {
+		return 0
+	}
+	// Number informed by time t obeys N(t) = N(t-1) + N(t-lambda); compute
+	// the earliest t with N >= P, in units of the send interval.
+	interval := p.SendInterval()
+	if interval == 0 {
+		interval = 1
+	}
+	lambda := (p.PointToPoint() + interval - 1) / interval
+	if lambda < 1 {
+		lambda = 1
+	}
+	informed := []int64{1} // N(0)
+	t := int64(0)
+	for informed[t] < int64(p.P) {
+		t++
+		prev := informed[t-1]
+		var arrived int64
+		if t >= lambda {
+			arrived = informed[t-lambda] // everyone informed by t-lambda sent one more
+		}
+		informed = append(informed, prev+arrived)
+		if t > 1<<30 {
+			break
+		}
+	}
+	return t * interval
+}
+
+// Sum implements Model: postal reverse-broadcast with one addition per
+// combine, approximated by the broadcast time plus the local chains.
+func (m Postal) Sum(p core.Params, n int64) int64 {
+	per := (n + int64(p.P) - 1) / int64(p.P)
+	t := per - 1
+	if t < 0 {
+		t = 0
+	}
+	return t + m.Broadcast(p)
+}
+
+// LogP wraps the exact schedules of internal/core as a Model.
+type LogP struct{}
+
+// Name implements Model.
+func (LogP) Name() string { return "LogP" }
+
+// Broadcast implements Model using the optimal broadcast tree.
+func (LogP) Broadcast(p core.Params) int64 { return core.BroadcastTime(p) }
+
+// Sum implements Model using the optimal summation schedule.
+func (LogP) Sum(p core.Params, n int64) int64 { return core.MinSumTime(p, n) }
+
+// All returns the four models in presentation order.
+func All() []Model { return []Model{PRAM{}, Postal{}, BSP{}, LogP{}} }
+
+func log2ceil(p int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	return int64(math.Ceil(math.Log2(float64(p))))
+}

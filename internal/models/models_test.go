@@ -1,0 +1,97 @@
+package models
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+var cm5ish = core.Params{P: 128, L: 200, O: 66, G: 132}
+
+func TestModelOrderingOnRealParameters(t *testing.T) {
+	// On realistic parameters: the PRAM wildly underestimates broadcast
+	// (free communication); LogP's schedule is no slower than the BSP
+	// superstep strategies (it is the same machine charged more precisely).
+	pram := PRAM{}.Broadcast(cm5ish)
+	logp := LogP{}.Broadcast(cm5ish)
+	bsp := BSP{}.Broadcast(cm5ish)
+	if pram >= logp/100 {
+		t.Errorf("PRAM broadcast %d not << LogP %d", pram, logp)
+	}
+	if logp > bsp {
+		t.Errorf("LogP broadcast %d exceeds BSP %d", logp, bsp)
+	}
+}
+
+func TestPostalMatchesLogPWhenOverheadFree(t *testing.T) {
+	// With o = 0 and g = 1 the optimal LogP broadcast IS the postal
+	// broadcast (the paper's footnote on [4]).
+	for _, pp := range []int{2, 4, 8, 32, 100} {
+		p := core.Params{P: pp, L: 7, O: 0, G: 1}
+		postal := Postal{}.Broadcast(p)
+		logp := LogP{}.Broadcast(p)
+		if postal != logp {
+			t.Errorf("P=%d: postal %d != logp %d", pp, postal, logp)
+		}
+	}
+}
+
+func TestDegenerateSingleProcessor(t *testing.T) {
+	p := core.Params{P: 1, L: 10, O: 2, G: 3}
+	for _, m := range All() {
+		if got := m.Broadcast(p); got != 0 {
+			t.Errorf("%s: P=1 broadcast %d", m.Name(), got)
+		}
+		if got := m.Sum(p, 10); got != 9 {
+			t.Errorf("%s: P=1 sum of 10 = %d, want 9", m.Name(), got)
+		}
+	}
+}
+
+func TestSumMonotoneInN(t *testing.T) {
+	f := func(nn uint16) bool {
+		n := int64(nn%5000) + 1
+		for _, m := range All() {
+			if m.Sum(cm5ish, n+int64(cm5ish.P)) < m.Sum(cm5ish, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogPNeverBeatenByHonestSchedules(t *testing.T) {
+	// Any model that charges at least the LogP costs cannot beat the
+	// optimal LogP schedule; BSP and Postal should be >= LogP for
+	// broadcast across a parameter sweep.
+	f := func(pp, ll, oo, gg uint8) bool {
+		p := core.Params{
+			P: int(pp%64) + 2,
+			L: int64(ll % 50),
+			O: int64(oo % 16),
+			G: int64(gg%16) + 1,
+		}
+		logp := LogP{}.Broadcast(p)
+		return BSP{}.Broadcast(p) >= logp && Postal{}.Broadcast(p) >= logp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All() {
+		if seen[m.Name()] {
+			t.Errorf("duplicate model name %s", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("%d models, want 4", len(seen))
+	}
+}

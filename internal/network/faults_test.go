@@ -1,0 +1,124 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFailLinkRemovesEdge(t *testing.T) {
+	h := Hypercube(4)
+	if !h.FailLink(0, 1) {
+		t.Fatal("edge 0-1 not found")
+	}
+	if h.FailLink(0, 1) {
+		t.Fatal("edge removed twice")
+	}
+	for _, n := range h.Adj[0] {
+		if n == 1 {
+			t.Fatal("edge still present")
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Connected() {
+		t.Fatal("hypercube disconnected by one failure")
+	}
+}
+
+// TestRoutingAroundFaults: Section 2 — the interconnect "will vary over
+// time to avoid broken components". With a few failed links the hypercube
+// stays connected, distances grow only slightly, and traffic still flows.
+func TestRoutingAroundFaults(t *testing.T) {
+	h := Hypercube(5) // 80 edges
+	base := h.AverageDistance()
+	rng := rand.New(rand.NewSource(4))
+	failed := 0
+	for failed < 6 {
+		u := rng.Intn(32)
+		if len(h.Adj[u]) <= 1 {
+			continue
+		}
+		v := h.Adj[u][rng.Intn(len(h.Adj[u]))]
+		if h.FailLink(u, v) {
+			failed++
+		}
+	}
+	if !h.Connected() {
+		t.Fatal("6 failures disconnected a 5-cube (unlucky seed; pick another)")
+	}
+	after := h.AverageDistance()
+	if after < base {
+		t.Errorf("distance decreased after failures: %g -> %g", base, after)
+	}
+	if after > base*1.3 {
+		t.Errorf("distance grew too much: %g -> %g", base, after)
+	}
+	res, err := RunLoad(h, LoadConfig{RouterDelay: 2, Load: 0.1, Pattern: UniformTraffic, Horizon: 2000, Warmup: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Error("no traffic delivered over the degraded network")
+	}
+}
+
+func TestDisconnectedNetworkReportsError(t *testing.T) {
+	// A 2-node "mesh" with its only link cut.
+	m := Mesh2D(2, 1, false)
+	if !m.FailLink(0, 1) {
+		t.Fatal("edge missing")
+	}
+	if m.Connected() {
+		t.Fatal("still connected")
+	}
+	if _, err := RunLoad(m, LoadConfig{RouterDelay: 1, Load: 0.5, Pattern: UniformTraffic, Horizon: 100, Seed: 1}); err == nil {
+		t.Error("routing over a disconnected network did not error")
+	}
+}
+
+// TestAdaptiveRoutingRelievesContention: on a mesh under load, the
+// deterministic lowest-id routing sends every packet along the same
+// dimension-ordered path, piling onto popular links; adaptive routing
+// spreads packets across the equal-length diagonal alternatives and cuts
+// latency. (Patterns with no path diversity, like a pure column shift, gain
+// nothing — adaptivity needs alternatives to choose between.)
+func TestAdaptiveRoutingRelievesContention(t *testing.T) {
+	cfg := LoadConfig{RouterDelay: 2, Load: 0.3, Pattern: UniformTraffic, Horizon: 3000, Warmup: 500, Seed: 6}
+	top := Mesh2D(8, 8, false)
+	det, err := RunLoad(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adaptive = true
+	ad, err := RunLoad(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.MeanLatency >= det.MeanLatency {
+		t.Errorf("adaptive %.1f not below deterministic %.1f", ad.MeanLatency, det.MeanLatency)
+	}
+	// Adaptive routing still uses shortest paths only.
+	if ad.MeanDistance > det.MeanDistance+1e-9 {
+		t.Errorf("adaptive lengthened routes: %.2f vs %.2f", ad.MeanDistance, det.MeanDistance)
+	}
+}
+
+// TestAdaptiveNoWorseAtLightLoad: with no contention both policies route
+// minimally, so latency matches.
+func TestAdaptiveNoWorseAtLightLoad(t *testing.T) {
+	cfg := LoadConfig{RouterDelay: 2, Load: 0.02, Pattern: UniformTraffic, Horizon: 3000, Warmup: 500, Seed: 8}
+	top := Mesh2D(6, 6, true)
+	det, err := RunLoad(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adaptive = true
+	ad, err := RunLoad(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.MeanLatency > det.MeanLatency*1.1 {
+		t.Errorf("adaptive hurt light load: %.2f vs %.2f", ad.MeanLatency, det.MeanLatency)
+	}
+}

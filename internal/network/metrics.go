@@ -1,0 +1,107 @@
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// bfs returns hop distances from src to every vertex.
+func (t *Topology) bfs(src int) []int {
+	dist := make([]int, t.NumNodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// AverageDistance measures the mean hop count between distinct processor
+// pairs (entry vertex to exit vertex), the quantity of the Section 5.1
+// table.
+func (t *Topology) AverageDistance() float64 {
+	var total, pairs int64
+	for i := 0; i < t.P; i++ {
+		dist := t.bfs(t.ProcNode[i])
+		for j := 0; j < t.P; j++ {
+			if i == j {
+				continue
+			}
+			d := dist[t.ExitNode(j)]
+			if d < 0 {
+				return math.Inf(1) // disconnected: should not happen
+			}
+			total += int64(d)
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}
+
+// Diameter is the maximum processor-to-processor distance.
+func (t *Topology) Diameter() int {
+	max := 0
+	for i := 0; i < t.P; i++ {
+		dist := t.bfs(t.ProcNode[i])
+		for j := 0; j < t.P; j++ {
+			if i == j {
+				continue
+			}
+			if d := dist[t.ExitNode(j)]; d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AnalyticAverageDistance returns the asymptotic formula of the Section 5.1
+// table evaluated for P processors:
+//
+//	hypercube   log2(P)/2
+//	butterfly   log2(P)
+//	fat tree    numerically (the table's 9.33 at P=1024 for 4-ary)
+//	3d torus    (3/4) P^(1/3)
+//	3d mesh     P^(1/3)
+//	2d torus    (1/2) P^(1/2)
+//	2d mesh     (2/3) P^(1/2)
+func AnalyticAverageDistance(kind string, p int) (float64, error) {
+	fp := float64(p)
+	switch kind {
+	case "hypercube":
+		return math.Log2(fp) / 2, nil
+	case "butterfly":
+		return math.Log2(fp), nil
+	case "fat-tree-4":
+		// A route climbs to the lowest common ancestor and back down: 2h
+		// hops for an ancestor at height h. Among the p-1 other
+		// processors, 4^h - 4^(h-1) share my height-h ancestor but not my
+		// height-(h-1) one. Evaluates to the table's 9.33 at P=1024.
+		l := int(math.Round(math.Log(fp) / math.Log(4)))
+		var avg float64
+		for h := 1; h <= l; h++ {
+			ph := (math.Pow(4, float64(h)) - math.Pow(4, float64(h-1))) / (fp - 1)
+			avg += 2 * float64(h) * ph
+		}
+		return avg, nil
+	case "3d-torus":
+		return 0.75 * math.Cbrt(fp), nil
+	case "3d-mesh":
+		return math.Cbrt(fp), nil
+	case "2d-torus":
+		return 0.5 * math.Sqrt(fp), nil
+	case "2d-mesh":
+		return 2.0 / 3.0 * math.Sqrt(fp), nil
+	}
+	return 0, fmt.Errorf("network: unknown topology kind %q", kind)
+}

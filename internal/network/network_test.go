@@ -1,0 +1,316 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyValidation(t *testing.T) {
+	tops := []*Topology{
+		Hypercube(4),
+		Mesh2D(4, 4, false),
+		Mesh2D(4, 4, true),
+		Mesh3D(2, 3, 4, false),
+		Mesh3D(4, 4, 4, true),
+		Butterfly(3),
+		FatTree(4, 3),
+	}
+	for _, top := range tops {
+		if err := top.Validate(); err != nil {
+			t.Errorf("%s: %v", top.Name, err)
+		}
+	}
+}
+
+func TestHypercubeAverageDistance(t *testing.T) {
+	// Exact: the average Hamming distance over distinct pairs is
+	// d*2^(d-1)/(2^d - 1).
+	for d := 2; d <= 6; d++ {
+		h := Hypercube(d)
+		got := h.AverageDistance()
+		want := float64(d) * float64(int(1)<<uint(d-1)) / float64(int(1)<<uint(d)-1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("d=%d: avg distance %g, want %g", d, got, want)
+		}
+		if h.Diameter() != d {
+			t.Errorf("d=%d: diameter %d", d, h.Diameter())
+		}
+	}
+}
+
+func TestButterflyConstantDistance(t *testing.T) {
+	// Every processor pair is exactly k switch hops apart.
+	b := Butterfly(4)
+	if got := b.AverageDistance(); got != 4 {
+		t.Errorf("avg distance %g, want 4", got)
+	}
+	if b.Diameter() != 4 {
+		t.Errorf("diameter %d, want 4", b.Diameter())
+	}
+}
+
+func TestMeshDistances(t *testing.T) {
+	// 2D mesh k x k: the average distance over distinct processor pairs is
+	// exactly 2k/3 (per-dimension mean (k^2-1)/(3k) over all pairs,
+	// renormalized to exclude the zero self-pairs).
+	k := 8
+	m := Mesh2D(k, k, false)
+	want := 2 * float64(k) / 3
+	if got := m.AverageDistance(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("mesh avg %g, want %g", got, want)
+	}
+	// Torus halves it roughly: per-dim average k/4 * k/(k-1) adjustments;
+	// just check the torus is strictly better and the diameter is k (two
+	// dims of k/2).
+	tor := Mesh2D(k, k, true)
+	if tor.AverageDistance() >= m.AverageDistance() {
+		t.Error("torus not better than mesh")
+	}
+	if tor.Diameter() != k {
+		t.Errorf("torus diameter %d, want %d", tor.Diameter(), k)
+	}
+}
+
+func TestFatTreeDistance(t *testing.T) {
+	// 4-ary fat tree with 64 leaves: analytic average from the
+	// common-ancestor argument must match BFS measurement.
+	ft := FatTree(4, 3)
+	want, err := AnalyticAverageDistance("fat-tree-4", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.AverageDistance(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("fat tree avg %g, want %g", got, want)
+	}
+}
+
+// TestSection51TableAt1024 reproduces the Section 5.1 table: asymptotic
+// average distance formulas evaluated at P = 1024.
+func TestSection51TableAt1024(t *testing.T) {
+	cases := []struct {
+		kind string
+		want float64
+		tol  float64
+	}{
+		{"hypercube", 5, 0.001},
+		{"butterfly", 10, 0.001},
+		{"fat-tree-4", 9.33, 0.02},
+		{"3d-torus", 7.5, 0.1},  // 3/4 * 1024^(1/3) = 7.56; the paper prints 7.5
+		{"3d-mesh", 10, 0.1},    // 1024^(1/3) = 10.08
+		{"2d-torus", 16, 0.001}, // sqrt(1024)/2
+		{"2d-mesh", 21, 0.4},    // 2/3*32 = 21.33; the paper prints 21
+	}
+	for _, c := range cases {
+		got, err := AnalyticAverageDistance(c.kind, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s: %g, want %g (+-%g)", c.kind, got, c.want, c.tol)
+		}
+	}
+	if _, err := AnalyticAverageDistance("ring", 1024); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestMeasuredMatchesAnalytic: BFS measurements on constructible
+// configurations track the formulas.
+func TestMeasuredMatchesAnalytic(t *testing.T) {
+	cases := []struct {
+		top  *Topology
+		kind string
+		p    int
+		tol  float64
+	}{
+		{Hypercube(6), "hypercube", 64, 0.05},
+		{Butterfly(6), "butterfly", 64, 0.001},
+		{Mesh2D(8, 8, false), "2d-mesh", 64, 0.2},
+		{Mesh2D(8, 8, true), "2d-torus", 64, 0.3},
+		{Mesh3D(4, 4, 4, false), "3d-mesh", 64, 0.4},
+		{Mesh3D(4, 4, 4, true), "3d-torus", 64, 0.3},
+	}
+	for _, c := range cases {
+		want, err := AnalyticAverageDistance(c.kind, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.top.AverageDistance()
+		if math.Abs(got-want) > want*c.tol {
+			t.Errorf("%s: measured %g, formula %g", c.top.Name, got, want)
+		}
+	}
+}
+
+func TestRouterPaths(t *testing.T) {
+	top := Mesh2D(4, 4, false)
+	r := NewRouter(top)
+	path := r.Path(0, 15)
+	if len(path) != 7 { // manhattan distance 6
+		t.Errorf("path length %d, want 7 vertices", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		found := false
+		for _, v := range top.Adj[path[i-1]] {
+			if v == path[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path uses non-edge %d-%d", path[i-1], path[i])
+		}
+	}
+	// Butterfly route enters at column 0 and exits at column k.
+	b := Butterfly(3)
+	rb := NewRouter(b)
+	p2 := rb.Path(2, 5)
+	if len(p2) != 4 || p2[0] != 2 || p2[3] != b.ExitNode(5) {
+		t.Errorf("butterfly path %v", p2)
+	}
+}
+
+func TestRouterPathsProperty(t *testing.T) {
+	top := Hypercube(5)
+	r := NewRouter(top)
+	f := func(a, b uint8) bool {
+		src, dst := int(a%32), int(b%32)
+		if src == dst {
+			return true
+		}
+		path := r.Path(src, dst)
+		// Shortest path in a hypercube = Hamming distance.
+		want := 0
+		for x := src ^ dst; x != 0; x &= x - 1 {
+			want++
+		}
+		return len(path) == want+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunLoadLowLoadLatency(t *testing.T) {
+	// At very light load the mean latency approaches distance * routerDelay.
+	top := Mesh2D(8, 8, true)
+	res, err := RunLoad(top, LoadConfig{RouterDelay: 2, Load: 0.01, Pattern: UniformTraffic, Horizon: 4000, Warmup: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := res.MeanDistance * 2
+	if res.MeanLatency > ideal*1.25 {
+		t.Errorf("light-load latency %.1f far above contention-free %.1f", res.MeanLatency, ideal)
+	}
+}
+
+// TestSaturationKnee: the Section 5.3 shape. Latency is flat at low loads
+// and blows up past the saturation point.
+func TestSaturationKnee(t *testing.T) {
+	top := Mesh2D(8, 8, false)
+	loads := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.95}
+	results, err := SaturationSweep(top, loads, LoadConfig{
+		RouterDelay: 2, Pattern: UniformTraffic, Horizon: 3000, Warmup: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat region: latency at 0.05 within 30% of latency at 0.02.
+	if results[1].MeanLatency > results[0].MeanLatency*1.3 {
+		t.Errorf("below-saturation latency not flat: %.1f vs %.1f", results[1].MeanLatency, results[0].MeanLatency)
+	}
+	// Blow-up: latency at 0.95 at least 4x the base.
+	last := results[len(results)-1]
+	if last.MeanLatency < results[0].MeanLatency*4 {
+		t.Errorf("no saturation blow-up: %.1f vs base %.1f", last.MeanLatency, results[0].MeanLatency)
+	}
+	knee := SaturationLoad(results)
+	if math.IsNaN(knee) || knee <= loads[0] || knee > 0.95 {
+		t.Errorf("knee = %v, want inside the sweep", knee)
+	}
+}
+
+// TestHotspotSaturatesEarlier: flooding one destination saturates at a much
+// lower offered load than uniform traffic — the behaviour the LogP capacity
+// constraint abstracts.
+func TestHotspotSaturatesEarlier(t *testing.T) {
+	top := Mesh2D(8, 8, true)
+	loads := []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	base := LoadConfig{RouterDelay: 2, Horizon: 3000, Warmup: 500, Seed: 5}
+	uni, err := SaturationSweep(top, loads, func() LoadConfig { c := base; c.Pattern = UniformTraffic; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := SaturationSweep(top, loads, func() LoadConfig { c := base; c.Pattern = HotspotTraffic; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot[len(hot)-1].MeanLatency <= uni[len(uni)-1].MeanLatency {
+		t.Errorf("hotspot latency %.1f not above uniform %.1f at load 0.4",
+			hot[len(hot)-1].MeanLatency, uni[len(uni)-1].MeanLatency)
+	}
+}
+
+// TestFatLinksRelieveRootContention: with fat upper links the tree sustains
+// uniform traffic that a skinny tree cannot.
+func TestFatLinksRelieveRootContention(t *testing.T) {
+	fat := FatTree(4, 3)
+	skinny := FatTree(4, 3)
+	skinny.Width = nil // all links single-channel
+	skinny.Name = "skinny-tree"
+	cfg := LoadConfig{RouterDelay: 2, Load: 0.2, Pattern: UniformTraffic, Horizon: 2000, Warmup: 400, Seed: 7}
+	fr, err := RunLoad(fat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunLoad(skinny, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.MeanLatency >= sr.MeanLatency {
+		t.Errorf("fat tree latency %.1f not below skinny %.1f", fr.MeanLatency, sr.MeanLatency)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	top := Hypercube(3)
+	if _, err := RunLoad(top, LoadConfig{RouterDelay: 2, Load: 0, Horizon: 100}); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := RunLoad(top, LoadConfig{RouterDelay: 0, Load: 0.1, Horizon: 100}); err == nil {
+		t.Error("zero router delay accepted")
+	}
+	if _, err := RunLoad(top, LoadConfig{RouterDelay: 1, Load: 0.1, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestTransposePattern(t *testing.T) {
+	top := Hypercube(4)
+	res, err := RunLoad(top, LoadConfig{RouterDelay: 1, Load: 0.1, Pattern: TransposeTraffic, Horizon: 2000, Warmup: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transpose in a hypercube: distance is the popcount of P/2 xor mask
+	// (here a single bit plus... actually i ^ (i+8)%16 varies); just check
+	// delivery happened and latency is sane.
+	if res.Delivered == 0 || res.MeanLatency <= 0 {
+		t.Errorf("transpose run degenerate: %+v", res)
+	}
+}
+
+func TestRunLoadDeterminism(t *testing.T) {
+	top := Mesh2D(6, 6, true)
+	cfg := LoadConfig{RouterDelay: 2, Load: 0.3, Pattern: UniformTraffic, Horizon: 1500, Warmup: 300, Seed: 9}
+	a, err := RunLoad(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nondeterministic load run: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,421 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Router precomputes next-hop tables (shortest path, lowest-id tie-break)
+// per destination, lazily.
+type Router struct {
+	t    *Topology
+	next map[int][]int // dest vertex -> next-hop per vertex
+	dist map[int][]int // dest vertex -> hop distances
+}
+
+// NewRouter builds a router for the topology.
+func NewRouter(t *Topology) *Router {
+	return &Router{t: t, next: make(map[int][]int)}
+}
+
+// NextHop returns the neighbour of u on a shortest path to vertex dst.
+func (r *Router) NextHop(u, dst int) int {
+	table, ok := r.next[dst]
+	if !ok {
+		table = r.buildTable(dst)
+		r.next[dst] = table
+	}
+	return table[u]
+}
+
+// distTo returns (cached) hop distances of every vertex to dst.
+func (r *Router) distTo(dst int) []int {
+	if r.dist == nil {
+		r.dist = make(map[int][]int)
+	}
+	d, ok := r.dist[dst]
+	if !ok {
+		d = r.t.bfs(dst)
+		r.dist[dst] = d
+	}
+	return d
+}
+
+// buildTable runs a reverse BFS from dst and records, for every vertex, the
+// lowest-id neighbour that is one step closer to dst.
+func (r *Router) buildTable(dst int) []int {
+	dist := r.t.bfs(dst)
+	table := make([]int, r.t.NumNodes)
+	for u := range table {
+		table[u] = -1
+		if u == dst || dist[u] < 0 {
+			continue
+		}
+		for _, v := range r.t.Adj[u] { // adjacency construction order; deterministic
+			if dist[v] == dist[u]-1 {
+				table[u] = v
+				break
+			}
+		}
+	}
+	return table
+}
+
+// Path returns the full vertex path from processor src to processor dst.
+func (r *Router) Path(src, dst int) []int {
+	u := r.t.ProcNode[src]
+	goal := r.t.ExitNode(dst)
+	path := []int{u}
+	for u != goal {
+		u = r.NextHop(u, goal)
+		if u < 0 {
+			return nil
+		}
+		path = append(path, u)
+	}
+	return path
+}
+
+// TrafficPattern generates destinations for injected packets.
+type TrafficPattern int
+
+const (
+	// UniformTraffic picks a uniform random destination per packet.
+	UniformTraffic TrafficPattern = iota
+	// TransposeTraffic sends every packet from i to (i + P/2) mod P, a
+	// fixed permutation that crosses the bisection on every packet — a
+	// "bad" permutation for low-dimensional networks (Section 5.6).
+	TransposeTraffic
+	// HotspotTraffic sends 25% of packets to processor 0 and the rest
+	// uniformly: the flooding pattern the capacity constraint discourages.
+	HotspotTraffic
+	// ShiftTraffic sends from i to i+1 mod P: a nearest-neighbour
+	// permutation that is contention-free on meshes and tori — a "good"
+	// permutation (Section 5.6).
+	ShiftTraffic
+	// BitReverseTraffic sends from i to bit-reverse(i): benign on some
+	// topologies and adversarial on others.
+	BitReverseTraffic
+)
+
+func (tp TrafficPattern) String() string {
+	switch tp {
+	case UniformTraffic:
+		return "uniform"
+	case TransposeTraffic:
+		return "transpose"
+	case HotspotTraffic:
+		return "hotspot"
+	case ShiftTraffic:
+		return "shift"
+	case BitReverseTraffic:
+		return "bit-reverse"
+	}
+	return fmt.Sprintf("pattern(%d)", int(tp))
+}
+
+// LoadConfig describes one offered-load experiment.
+type LoadConfig struct {
+	RouterDelay int64   // r: cycles per hop (service time of a link)
+	Load        float64 // packets per cycle per processor (0..1]
+	Pattern     TrafficPattern
+	Horizon     int64 // injection window in cycles
+	Warmup      int64 // packets injected before this time are not measured
+	Seed        int64
+	// Adaptive routes each hop to the least-busy outgoing link among those
+	// on a shortest path, instead of the fixed lowest-id choice —
+	// "adaptive routing techniques are becoming increasingly practical"
+	// (Section 2).
+	Adaptive bool
+}
+
+// LoadResult reports one experiment.
+type LoadResult struct {
+	Load         float64
+	MeanLatency  float64
+	P99Latency   int64
+	Delivered    int
+	MaxQueue     int // deepest per-link backlog observed (in packets)
+	Throughput   float64
+	MeanDistance float64
+}
+
+// pkt is one in-flight packet: routing decisions happen hop by hop.
+type pkt struct {
+	inject int64
+	cur    int // current vertex
+	dst    int // destination (exit) vertex
+	hops   int
+}
+
+// RunLoad injects packets at the configured rate and measures delivered
+// latency. The network is store-and-forward with single-packet links: a
+// link (channel) serves one packet per RouterDelay cycles; fat links have
+// multiple channels. Queueing is FIFO per link via a channel calendar.
+func RunLoad(t *Topology, cfg LoadConfig) (LoadResult, error) {
+	if err := t.Validate(); err != nil {
+		return LoadResult{}, err
+	}
+	if cfg.Load <= 0 || cfg.Load > 1 {
+		return LoadResult{}, fmt.Errorf("network: load %v outside (0,1]", cfg.Load)
+	}
+	if cfg.RouterDelay < 1 {
+		return LoadResult{}, fmt.Errorf("network: router delay %d < 1", cfg.RouterDelay)
+	}
+	if cfg.Horizon <= 0 {
+		return LoadResult{}, fmt.Errorf("network: horizon %d", cfg.Horizon)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	router := NewRouter(t)
+
+	// Pre-generate all packets with injection times (geometric gaps).
+	var packets []*pkt
+	for p := 0; p < t.P; p++ {
+		tm := int64(0)
+		for {
+			// Geometric inter-arrival with mean 1/load.
+			gap := int64(1)
+			for rng.Float64() > cfg.Load {
+				gap++
+			}
+			tm += gap
+			if tm >= cfg.Horizon {
+				break
+			}
+			dst := destination(cfg.Pattern, p, t.P, rng)
+			if dst == p {
+				continue
+			}
+			packets = append(packets, &pkt{inject: tm, cur: t.ProcNode[p], dst: t.ExitNode(dst)})
+		}
+	}
+	// Process hops in global time order with a calendar per directed edge
+	// channel. A packet at node u at time tm picks a next hop on a shortest
+	// path (the lowest-id one deterministically, the least-busy one under
+	// adaptive routing), departs at max(tm, earliest channel free) and
+	// arrives RouterDelay later.
+	type edgeKey struct{ u, v int }
+	freeAt := make(map[edgeKey][]int64)
+	channels := func(u, v int) []int64 {
+		key := edgeKey{u, v}
+		ch := freeAt[key]
+		if ch == nil {
+			w := 1
+			for k, n := range t.Adj[u] {
+				if n == v {
+					w = t.edgeWidth(u, k)
+					break
+				}
+			}
+			ch = make([]int64, w)
+			freeAt[key] = ch
+		}
+		return ch
+	}
+	soonestFree := func(ch []int64) int {
+		best := 0
+		for i := 1; i < len(ch); i++ {
+			if ch[i] < ch[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	queueDepth := make(map[edgeKey]int)
+
+	h := &hopHeap{}
+	for i, p := range packets {
+		h.push(hopEvent{t: p.inject, seq: i, p: p})
+	}
+	var res LoadResult
+	var totalLatency int64
+	var latencies []int64
+	var totalDist int64
+	maxQ := 0
+	for h.len() > 0 {
+		ev := h.pop()
+		p := ev.p
+		if p.cur == p.dst {
+			// Delivered.
+			if p.inject >= cfg.Warmup {
+				lat := ev.t - p.inject
+				totalLatency += lat
+				latencies = append(latencies, lat)
+				totalDist += int64(p.hops)
+				res.Delivered++
+			}
+			continue
+		}
+		dist := router.distTo(p.dst)
+		if dist[p.cur] < 0 {
+			return res, fmt.Errorf("network: no route from %d to %d (disconnected?)", p.cur, p.dst)
+		}
+		// Candidate next hops: neighbours one step closer.
+		v := -1
+		var vch []int64
+		for _, nb := range t.Adj[p.cur] {
+			if dist[nb] != dist[p.cur]-1 {
+				continue
+			}
+			if v < 0 {
+				v = nb
+				vch = channels(p.cur, nb)
+				if !cfg.Adaptive {
+					break
+				}
+				continue
+			}
+			// Adaptive: prefer the neighbour whose link frees soonest.
+			ch := channels(p.cur, nb)
+			if ch[soonestFree(ch)] < vch[soonestFree(vch)] {
+				v = nb
+				vch = ch
+			}
+		}
+		key := edgeKey{p.cur, v}
+		best := soonestFree(vch)
+		start := ev.t
+		if vch[best] > start {
+			start = vch[best]
+			queueDepth[key]++
+			if queueDepth[key] > maxQ {
+				maxQ = queueDepth[key]
+			}
+		} else {
+			queueDepth[key] = 0
+		}
+		vch[best] = start + cfg.RouterDelay
+		p.cur = v
+		p.hops++
+		h.push(hopEvent{t: start + cfg.RouterDelay, seq: ev.seq, p: p})
+	}
+	if res.Delivered == 0 {
+		return res, fmt.Errorf("network: no packets delivered (horizon too small?)")
+	}
+	res.Load = cfg.Load
+	res.MeanLatency = float64(totalLatency) / float64(res.Delivered)
+	res.MeanDistance = float64(totalDist) / float64(res.Delivered)
+	res.Throughput = float64(res.Delivered) / float64(cfg.Horizon) / float64(t.P)
+	res.MaxQueue = maxQ
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P99Latency = latencies[int(math.Min(float64(len(latencies)-1), float64(len(latencies))*0.99))]
+	return res, nil
+}
+
+func destination(p TrafficPattern, src, P int, rng *rand.Rand) int {
+	switch p {
+	case UniformTraffic:
+		return rng.Intn(P)
+	case TransposeTraffic:
+		return (src + P/2) % P
+	case HotspotTraffic:
+		if rng.Float64() < 0.25 {
+			return 0
+		}
+		return rng.Intn(P)
+	case ShiftTraffic:
+		return (src + 1) % P
+	case BitReverseTraffic:
+		bits := 0
+		for 1<<uint(bits) < P {
+			bits++
+		}
+		rev := 0
+		for b := 0; b < bits; b++ {
+			if src&(1<<uint(b)) != 0 {
+				rev |= 1 << uint(bits-1-b)
+			}
+		}
+		return rev % P
+	}
+	return 0
+}
+
+// SaturationSweep measures mean latency across increasing offered loads:
+// the Section 5.3 curve, flat below the knee and sharply rising at
+// saturation.
+func SaturationSweep(t *Topology, loads []float64, base LoadConfig) ([]LoadResult, error) {
+	out := make([]LoadResult, 0, len(loads))
+	for _, l := range loads {
+		cfg := base
+		cfg.Load = l
+		r, err := RunLoad(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SaturationLoad estimates the knee: the lowest measured load whose mean
+// latency exceeds twice the lowest-load latency.
+func SaturationLoad(results []LoadResult) float64 {
+	if len(results) == 0 {
+		return math.NaN()
+	}
+	base := results[0].MeanLatency
+	for _, r := range results {
+		if r.MeanLatency > 2*base {
+			return r.Load
+		}
+	}
+	return math.NaN()
+}
+
+// hopEvent and hopHeap: a small binary heap keyed by (time, seq).
+type hopEvent struct {
+	t   int64
+	seq int
+	p   *pkt
+}
+
+type hopHeap struct{ ev []hopEvent }
+
+func (h *hopHeap) len() int { return len(h.ev) }
+
+func (h *hopHeap) less(i, j int) bool {
+	if h.ev[i].t != h.ev[j].t {
+		return h.ev[i].t < h.ev[j].t
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *hopHeap) push(e hopEvent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.less(parent, i) {
+			break
+		}
+		h.ev[parent], h.ev[i] = h.ev[i], h.ev[parent]
+		i = parent
+	}
+}
+
+func (h *hopHeap) pop() hopEvent {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.ev[i], h.ev[small] = h.ev[small], h.ev[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,302 @@
+// Package network is a packet-level interconnection-network simulator used
+// to ground the LogP abstraction in Section 5 of the paper: it builds the
+// seven topologies of the average-distance table (Section 5.1), measures
+// distances, and simulates store-and-forward packet traffic with per-link
+// contention to reproduce the saturation behaviour of Section 5.3 ("there is
+// typically a saturation point at which the latency increases sharply; below
+// the saturation point the latency is fairly insensitive to the load").
+package network
+
+import (
+	"fmt"
+)
+
+// Topology is an interconnection graph. Vertices 0..NumNodes-1 include both
+// processor nodes and switches; ProcNode maps processor i to its vertex.
+type Topology struct {
+	Name     string
+	P        int     // number of processors
+	NumNodes int     // total vertices (processors + switches)
+	Adj      [][]int // undirected adjacency lists, sorted
+	ProcNode []int   // processor -> vertex
+	// Width[u][k] is the channel multiplicity of the k-th edge of u (same
+	// index as Adj[u]); fat trees have fat upper links. Nil means width 1
+	// everywhere.
+	Width [][]int
+}
+
+// edgeWidth returns the multiplicity of edge (u -> Adj[u][k]).
+func (t *Topology) edgeWidth(u, k int) int {
+	if t.Width == nil {
+		return 1
+	}
+	return t.Width[u][k]
+}
+
+func (t *Topology) addEdge(a, b int) {
+	t.Adj[a] = append(t.Adj[a], b)
+	t.Adj[b] = append(t.Adj[b], a)
+}
+
+// Validate checks structural invariants.
+func (t *Topology) Validate() error {
+	if len(t.Adj) != t.NumNodes {
+		return fmt.Errorf("network: %s: adj size %d != nodes %d", t.Name, len(t.Adj), t.NumNodes)
+	}
+	if len(t.ProcNode) != t.P {
+		return fmt.Errorf("network: %s: %d proc mappings for P=%d", t.Name, len(t.ProcNode), t.P)
+	}
+	for u, ns := range t.Adj {
+		for _, v := range ns {
+			if v < 0 || v >= t.NumNodes {
+				return fmt.Errorf("network: %s: edge %d-%d out of range", t.Name, u, v)
+			}
+		}
+	}
+	if t.Width != nil {
+		for u := range t.Adj {
+			if len(t.Width[u]) != len(t.Adj[u]) {
+				return fmt.Errorf("network: %s: width list mismatch at node %d", t.Name, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Hypercube builds a d-dimensional binary hypercube: P = 2^d processors,
+// every node a processor.
+func Hypercube(d int) *Topology {
+	p := 1 << uint(d)
+	t := &Topology{Name: fmt.Sprintf("hypercube(d=%d)", d), P: p, NumNodes: p}
+	t.Adj = make([][]int, p)
+	for u := 0; u < p; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << uint(b))
+			if v > u {
+				t.addEdge(u, v)
+			}
+		}
+	}
+	t.ProcNode = identity(p)
+	return t
+}
+
+// Mesh2D builds a w x h mesh (wrap=false) or torus (wrap=true).
+func Mesh2D(w, h int, wrap bool) *Topology {
+	name := "2d-mesh"
+	if wrap {
+		name = "2d-torus"
+	}
+	p := w * h
+	t := &Topology{Name: fmt.Sprintf("%s(%dx%d)", name, w, h), P: p, NumNodes: p}
+	t.Adj = make([][]int, p)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				t.addEdge(id(x, y), id(x+1, y))
+			} else if wrap && w > 2 {
+				t.addEdge(id(x, y), id(0, y))
+			}
+			if y+1 < h {
+				t.addEdge(id(x, y), id(x, y+1))
+			} else if wrap && h > 2 {
+				t.addEdge(id(x, y), id(x, 0))
+			}
+		}
+	}
+	t.ProcNode = identity(p)
+	return t
+}
+
+// Mesh3D builds an x*y*z mesh or torus.
+func Mesh3D(x, y, z int, wrap bool) *Topology {
+	name := "3d-mesh"
+	if wrap {
+		name = "3d-torus"
+	}
+	p := x * y * z
+	t := &Topology{Name: fmt.Sprintf("%s(%dx%dx%d)", name, x, y, z), P: p, NumNodes: p}
+	t.Adj = make([][]int, p)
+	id := func(i, j, k int) int { return (k*y+j)*x + i }
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				if i+1 < x {
+					t.addEdge(id(i, j, k), id(i+1, j, k))
+				} else if wrap && x > 2 {
+					t.addEdge(id(i, j, k), id(0, j, k))
+				}
+				if j+1 < y {
+					t.addEdge(id(i, j, k), id(i, j+1, k))
+				} else if wrap && y > 2 {
+					t.addEdge(id(i, j, k), id(i, 0, k))
+				}
+				if k+1 < z {
+					t.addEdge(id(i, j, k), id(i, j, k+1))
+				} else if wrap && z > 2 {
+					t.addEdge(id(i, j, k), id(i, j, 0))
+				}
+			}
+		}
+	}
+	t.ProcNode = identity(p)
+	return t
+}
+
+// Butterfly builds a k-stage indirect butterfly: 2^k processors enter at
+// column 0 and exit at column k; switch (c, r) connects straight to (c+1, r)
+// and across to (c+1, r with bit k-1-c flipped). Every route crosses exactly
+// k switch-to-switch links, giving the constant distance log P of the
+// Section 5.1 table. Processor i is identified with its column-0 switch;
+// the column-k switch of row i delivers to processor i (modelled by an extra
+// zero-length identification: we expose the column-k switch as the
+// destination vertex of processor i for distance purposes via exit nodes).
+func Butterfly(k int) *Topology {
+	p := 1 << uint(k)
+	cols := k + 1
+	t := &Topology{Name: fmt.Sprintf("butterfly(k=%d)", k), P: p, NumNodes: cols * p}
+	t.Adj = make([][]int, t.NumNodes)
+	id := func(c, r int) int { return c*p + r }
+	for c := 0; c < k; c++ {
+		bit := 1 << uint(k-1-c)
+		for r := 0; r < p; r++ {
+			t.addEdge(id(c, r), id(c+1, r))     // straight edge
+			t.addEdge(id(c, r), id(c+1, r^bit)) // cross edge
+		}
+	}
+	// Processors sit at column 0; deliveries also terminate at column k.
+	// For distance and routing purposes the processor vertex is column 0;
+	// a message from i to j routes from (0,i) to (k,j), then exits. We wire
+	// the exit by treating column-k row j as reachable; ProcNode is the
+	// entry vertex, and ExitNode(j) the exit vertex.
+	t.ProcNode = identity(p)
+	return t
+}
+
+// ExitNode returns the delivery vertex of processor i: distinct from the
+// entry vertex only for the butterfly (column k).
+func (t *Topology) ExitNode(i int) int {
+	if len(t.Adj) == t.P { // direct networks
+		return t.ProcNode[i]
+	}
+	if t.isButterfly() {
+		cols := t.NumNodes / t.P
+		return (cols-1)*t.P + i
+	}
+	return t.ProcNode[i]
+}
+
+func (t *Topology) isButterfly() bool {
+	return len(t.Name) >= 9 && t.Name[:9] == "butterfly"
+}
+
+// FatTree builds a complete arity-ary fat tree with the processors at the
+// leaves and levels of switches above; the channel multiplicity of a link at
+// height h grows by the arity per level (a "fat" link), keeping bisection
+// bandwidth constant per processor as in the CM-5's data network.
+func FatTree(arity, levels int) *Topology {
+	p := 1
+	for i := 0; i < levels; i++ {
+		p *= arity
+	}
+	// Vertices: leaves 0..p-1, then switches level by level.
+	total := p
+	levelStart := make([]int, levels+1)
+	levelStart[0] = 0
+	count := p
+	for h := 1; h <= levels; h++ {
+		count /= arity
+		levelStart[h] = total
+		total += count
+	}
+	t := &Topology{Name: fmt.Sprintf("fat-tree(%d-ary,h=%d)", arity, levels), P: p, NumNodes: total}
+	t.Adj = make([][]int, total)
+	t.Width = make([][]int, total)
+	// Connect each node at level h-1 to its parent at level h; width of a
+	// link at height h is arity^(h-1).
+	nodesAt := func(h int) (start, n int) {
+		if h == 0 {
+			return 0, p
+		}
+		n = p
+		for i := 0; i < h; i++ {
+			n /= arity
+		}
+		return levelStart[h], n
+	}
+	for h := 1; h <= levels; h++ {
+		cstart, cn := nodesAt(h - 1)
+		pstart, _ := nodesAt(h)
+		w := 1
+		for i := 1; i < h; i++ {
+			w *= arity
+		}
+		for c := 0; c < cn; c++ {
+			child := cstart + c
+			parent := pstart + c/arity
+			t.Adj[child] = append(t.Adj[child], parent)
+			t.Adj[parent] = append(t.Adj[parent], child)
+			t.Width[child] = append(t.Width[child], w)
+			t.Width[parent] = append(t.Width[parent], w)
+		}
+	}
+	// Fill width lists for leaves' missing entries (all set above).
+	for u := range t.Adj {
+		if t.Width[u] == nil {
+			t.Width[u] = make([]int, len(t.Adj[u]))
+			for i := range t.Width[u] {
+				t.Width[u][i] = 1
+			}
+		}
+	}
+	t.ProcNode = identity(p)
+	return t
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// FailLink removes the edge between u and v (both directions), modelling a
+// broken component: "operating in the presence of network faults is
+// becoming extremely important as parallel machines go into production use,
+// which suggests that the physical interconnect on a single system will
+// vary over time to avoid broken components" (Section 2). Routing tables
+// built afterwards route around it. Reports whether the edge existed.
+func (t *Topology) FailLink(u, v int) bool {
+	removed := false
+	cut := func(a, b int) {
+		for k, n := range t.Adj[a] {
+			if n == b {
+				t.Adj[a] = append(t.Adj[a][:k:k], t.Adj[a][k+1:]...)
+				if t.Width != nil {
+					t.Width[a] = append(t.Width[a][:k:k], t.Width[a][k+1:]...)
+				}
+				removed = true
+				return
+			}
+		}
+	}
+	cut(u, v)
+	cut(v, u)
+	return removed
+}
+
+// Connected reports whether every processor can still reach every other.
+func (t *Topology) Connected() bool {
+	if t.P == 0 {
+		return true
+	}
+	dist := t.bfs(t.ProcNode[0])
+	for i := 0; i < t.P; i++ {
+		if dist[t.ProcNode[i]] < 0 || dist[t.ExitNode(i)] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+// Package shmem implements a distributed shared memory on the LogP machine,
+// the Section 3.2 point that "shared memory models are implemented on
+// distributed memory machines through an implicit exchange of messages":
+//
+//   - Read of a remote location costs 2L + 4o (request + reply);
+//   - Write costs the same with an acknowledgement;
+//   - Prefetch initiates a read and continues, costing 2o of processing
+//     time, and can be issued every g cycles — so independent reads
+//     pipeline and the latency is paid once.
+//
+// Addresses 0..Words-1 are distributed blockwise over the processors. A
+// node services remote requests whenever it waits for its own replies, and
+// via Serve when it is otherwise done — the software equivalent of an
+// active-message handler loop.
+package shmem
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// message tags
+const (
+	tagRead  = 13001 // request: Data = addr (int)
+	tagWrite = 13002 // request: Data = [2]int64{addr, value}
+	tagReply = 13003 // reply:   Data = value (int64)
+	tagAck   = 13004 // write acknowledgement
+	tagStop  = 13005 // shut down a serving node
+)
+
+// Node is one processor's view of the shared memory. Create one per
+// processor inside the machine body with New.
+type Node struct {
+	p     *logp.Proc
+	words int
+	block int
+	local []int64 // this processor's block
+
+	outstanding int // prefetches in flight
+	prefetched  map[int]int64
+	pending     map[int]bool
+
+	// HandlerCost is the local work charged to service one remote request
+	// beyond the receive/send overheads. The default 0 makes an idle-owner
+	// remote read cost exactly 2L+4o, the Section 3.2 formula; set it to
+	// model the memory access itself.
+	HandlerCost int64
+}
+
+// New builds the node for this processor over a shared space of words
+// (must divide evenly by P).
+func New(p *logp.Proc, words int) (*Node, error) {
+	if words%p.P() != 0 {
+		return nil, fmt.Errorf("shmem: %d words not divisible by P=%d", words, p.P())
+	}
+	n := &Node{
+		p:          p,
+		words:      words,
+		block:      words / p.P(),
+		local:      make([]int64, words/p.P()),
+		prefetched: make(map[int]int64),
+		pending:    make(map[int]bool),
+	}
+	return n, nil
+}
+
+// Owner returns the processor owning addr.
+func (n *Node) Owner(addr int) int { return addr / n.block }
+
+func (n *Node) checkAddr(addr int) {
+	if addr < 0 || addr >= n.words {
+		panic(fmt.Sprintf("shmem: address %d out of range [0,%d)", addr, n.words))
+	}
+}
+
+// Read returns the value at addr. Local reads cost one cycle; remote reads
+// send a request and wait for the reply (2L + 4o end to end on an idle
+// owner), servicing other processors' requests while waiting. A previously
+// prefetched value is consumed without further communication.
+func (n *Node) Read(addr int) int64 {
+	n.checkAddr(addr)
+	owner := n.Owner(addr)
+	if owner == n.p.ID() {
+		n.p.Compute(1)
+		return n.local[addr%n.block]
+	}
+	n.Prefetch(addr)
+	for {
+		if v, ok := n.prefetched[addr]; ok {
+			delete(n.prefetched, addr)
+			return v
+		}
+		n.recvServing()
+	}
+}
+
+// Write stores v at addr and waits for the owner's acknowledgement (so a
+// subsequent Read anywhere observes it).
+func (n *Node) Write(addr int, v int64) {
+	n.checkAddr(addr)
+	owner := n.Owner(addr)
+	if owner == n.p.ID() {
+		n.p.Compute(1)
+		n.local[addr%n.block] = v
+		return
+	}
+	n.p.Send(owner, tagWrite, [2]int64{int64(addr), v})
+	for {
+		m := n.recvServing()
+		if m.Tag == tagAck {
+			return
+		}
+	}
+}
+
+// Prefetch initiates a read of addr and returns immediately; the issuing
+// cost is the send overhead o (the second o is paid when the reply is
+// consumed). A later Read of the same address picks up the prefetched value
+// without further communication; Sync drains all outstanding prefetches.
+func (n *Node) Prefetch(addr int) {
+	n.checkAddr(addr)
+	owner := n.Owner(addr)
+	if owner == n.p.ID() || n.pending[addr] {
+		return
+	}
+	if _, ok := n.prefetched[addr]; ok {
+		return
+	}
+	n.pending[addr] = true
+	n.outstanding++
+	n.p.Send(owner, tagRead, addr)
+}
+
+// Sync blocks until every outstanding prefetch has been absorbed.
+func (n *Node) Sync() {
+	for n.outstanding > 0 {
+		n.recvServing()
+	}
+}
+
+// recvServing receives one message. Read and write requests from other
+// processors are serviced inline (the active-message handler), replies are
+// absorbed into the prefetch buffer, and the message is returned so callers
+// can watch for their own tags (ack, stop).
+func (n *Node) recvServing() logp.Message {
+	m := n.p.Recv()
+	switch m.Tag {
+	case tagRead:
+		addr := m.Data.(int)
+		n.p.Compute(n.HandlerCost)
+		n.p.Send(m.From, tagReply, [2]int64{int64(addr), n.local[addr%n.block]})
+	case tagWrite:
+		req := m.Data.([2]int64)
+		n.p.Compute(n.HandlerCost)
+		n.local[int(req[0])%n.block] = req[1]
+		n.p.Send(m.From, tagAck, nil)
+	case tagReply:
+		rep := m.Data.([2]int64)
+		got := int(rep[0])
+		n.prefetched[got] = rep[1]
+		if n.pending[got] {
+			delete(n.pending, got)
+			n.outstanding--
+		}
+	}
+	return m
+}
+
+// Serve handles remote requests until another processor calls Stop on this
+// node. Call it when a processor has no more work of its own but others
+// still need its memory.
+func (n *Node) Serve() {
+	for {
+		m := n.recvServing()
+		if m.Tag == tagStop {
+			return
+		}
+	}
+}
+
+// Stop releases a processor blocked in Serve.
+func (n *Node) Stop(target int) {
+	n.p.Send(target, tagStop, nil)
+}

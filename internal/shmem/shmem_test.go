@@ -1,0 +1,258 @@
+package shmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func cfg(p int, l, o, g int64) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: l, O: o, G: g}}
+}
+
+// TestRemoteReadCostsExactly2L4o: the Section 3.2 formula, end to end on an
+// idle serving owner.
+func TestRemoteReadCostsExactly2L4o(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	var elapsed int64
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n, err := New(p, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		switch p.ID() {
+		case 0:
+			start := p.Now()
+			if v := n.Read(10); v != 0 { // address 10 owned by proc 1
+				t.Errorf("read %d, want 0", v)
+			}
+			elapsed = p.Now() - start
+			n.Stop(1)
+		case 1:
+			n.Serve()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.Params.RemoteRead(); elapsed != want {
+		t.Errorf("remote read took %d, want 2L+4o = %d", elapsed, want)
+	}
+}
+
+func TestLocalAccessesAreCheap(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	res, err := logp.Run(c, func(p *logp.Proc) {
+		n, err := New(p, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		base := p.ID() * 8
+		n.Write(base, 42)
+		if v := n.Read(base); v != 42 {
+			t.Errorf("proc %d: local read %d", p.ID(), v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 {
+		t.Errorf("local accesses sent %d messages", res.Messages)
+	}
+	if res.Time != 2 {
+		t.Errorf("local write+read took %d cycles, want 2", res.Time)
+	}
+}
+
+func TestWriteIsVisibleToOtherProcessors(t *testing.T) {
+	c := cfg(3, 6, 2, 4)
+	const flag = 999
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n, err := New(p, 30)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		switch p.ID() {
+		case 0:
+			n.Write(25, 77)      // owned by proc 2; acknowledged
+			p.Send(1, flag, nil) // tell the reader the write is durable
+			n.Stop(2)
+		case 1:
+			p.RecvTag(flag)
+			if v := n.Read(25); v != 77 {
+				t.Errorf("read %d, want 77", v)
+			}
+			n.Stop(2)
+		case 2:
+			n.Serve() // exits on the first Stop...
+			n.Serve() // ...and again on the second
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchPipelinesReads: k independent remote reads cost nearly
+// k * (2L+4o) when sequential, but prefetching overlaps them so the total
+// approaches k*max(g,2o) + one latency — "prefetch operations, which
+// initiate a read and continue, can be issued every g cycles and cost 2o
+// units of processing time".
+func TestPrefetchPipelinesReads(t *testing.T) {
+	c := cfg(2, 50, 2, 4)
+	const k = 10
+	sequential := run2(t, c, func(n *Node, p *logp.Proc) {
+		for i := 0; i < k; i++ {
+			n.Read(16 + i) // proc 1's block
+		}
+	})
+	pipelined := run2(t, c, func(n *Node, p *logp.Proc) {
+		for i := 0; i < k; i++ {
+			n.Prefetch(16 + i)
+		}
+		n.Sync()
+		for i := 0; i < k; i++ {
+			n.Read(16 + i) // all satisfied locally
+		}
+	})
+	seqWant := int64(k) * c.Params.RemoteRead()
+	if sequential != seqWant {
+		t.Errorf("sequential reads took %d, want %d", sequential, seqWant)
+	}
+	// Pipelined: pay the round trip once plus per-message processing.
+	if pipelined >= sequential/2 {
+		t.Errorf("prefetching took %d, not much better than sequential %d", pipelined, sequential)
+	}
+	if pipelined < c.Params.RemoteRead() {
+		t.Errorf("pipelined %d beat a single round trip %d: impossible", pipelined, c.Params.RemoteRead())
+	}
+}
+
+// run2 runs a 2-processor shmem workload on proc 0 with proc 1 serving, and
+// returns proc 0's elapsed time.
+func run2(t *testing.T, c logp.Config, body func(n *Node, p *logp.Proc)) int64 {
+	t.Helper()
+	var elapsed int64
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		n, err := New(p, 32)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if p.ID() == 0 {
+			start := p.Now()
+			body(n, p)
+			elapsed = p.Now() - start
+			n.Stop(1)
+			return
+		}
+		n.Serve()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+// TestPrefetchIdempotent: prefetching the same address twice sends one
+// request, and local prefetches are free.
+func TestPrefetchIdempotent(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	res, err := logp.Run(c, func(p *logp.Proc) {
+		n, err := New(p, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if p.ID() == 0 {
+			n.Prefetch(12)
+			n.Prefetch(12)
+			n.Prefetch(3) // local: no-op
+			n.Sync()
+			if v := n.Read(12); v != 0 {
+				t.Errorf("read %d", v)
+			}
+			n.Stop(1)
+			return
+		}
+		n.Serve()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one read request + one reply + one stop = 3 messages.
+	if res.Messages != 3 {
+		t.Errorf("%d messages, want 3", res.Messages)
+	}
+}
+
+// TestSharedCounterProperty: concurrent disjoint writes then cross reads are
+// coherent for arbitrary patterns.
+func TestSharedCounterProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := cfg(4, 10, 1, 2)
+		c.Seed = seed
+		c.LatencyJitter = 5
+		ok := true
+		_, err := logp.Run(c, func(p *logp.Proc) {
+			n, err := New(p, 32)
+			if err != nil {
+				ok = false
+				return
+			}
+			me := p.ID()
+			// Everyone writes its signature into its neighbour's block.
+			n.Write((me+1)%4*8+me, int64(100+me))
+			p.Barrier()
+			// Everyone reads the signature its other neighbour wrote.
+			prev := (me + 3) % 4
+			got := n.Read(me*8 + prev)
+			if got != int64(100+prev) {
+				ok = false
+			}
+			p.Barrier()
+			if me != 0 {
+				n.Serve()
+			} else {
+				for t := 1; t < 4; t++ {
+					n.Stop(t)
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	c := cfg(2, 6, 2, 4)
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		if _, err := New(p, 15); err == nil {
+			t.Error("non-divisible size accepted")
+		}
+		n, err := New(p, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range read did not panic")
+			}
+		}()
+		n.Read(99)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is a scheduled callback. Events with equal time run in the order they
+// were scheduled (seq breaks ties), which keeps the simulation deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is a discrete-event simulation engine. The zero value is not ready
+// for use; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	procs   []*Process // all spawned processes, for deadlock reporting
+	stopped bool
+}
+
+// NewKernel returns a kernel at time zero whose random source is seeded with
+// seed. All randomness used by simulations built on the kernel should come
+// from Rand so that runs are reproducible.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error that panics, since it would corrupt causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before current time %d", t, k.now))
+	}
+	k.seq++
+	k.events.pushEvent(event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the queue is empty or Stop is
+// called. It returns an error if, at exhaustion, some spawned process is
+// still blocked: that is a deadlock in the simulated program.
+func (k *Kernel) Run() error {
+	return k.RunUntil(Infinity)
+}
+
+// RunUntil executes events with time <= deadline. The clock is left at the
+// last executed event (or deadline if nothing ran beyond it).
+func (k *Kernel) RunUntil(deadline Time) error {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		if k.events.peek().t > deadline {
+			k.now = deadline
+			return nil
+		}
+		e := k.events.popEvent()
+		k.now = e.t
+		e.fn()
+	}
+	if k.stopped {
+		return nil
+	}
+	var blocked []string
+	for _, p := range k.procs {
+		if !p.done && p.blocked {
+			blocked = append(blocked, p.name)
+		}
+	}
+	if len(blocked) > 0 {
+		return &DeadlockError{Time: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// DeadlockError reports that the event queue drained while simulated
+// processes were still waiting to be woken.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at time %d: %d process(es) blocked forever: %v", e.Time, len(e.Blocked), e.Blocked)
+}

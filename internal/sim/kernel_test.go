@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []Time
+	for _, d := range []Time{30, 10, 20, 10, 0} {
+		d := d
+		k.At(d, func() { got = append(got, d) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at time %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelTieBreakIsFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestKernelNowAdvances(t *testing.T) {
+	k := NewKernel(1)
+	k.At(7, func() {
+		if k.Now() != 7 {
+			t.Errorf("Now() = %v inside event at 7", k.Now())
+		}
+		k.After(3, func() {
+			if k.Now() != 10 {
+				t.Errorf("Now() = %v, want 10", k.Now())
+			}
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 10 {
+		t.Errorf("final Now() = %v, want 10", k.Now())
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(1, func() { ran++; k.Stop() })
+	k.At(2, func() { ran++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+	// Resuming runs the remaining event.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(5, func() { ran++ })
+	k.At(15, func() { ran++ })
+	if err := k.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 || k.Now() != 10 {
+		t.Fatalf("ran=%d now=%v, want 1 event and clock at 10", ran, k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran=%d, want 2", ran)
+	}
+}
+
+func TestProcessWait(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	k.Spawn("w", func(p *Process) {
+		times = append(times, p.Now())
+		p.Wait(10)
+		times = append(times, p.Now())
+		p.Wait(0)
+		times = append(times, p.Now())
+		p.WaitUntil(25)
+		times = append(times, p.Now())
+		p.WaitUntil(5) // in the past: no-op
+		times = append(times, p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 10, 10, 25, 25}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(1)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Spawn(name, func(p *Process) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Wait(2)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic run length")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("nondeterministic interleaving: run %d = %v, first = %v", i, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestSignalWakesFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var sig Signal
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Spawn(name, func(p *Process) {
+			sig.Wait(p)
+			order = append(order, name)
+		})
+	}
+	k.At(5, func() {
+		if sig.Waiting() != 3 {
+			t.Errorf("Waiting() = %d, want 3", sig.Waiting())
+		}
+		sig.Notify()
+	})
+	k.At(6, func() { sig.Broadcast() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" {
+		t.Fatalf("wake order %v, want a first", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel(1)
+	var sig Signal
+	k.Spawn("stuck", func(p *Process) { sig.Wait(p) })
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Errorf("blocked = %v, want [stuck]", dl.Blocked)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel(1)
+	sem := NewSemaphore(2)
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("p", func(p *Process) {
+			sem.Acquire(p)
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			p.Wait(10)
+			inUse--
+			sem.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInUse != 2 {
+		t.Errorf("max concurrent holders = %d, want 2", maxInUse)
+	}
+	if k.Now() != 30 {
+		t.Errorf("finish time = %v, want 30 (three batches of 10)", k.Now())
+	}
+}
+
+func TestSemaphoreAcquireReportsStall(t *testing.T) {
+	k := NewKernel(1)
+	sem := NewSemaphore(1)
+	var stall Time
+	k.Spawn("first", func(p *Process) {
+		sem.Acquire(p)
+		p.Wait(7)
+		sem.Release()
+	})
+	k.Spawn("second", func(p *Process) {
+		stall = sem.Acquire(p)
+		sem.Release()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stall != 7 {
+		t.Errorf("stall = %v, want 7", stall)
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	k := NewKernel(1)
+	b := NewBarrier(3)
+	var release []Time
+	for i, d := range []Time{3, 9, 6} {
+		d := d
+		k.Spawn("p", func(p *Process) {
+			p.Wait(d)
+			b.Await(p)
+			release = append(release, p.Now())
+		})
+		_ = i
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(release) != 3 {
+		t.Fatalf("%d processes released, want 3", len(release))
+	}
+	for _, r := range release {
+		if r != 9 {
+			t.Errorf("released at %v, want 9 (latest arrival)", r)
+		}
+	}
+}
+
+func TestBarrierIsReusable(t *testing.T) {
+	k := NewKernel(1)
+	b := NewBarrier(2)
+	count := 0
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", func(p *Process) {
+			for r := 0; r < 3; r++ {
+				p.Wait(1)
+				b.Await(p)
+				count++
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("count = %d, want 6", count)
+	}
+}
+
+// Property: for any set of non-negative delays, the kernel executes events in
+// nondecreasing time order and the clock never runs backwards.
+func TestKernelTimeMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel(1)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			d := Time(d)
+			k.At(d, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+				if k.Now() != d {
+					ok = false
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: processes waiting random durations finish at the sum of their
+// waits, independent of how many other processes run.
+func TestProcessWaitSumsProperty(t *testing.T) {
+	f := func(waits [][]uint8) bool {
+		k := NewKernel(1)
+		ok := true
+		for _, ws := range waits {
+			ws := ws
+			k.Spawn("p", func(p *Process) {
+				var total Time
+				for _, w := range ws {
+					p.Wait(Time(w))
+					total += Time(w)
+				}
+				if p.Now() != total {
+					ok = false
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYieldRunsOthersFirst(t *testing.T) {
+	k := NewKernel(1)
+	var log []string
+	k.Spawn("a", func(p *Process) {
+		log = append(log, "a1")
+		p.Yield()
+		log = append(log, "a2")
+	})
+	k.Spawn("b", func(p *Process) {
+		log = append(log, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// Process is a simulated thread of control. Its body runs in a dedicated
+// goroutine, but the kernel resumes processes one at a time: whenever the
+// body calls a blocking Process method the goroutine parks and hands control
+// back to the kernel, which runs other events until it is this process's turn
+// again. Simulated time only advances between those hand-offs, so process
+// code observes a coherent clock via Now.
+type Process struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{} // kernel -> process: run
+	parked  chan struct{} // process -> kernel: parked or finished
+	done    bool
+	blocked bool // parked with no scheduled wake-up (waiting on a Signal)
+}
+
+// Spawn creates a process running body and schedules it to start at the
+// current simulated time. The name appears in deadlock reports.
+func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume // wait for the kernel to start us
+		body(p)
+		p.done = true
+		p.parked <- struct{}{}
+	}()
+	k.After(0, p.wake)
+	return p
+}
+
+// wake transfers control to the process goroutine and blocks the kernel until
+// the process parks again. This strict hand-off is what makes the simulation
+// deterministic.
+func (p *Process) wake() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park returns control to the kernel and blocks until woken.
+func (p *Process) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Now reports the current simulated time.
+func (p *Process) Now() Time { return p.k.Now() }
+
+// Wait advances this process's clock by d cycles of simulated time.
+func (p *Process) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q waiting negative duration %d", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.After(d, p.wake)
+	p.park()
+}
+
+// WaitUntil advances this process's clock to absolute time t. Waiting for a
+// time in the past is a no-op.
+func (p *Process) WaitUntil(t Time) {
+	if t <= p.k.Now() {
+		return
+	}
+	p.k.At(t, p.wake)
+	p.park()
+}
+
+// Block parks the process indefinitely; some other event must call Unblock to
+// resume it. Use Signal or Gate for higher-level coordination.
+func (p *Process) Block() {
+	p.blocked = true
+	p.park()
+	p.blocked = false
+}
+
+// Unblock schedules a blocked process to resume at the current simulated
+// time. Calling Unblock on a process that is not blocked is a bug in the
+// caller and panics.
+func (p *Process) Unblock() {
+	if !p.blocked {
+		panic(fmt.Sprintf("sim: Unblock of process %q which is not blocked", p.name))
+	}
+	p.k.After(0, p.wake)
+}
+
+// Yield parks the process and immediately reschedules it at the current time,
+// letting other events scheduled for this instant run first.
+func (p *Process) Yield() {
+	p.k.After(0, p.wake)
+	p.park()
+}

@@ -1,0 +1,117 @@
+package sim
+
+// Signal is a condition that simulated processes can wait on. Waiters are
+// woken in FIFO order, one per Notify, or all at once by Broadcast.
+type Signal struct {
+	waiters []*Process
+}
+
+// Wait blocks the calling process until another event notifies the signal.
+func (s *Signal) Wait(p *Process) {
+	s.waiters = append(s.waiters, p)
+	p.Block()
+}
+
+// Notify wakes the longest-waiting process, if any, and reports whether a
+// process was woken.
+func (s *Signal) Notify() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	w.Unblock()
+	return true
+}
+
+// Broadcast wakes every waiting process.
+func (s *Signal) Broadcast() {
+	for _, w := range s.waiters {
+		w.Unblock()
+	}
+	s.waiters = nil
+}
+
+// Waiting reports the number of processes blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Semaphore is a counting resource with FIFO-queued acquirers. It models
+// finite capacities such as the LogP network capacity constraint: a process
+// that cannot acquire stalls until a release frees a unit.
+type Semaphore struct {
+	capacity int
+	used     int
+	queue    Signal
+}
+
+// NewSemaphore returns a semaphore with the given number of units.
+func NewSemaphore(capacity int) *Semaphore {
+	if capacity < 1 {
+		panic("sim: semaphore capacity must be positive")
+	}
+	return &Semaphore{capacity: capacity}
+}
+
+// Acquire takes one unit, blocking the process until one is free. It returns
+// the simulated time spent stalled.
+func (s *Semaphore) Acquire(p *Process) Time {
+	start := p.Now()
+	for s.used >= s.capacity {
+		s.queue.Wait(p)
+	}
+	s.used++
+	return p.Now() - start
+}
+
+// TryAcquire takes a unit only if one is free, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.used >= s.capacity {
+		return false
+	}
+	s.used++
+	return true
+}
+
+// Release returns one unit and wakes the longest-stalled acquirer, if any.
+// Release may be called from plain events, not only from processes.
+func (s *Semaphore) Release() {
+	if s.used == 0 {
+		panic("sim: semaphore release without acquire")
+	}
+	s.used--
+	s.queue.Notify()
+}
+
+// InUse reports the number of units currently held.
+func (s *Semaphore) InUse() int { return s.used }
+
+// Capacity reports the total number of units.
+func (s *Semaphore) Capacity() int { return s.capacity }
+
+// Barrier blocks processes until a fixed number have arrived, then releases
+// them all. It is reusable: the generation counter flips once all arrive.
+type Barrier struct {
+	parties int
+	arrived int
+	sig     Signal
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("sim: barrier parties must be positive")
+	}
+	return &Barrier{parties: parties}
+}
+
+// Await blocks until all parties have called Await, then wakes everyone.
+// The last arriver does not block.
+func (b *Barrier) Await(p *Process) {
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.sig.Broadcast()
+		return
+	}
+	b.sig.Wait(p)
+}

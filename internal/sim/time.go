@@ -1,0 +1,39 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a simulated clock by executing events from a priority
+// queue ordered by (time, insertion sequence). Simulated processes run user
+// code in their own goroutines but are scheduled strictly one at a time by
+// the kernel, so a given program is bit-reproducible regardless of GOMAXPROCS.
+//
+// The package is the substrate for both the LogP abstract machine
+// (internal/logp) and the packet-level network simulator (internal/network).
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, measured in integer cycles.
+// The unit is defined by the client (the LogP machine uses processor cycles
+// or hardware clock ticks).
+type Time int64
+
+// Infinity is a time later than any event the kernel will ever execute.
+const Infinity Time = 1<<63 - 1
+
+// String renders the time as a bare cycle count.
+func (t Time) String() string { return fmt.Sprintf("%d", int64(t)) }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

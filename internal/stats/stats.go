@@ -1,0 +1,172 @@
+// Package stats provides the small statistics and formatting helpers shared
+// by the benchmark harness: summary statistics, exponential growth fitting
+// (for the Figure 2 microprocessor trend), and ASCII table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N                  int
+	Mean, Min, Max, SD float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.SD = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("stats: need >= 2 paired points, got %d/%d", len(x), len(y))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// GrowthRate fits an exponential y = a * (1+r)^x and returns the annual
+// growth rate r (x in years). Used for the Figure 2 claim that
+// floating-point performance grew ~97%/year and integer ~54%/year.
+func GrowthRate(years, perf []float64) (float64, error) {
+	logs := make([]float64, len(perf))
+	for i, p := range perf {
+		if p <= 0 {
+			return 0, fmt.Errorf("stats: non-positive performance %v", p)
+		}
+		logs[i] = math.Log(p)
+	}
+	slope, _, err := LinearFit(years, logs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(slope) - 1, nil
+}
+
+// Table renders rows of cells as an aligned ASCII table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) sequence for figure output.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// CSV renders one or more series sharing an x-axis as CSV with a header,
+// for plotting figures externally.
+func CSV(xName string, series ...Series) string {
+	var b strings.Builder
+	b.WriteString(xName)
+	for _, s := range series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

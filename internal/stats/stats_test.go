@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.SD-1.2909944487) > 1e-9 {
+		t.Errorf("sd = %v", s.SD)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary %+v", z)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit %v, %v", slope, intercept)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLinearFitProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		slope0, icept0 := float64(a)/8, float64(b)
+		x := []float64{0, 1, 2, 3, 4}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = slope0*x[i] + icept0
+		}
+		s, ic, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s-slope0) < 1e-9 && math.Abs(ic-icept0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowthRate(t *testing.T) {
+	years := []float64{1987, 1988, 1989, 1990}
+	perf := []float64{10, 20, 40, 80} // doubling: 100%/yr
+	r, err := GrowthRate(years, perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1.0) > 1e-9 {
+		t.Errorf("growth %v, want 1.0", r)
+	}
+	if _, err := GrowthRate(years, []float64{1, -2, 3, 4}); err == nil {
+		t.Error("negative performance accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.Add("alpha", 3.14159)
+	tb.Add("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") || !strings.Contains(out, "42") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("%d lines, want 4", len(lines))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s1 := Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}
+	s2 := Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}}
+	out := CSV("n", s1, s2)
+	want := "n,a,b\n1,10,30\n2,20,40\n"
+	if out != want {
+		t.Errorf("csv = %q, want %q", out, want)
+	}
+	if CSV("x") != "x\n" {
+		t.Error("empty csv wrong")
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace records and renders per-processor activity timelines from
+// simulated LogP machine runs: what each processor was doing (computing,
+// paying send/receive overhead, stalled on the capacity constraint, or idle)
+// during every cycle. The ASCII Gantt rendering reproduces the right-hand
+// sides of Figures 3 and 4 of the paper.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies what a processor is doing during a segment.
+type Kind uint8
+
+const (
+	// Compute is local work (unit-time operations).
+	Compute Kind = iota
+	// SendOverhead is the o cycles a processor spends transmitting.
+	SendOverhead
+	// RecvOverhead is the o cycles a processor spends receiving.
+	RecvOverhead
+	// Stall is time blocked by the network capacity constraint ceil(L/g).
+	Stall
+	// Idle is time waiting: for a message to arrive, for the gap, or for
+	// the program to end.
+	Idle
+	numKinds
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case SendOverhead:
+		return "send-o"
+	case RecvOverhead:
+		return "recv-o"
+	case Stall:
+		return "stall"
+	case Idle:
+		return "idle"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// glyph is the single character used in Gantt rendering.
+func (k Kind) glyph() byte {
+	switch k {
+	case Compute:
+		return '#'
+	case SendOverhead:
+		return 'S'
+	case RecvOverhead:
+		return 'R'
+	case Stall:
+		return '!'
+	case Idle:
+		return '.'
+	}
+	return '?'
+}
+
+// Segment is one contiguous activity interval [Start, End) on a processor.
+type Segment struct {
+	Proc  int
+	Kind  Kind
+	Start int64
+	End   int64
+}
+
+// Log accumulates segments from a run. The zero value is ready to use.
+type Log struct {
+	Segments []Segment
+}
+
+// Add appends a segment; zero-length segments are dropped.
+func (l *Log) Add(proc int, kind Kind, start, end int64) {
+	if end <= start {
+		return
+	}
+	// Coalesce with the previous segment of the same processor and kind.
+	if n := len(l.Segments); n > 0 {
+		last := &l.Segments[n-1]
+		if last.Proc == proc && last.Kind == kind && last.End == start {
+			last.End = end
+			return
+		}
+	}
+	l.Segments = append(l.Segments, Segment{Proc: proc, Kind: kind, Start: start, End: end})
+}
+
+// ByProc returns the segments of one processor in start order.
+func (l *Log) ByProc(proc int) []Segment {
+	var out []Segment
+	for _, s := range l.Segments {
+		if s.Proc == proc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Busy sums the time processor proc spends in the given kind.
+func (l *Log) Busy(proc int, kind Kind) int64 {
+	var total int64
+	for _, s := range l.Segments {
+		if s.Proc == proc && s.Kind == kind {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// End returns the latest segment end across all processors.
+func (l *Log) End() int64 {
+	var end int64
+	for _, s := range l.Segments {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Validate checks that no processor has overlapping segments: a processor
+// does one thing at a time.
+func (l *Log) Validate(procs int) error {
+	for p := 0; p < procs; p++ {
+		segs := l.ByProc(p)
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start < segs[i-1].End {
+				return fmt.Errorf("trace: proc %d segments overlap: %v then %v", p, segs[i-1], segs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Utilization summarizes each processor's time split across activity kinds
+// over the horizon [0, End()): fractions indexed by Kind, with unaccounted
+// time counted as Idle.
+func (l *Log) Utilization(procs int) [][]float64 {
+	end := l.End()
+	out := make([][]float64, procs)
+	for p := 0; p < procs; p++ {
+		out[p] = make([]float64, numKinds)
+		if end == 0 {
+			out[p][Idle] = 1
+			continue
+		}
+		var accounted int64
+		for _, s := range l.Segments {
+			if s.Proc != p {
+				continue
+			}
+			out[p][s.Kind] += float64(s.End-s.Start) / float64(end)
+			if s.Kind != Idle {
+				accounted += s.End - s.Start
+			}
+		}
+		// Time not covered by any non-idle segment is idle (a processor
+		// that finished early, or waits the log did not record).
+		out[p][Idle] = 1 - float64(accounted)/float64(end)
+	}
+	return out
+}
+
+// Gantt renders an ASCII timeline, one row per processor, one column per
+// timeUnit cycles; the majority activity in each bucket picks the glyph.
+// This is the Figure 3 / Figure 4 style view:
+//
+//	P0 |SSS#...
+//	P1 |....RR#
+func (l *Log) Gantt(procs int, timeUnit int64) string {
+	if timeUnit < 1 {
+		timeUnit = 1
+	}
+	end := l.End()
+	cols := int((end + timeUnit - 1) / timeUnit)
+	var b strings.Builder
+	// Header ruler every 10 columns.
+	b.WriteString("      ")
+	for c := 0; c < cols; c++ {
+		if c%10 == 0 {
+			b.WriteString(fmt.Sprintf("%-10d", int64(c)*timeUnit))
+		}
+	}
+	b.WriteByte('\n')
+	for p := 0; p < procs; p++ {
+		row := make([]byte, cols)
+		fill := make([][numKinds]int64, cols)
+		for _, s := range l.ByProc(p) {
+			for t := s.Start; t < s.End; t++ {
+				c := int(t / timeUnit)
+				if c < cols {
+					fill[c][s.Kind] += 1
+				}
+			}
+		}
+		for c := 0; c < cols; c++ {
+			bestK, bestV := Idle, int64(0)
+			for k := Kind(0); k < numKinds; k++ {
+				if fill[c][k] > bestV {
+					bestK, bestV = k, fill[c][k]
+				}
+			}
+			if bestV == 0 {
+				row[c] = ' '
+			} else {
+				row[c] = bestK.glyph()
+			}
+		}
+		fmt.Fprintf(&b, "P%-4d |%s|\n", p, string(row))
+	}
+	b.WriteString("       # compute  S send-overhead  R recv-overhead  ! stall  . idle\n")
+	return b.String()
+}

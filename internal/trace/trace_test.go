@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddCoalescesAdjacent(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 5)
+	l.Add(0, Compute, 5, 9)
+	l.Add(0, SendOverhead, 9, 11)
+	l.Add(0, Compute, 11, 12) // gap in kind: separate
+	if len(l.Segments) != 3 {
+		t.Fatalf("%d segments, want 3 after coalescing", len(l.Segments))
+	}
+	if l.Segments[0].End != 9 {
+		t.Errorf("coalesced end %d, want 9", l.Segments[0].End)
+	}
+	l.Add(0, Idle, 12, 12) // zero-length dropped
+	if len(l.Segments) != 3 {
+		t.Error("zero-length segment not dropped")
+	}
+}
+
+func TestBusyAndEnd(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 5)
+	l.Add(1, Compute, 2, 4)
+	l.Add(0, Stall, 5, 8)
+	if got := l.Busy(0, Compute); got != 5 {
+		t.Errorf("busy compute = %d", got)
+	}
+	if got := l.Busy(0, Stall); got != 3 {
+		t.Errorf("busy stall = %d", got)
+	}
+	if l.End() != 8 {
+		t.Errorf("end = %d", l.End())
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 5)
+	l.Add(0, RecvOverhead, 3, 6)
+	if err := l.Validate(1); err == nil {
+		t.Error("overlap not detected")
+	}
+	var ok Log
+	ok.Add(0, Compute, 0, 5)
+	ok.Add(0, RecvOverhead, 5, 6)
+	if err := ok.Validate(1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	var l Log
+	l.Add(0, SendOverhead, 0, 2)
+	l.Add(0, Idle, 2, 4)
+	l.Add(1, RecvOverhead, 4, 6)
+	l.Add(1, Compute, 6, 10)
+	out := l.Gantt(2, 1)
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var p0, p1 string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "P0") {
+			p0 = ln
+		}
+		if strings.HasPrefix(ln, "P1") {
+			p1 = ln
+		}
+	}
+	if !strings.Contains(p0, "SS..") {
+		t.Errorf("P0 row %q", p0)
+	}
+	if !strings.Contains(p1, "RR####") {
+		t.Errorf("P1 row %q", p1)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{Compute: "compute", SendOverhead: "send-o", RecvOverhead: "recv-o", Stall: "stall", Idle: "idle"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestGanttBucketsMajority(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 8)
+	l.Add(0, Idle, 8, 10)
+	out := l.Gantt(1, 10) // one bucket: compute dominates
+	if !strings.Contains(out, "|#|") {
+		t.Errorf("bucket glyph wrong:\n%s", out)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 6)
+	l.Add(0, SendOverhead, 6, 8)
+	l.Add(1, Stall, 0, 5)
+	u := l.Utilization(2)
+	if u[0][Compute] != 0.75 || u[0][SendOverhead] != 0.25 || u[0][Idle] != 0 {
+		t.Errorf("proc0 utilization %v", u[0])
+	}
+	if u[1][Stall] != 0.625 || u[1][Idle] != 0.375 {
+		t.Errorf("proc1 utilization %v", u[1])
+	}
+	empty := (&Log{}).Utilization(1)
+	if empty[0][Idle] != 1 {
+		t.Errorf("empty log utilization %v", empty[0])
+	}
+}

@@ -1,0 +1,130 @@
+// Package vp implements latency masking by multithreading (Section 3.2):
+// one physical processor simulates several virtual processors, each issuing
+// remote requests, so computation need not stall during a round trip. The
+// model's claim, reproduced by this package's experiment: the technique is
+// "limited by the available communication bandwidth and by the overhead
+// involved in context switching", and the network can hold only ceil(L/g)
+// messages per processor — so useful parallelism saturates once the request
+// pipeline is full (about round-trip/g virtual processors; the paper states
+// the one-way form, L/g) and throughput ceilings at the bandwidth bound
+// 1/g. "Under LogP, multithreading represents a convenient technique ...
+// as long as these constraints are met, rather than a fundamental
+// requirement."
+package vp
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Config describes a multithreading run: processor 0 hosts the virtual
+// processors; processors 1..P-1 are memory servers answering requests
+// round-robin.
+type Config struct {
+	Machine logp.Config
+	// VPs is the number of virtual processors multiplexed on processor 0.
+	VPs int
+	// RequestsPerVP is how many remote round trips each virtual processor
+	// performs.
+	RequestsPerVP int
+	// WorkPerReply is the local computation a virtual processor runs after
+	// each reply, before its next request.
+	WorkPerReply int64
+	// ContextSwitchCost models the register/cache switch between virtual
+	// processors, charged on every reply dispatch. The paper notes "we do
+	// not model context switching overhead" in the base model — the default
+	// 0 matches that — but also that in practice the technique is limited
+	// by it; set it to explore the trade-off (Section 6.3's BSP critique).
+	ContextSwitchCost int64
+}
+
+// Result reports a run.
+type Result struct {
+	Time       int64
+	Requests   int
+	Throughput float64 // requests completed per cycle on the physical processor
+	Stall      int64   // capacity-stall cycles at the client
+}
+
+const tagBase = 15000
+
+// Run executes the workload and reports client throughput.
+func Run(cfg Config) (Result, error) {
+	if cfg.Machine.P < 2 {
+		return Result{}, fmt.Errorf("vp: need at least one server processor")
+	}
+	if cfg.VPs < 1 || cfg.RequestsPerVP < 1 {
+		return Result{}, fmt.Errorf("vp: need at least one VP and one request")
+	}
+	total := cfg.VPs * cfg.RequestsPerVP
+	servers := cfg.Machine.P - 1
+
+	// Each server answers its share of requests, then stops.
+	perServer := make([]int, servers)
+	for v := 0; v < cfg.VPs; v++ {
+		perServer[v%servers] += cfg.RequestsPerVP
+	}
+
+	var clientTime, clientStall int64
+	res, err := logp.Run(cfg.Machine, func(p *logp.Proc) {
+		if p.ID() != 0 {
+			for i := 0; i < perServer[p.ID()-1]; i++ {
+				m := p.Recv()
+				p.Send(0, m.Tag, nil) // echo the reply, same virtual processor tag
+			}
+			return
+		}
+		// The client: launch every virtual processor's first request, then
+		// dispatch replies — each reply runs its virtual processor's work
+		// and immediately issues that processor's next request, keeping
+		// sends and receives interleaved.
+		remaining := make([]int, cfg.VPs)
+		for v := range remaining {
+			remaining[v] = cfg.RequestsPerVP
+		}
+		for v := 0; v < cfg.VPs; v++ {
+			p.Send(1+v%servers, tagBase+v, nil) // stalls at the capacity limit
+		}
+		for done := 0; done < total; done++ {
+			m := p.Recv()
+			v := m.Tag - tagBase
+			if c := cfg.ContextSwitchCost; c > 0 {
+				p.Compute(c)
+			}
+			if w := cfg.WorkPerReply; w > 0 {
+				p.Compute(w)
+			}
+			remaining[v]--
+			if remaining[v] > 0 {
+				p.Send(1+v%servers, tagBase+v, nil)
+			}
+		}
+		clientTime = p.Now()
+		clientStall = p.Stats().Stall
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	_ = res
+	out := Result{Time: clientTime, Requests: total, Stall: clientStall}
+	if clientTime > 0 {
+		out.Throughput = float64(total) / float64(clientTime)
+	}
+	return out, nil
+}
+
+// Sweep measures throughput across virtual-processor counts.
+func Sweep(base Config, vps []int) ([]Result, error) {
+	out := make([]Result, 0, len(vps))
+	for _, v := range vps {
+		cfg := base
+		cfg.VPs = v
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

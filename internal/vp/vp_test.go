@@ -1,0 +1,97 @@
+package vp
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func machine(p int, l, o, g int64) logp.Config {
+	return logp.Config{Params: core.Params{P: p, L: l, O: o, G: g}}
+}
+
+func TestSingleVPPaysFullRoundTrip(t *testing.T) {
+	// One virtual processor is the unpipelined case: each request costs a
+	// full round trip 2(2o+L) plus the work.
+	m := machine(2, 20, 2, 4)
+	res, err := Run(Config{Machine: m, VPs: 1, RequestsPerVP: 5, WorkPerReply: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perReq := 2*(2*m.Params.O+m.Params.L) + 3
+	if want := int64(5) * perReq; res.Time != want {
+		t.Errorf("time %d, want %d (5 x (2(2o+L)+w))", res.Time, want)
+	}
+	if res.Requests != 5 {
+		t.Errorf("requests %d", res.Requests)
+	}
+}
+
+// TestMaskingImprovesWithVPs: adding virtual processors overlaps round
+// trips, raising throughput.
+func TestMaskingImprovesWithVPs(t *testing.T) {
+	m := machine(5, 60, 2, 4)
+	results, err := Sweep(Config{Machine: m, RequestsPerVP: 20, WorkPerReply: 2}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(results[1].Throughput > results[0].Throughput*1.5) {
+		t.Errorf("2 VPs: %.4f vs 1 VP %.4f, want a large gain", results[1].Throughput, results[0].Throughput)
+	}
+	if !(results[2].Throughput > results[1].Throughput) {
+		t.Errorf("4 VPs: %.4f not above 2 VPs %.4f", results[2].Throughput, results[1].Throughput)
+	}
+}
+
+// TestGapLimitsVPs: the Section 3.2 bound, in round-trip form. A virtual
+// processor is stalled for a full round trip 2(2o+L) per request, and the
+// client can issue at most one request per gap g; so useful parallelism
+// saturates at about RTT/g virtual processors (the paper states the
+// one-way form, L/g), and the throughput ceiling is the bandwidth bound
+// 1/g — more virtual processors buy nothing.
+func TestGapLimitsVPs(t *testing.T) {
+	m := machine(9, 64, 1, 8)
+	rtt := 2 * m.Params.PointToPoint()
+	vstar := int(rtt/m.Params.SendInterval()) + 1
+	results, err := Sweep(Config{Machine: m, RequestsPerVP: 30, WorkPerReply: 1},
+		[]int{vstar, 2 * vstar, 4 * vstar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atStar, at2, at4 := results[0].Throughput, results[1].Throughput, results[2].Throughput
+	if at2 > atStar*1.15 || at4 > atStar*1.15 {
+		t.Errorf("throughput kept rising past RTT/g VPs: %.4f -> %.4f -> %.4f", atStar, at2, at4)
+	}
+	ceiling := 1 / float64(m.Params.SendInterval())
+	if atStar < ceiling*0.8 || atStar > ceiling*1.01 {
+		t.Errorf("saturated throughput %.4f, want about the bandwidth bound 1/g = %.4f", atStar, ceiling)
+	}
+}
+
+// TestContextSwitchCostErodesGains: with a high switch cost the technique
+// loses its benefit — the practical limitation the paper raises against
+// PRAM-style excess parallel slackness (Section 6.3).
+func TestContextSwitchCostErodesGains(t *testing.T) {
+	m := machine(5, 60, 2, 4)
+	free, err := Run(Config{Machine: m, VPs: 8, RequestsPerVP: 20, WorkPerReply: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Run(Config{Machine: m, VPs: 8, RequestsPerVP: 20, WorkPerReply: 2, ContextSwitchCost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Throughput >= free.Throughput*0.8 {
+		t.Errorf("50-cycle context switches barely hurt: %.4f vs %.4f", costly.Throughput, free.Throughput)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Machine: machine(1, 10, 1, 2), VPs: 1, RequestsPerVP: 1}); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := Run(Config{Machine: machine(2, 10, 1, 2), VPs: 0, RequestsPerVP: 1}); err == nil {
+		t.Error("zero VPs accepted")
+	}
+}
