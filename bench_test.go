@@ -118,6 +118,71 @@ func BenchmarkMachineMessageThroughput(b *testing.B) {
 	b.ReportMetric(float64(msgs*8*b.N)/b.Elapsed().Seconds(), "msgs/s")
 }
 
+// BenchmarkHeapPushPop measures the typed 4-ary event heap in isolation: a
+// reverse-time burst of schedules followed by a full drain. Steady-state
+// push/pop must not allocate (the backing slice is pooled and reused).
+func BenchmarkHeapPushPop(b *testing.B) {
+	const events = 10_000
+	b.ReportAllocs()
+	n := 0
+	count := func() { n++ }
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		for j := events; j > 0; j-- { // reverse order: worst-case sift-up
+			k.At(sim.Time(j), count)
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n != events*b.N {
+		b.Fatalf("ran %d events, want %d", n, events*b.N)
+	}
+	b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkContextSwitch measures the kernel<->process handoff: two
+// processes alternating via Yield, which always forces a real park (the
+// in-place clock advance cannot elide it). Each Yield is one round trip —
+// two goroutine switches — and must not allocate.
+func BenchmarkContextSwitch(b *testing.B) {
+	const yields = 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		for p := 0; p < 2; p++ {
+			k.Spawn("spinner", func(p *sim.Process) {
+				for j := 0; j < yields; j++ {
+					p.Yield()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*yields*b.N)/b.Elapsed().Seconds(), "switches/s")
+}
+
+// BenchmarkProcessWait measures the elided-park fast path: a lone process
+// advancing its clock. No events, no parks, no allocations.
+func BenchmarkProcessWait(b *testing.B) {
+	const waits = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		k.Spawn("clock", func(p *sim.Process) {
+			for j := 0; j < waits; j++ {
+				p.Wait(3)
+			}
+		})
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(waits*b.N)/b.Elapsed().Seconds(), "waits/s")
+}
+
 // BenchmarkOptimalBroadcastConstruction measures the schedule builder at a
 // thousand processors.
 func BenchmarkOptimalBroadcastConstruction(b *testing.B) {

@@ -7,6 +7,7 @@
 //	figures              # run everything at the default scale
 //	figures -id fig6     # one experiment
 //	figures -scale 4     # larger problem sizes (closer to the paper's)
+//	figures -par 1       # force sequential execution
 //	figures -list        # list experiment ids
 package main
 
@@ -19,56 +20,18 @@ import (
 	"github.com/logp-model/logp/internal/experiments"
 )
 
-type entry struct {
-	id  string
-	run func(experiments.Scale) experiments.Report
-}
-
-func catalog() []entry {
-	fixed := func(f func() experiments.Report) func(experiments.Scale) experiments.Report {
-		return func(experiments.Scale) experiments.Report { return f() }
-	}
-	return []entry{
-		{"fig2", fixed(experiments.Fig2)},
-		{"fig3", fixed(experiments.Fig3)},
-		{"fig4", fixed(experiments.Fig4)},
-		{"fig5", fixed(experiments.Fig5)},
-		{"fig6", experiments.Fig6},
-		{"fig7", experiments.Fig7},
-		{"fig8", experiments.Fig8},
-		{"table-dist", fixed(experiments.TableAvgDistance)},
-		{"table1", fixed(experiments.Table1)},
-		{"saturation", experiments.Saturation},
-		{"lu", experiments.LULayouts},
-		{"sort", experiments.SortComparison},
-		{"cc", experiments.CCStudy},
-		{"models", fixed(experiments.ModelComparison)},
-		{"capacity", fixed(experiments.CapacityAblation)},
-		{"bcast-sweep", fixed(experiments.BroadcastSweep)},
-		{"multithreading", fixed(experiments.Multithreading)},
-		{"longmsg", fixed(experiments.LongMessages)},
-		{"surface", experiments.SurfaceToVolume},
-		{"overlap", fixed(experiments.OverlapFFT)},
-		{"patterns", experiments.PatternGaps},
-		{"paramspace", fixed(experiments.ParameterSpace)},
-		{"pram", fixed(experiments.PRAMEmulation)},
-		{"robustness", fixed(experiments.Robustness)},
-		{"bsp", experiments.BSPComparison},
-		{"am", fixed(experiments.ActiveMessages)},
-	}
-}
-
 func main() {
 	id := flag.String("id", "", "run a single experiment by id")
 	scale := flag.Int("scale", 1, "problem-size scale (1 = fast default, 4+ = paper-sized machine)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	out := flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS; results are identical at any setting)")
 	flag.Parse()
 
-	cat := catalog()
+	cat := experiments.Catalog()
 	if *list {
 		for _, e := range cat {
-			fmt.Println(e.id)
+			fmt.Println(e.ID)
 		}
 		return
 	}
@@ -78,12 +41,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	failures := 0
-	for _, e := range cat {
-		if *id != "" && e.id != *id {
-			continue
+	experiments.SetParallelism(*par)
+
+	var reports []experiments.Report
+	if *id == "" {
+		reports = experiments.RunAll(experiments.Scale(*scale))
+	} else {
+		found := false
+		for _, e := range cat {
+			if e.ID == *id {
+				reports = append(reports, e.Run(experiments.Scale(*scale)))
+				found = true
+			}
 		}
-		rep := e.run(experiments.Scale(*scale))
+		if !found {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (use -list)\n", *id)
+			os.Exit(2)
+		}
+	}
+	failures := 0
+	for _, rep := range reports {
 		fmt.Println(rep.String())
 		if *out != "" {
 			path := filepath.Join(*out, rep.ID+".txt")
@@ -93,18 +70,6 @@ func main() {
 			}
 		}
 		failures += len(rep.Failed())
-	}
-	if *id != "" && failures == 0 {
-		found := false
-		for _, e := range cat {
-			if e.id == *id {
-				found = true
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (use -list)\n", *id)
-			os.Exit(2)
-		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d check(s) failed\n", failures)

@@ -23,29 +23,45 @@ func BSPComparison(scale Scale) Report {
 		sizes[i] *= s
 	}
 	tb := stats.Table{Header: []string{"points", "LogP hybrid", "BSP supersteps", "BSP/LogP"}}
-	var ratios []float64
-	var agree bool = true
-	for _, n := range sizes {
+	type point struct {
+		logpTime, bspTime int64
+		agree             bool
+		fail              failure
+	}
+	points := mapIndexed(len(sizes), func(i int) point {
+		n := sizes[i]
 		in := fftInput(n, int64(n))
 		cfg := fft.Config{N: n, Machine: fft.CM5Machine(P), Cost: fft.CM5Cost(), Schedule: fft.StaggeredSchedule}
 		a, _, logpRes, err := fft.Run(cfg, append([]complex128(nil), in...))
 		if err != nil {
-			return Report{ID: "bsp", Checks: []Check{check("logp run", false, "%v", err)}}
+			return point{fail: fail("bsp", check("logp run", false, "%v", err))}
 		}
 		b, bspRes, err := fft.RunBSP(cfg, append([]complex128(nil), in...))
 		if err != nil {
-			return Report{ID: "bsp", Checks: []Check{check("bsp run", false, "%v", err)}}
+			return point{fail: fail("bsp", check("bsp run", false, "%v", err))}
 		}
+		pt := point{logpTime: logpRes.Time, bspTime: bspRes.Time, agree: true}
 		for i := range a {
 			d := a[i] - b[i]
 			if real(d)*real(d)+imag(d)*imag(d) > 1e-18*float64(n) {
-				agree = false
+				pt.agree = false
 				break
 			}
 		}
-		ratio := float64(bspRes.Time) / float64(logpRes.Time)
+		return pt
+	})
+	var ratios []float64
+	var agree bool = true
+	for i, pt := range points {
+		if pt.fail.rep != nil {
+			return *pt.fail.rep
+		}
+		if !pt.agree {
+			agree = false
+		}
+		ratio := float64(pt.bspTime) / float64(pt.logpTime)
 		ratios = append(ratios, ratio)
-		tb.Add(n, logpRes.Time, bspRes.Time, fmt.Sprintf("%.2fx", ratio))
+		tb.Add(sizes[i], pt.logpTime, pt.bspTime, fmt.Sprintf("%.2fx", ratio))
 	}
 	// The barrier overhead alone: empty supersteps on the same machine.
 	empty, err := bsp.Run(fft.CM5Machine(P), 4, func(st *bsp.Superstep) {})

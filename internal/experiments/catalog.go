@@ -1,0 +1,52 @@
+package experiments
+
+// Entry is one runnable experiment in the catalog. Experiments whose
+// problem sizes do not scale ignore the Scale argument.
+type Entry struct {
+	ID  string
+	Run func(Scale) Report
+}
+
+// Catalog lists every experiment in the order the paper presents them.
+func Catalog() []Entry {
+	fixed := func(f func() Report) func(Scale) Report {
+		return func(Scale) Report { return f() }
+	}
+	return []Entry{
+		{"fig2", fixed(Fig2)},
+		{"fig3", fixed(Fig3)},
+		{"fig4", fixed(Fig4)},
+		{"fig5", fixed(Fig5)},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"table-dist", fixed(TableAvgDistance)},
+		{"table1", fixed(Table1)},
+		{"saturation", Saturation},
+		{"lu", LULayouts},
+		{"sort", SortComparison},
+		{"cc", CCStudy},
+		{"models", fixed(ModelComparison)},
+		{"capacity", fixed(CapacityAblation)},
+		{"bcast-sweep", fixed(BroadcastSweep)},
+		{"multithreading", fixed(Multithreading)},
+		{"longmsg", fixed(LongMessages)},
+		{"surface", SurfaceToVolume},
+		{"overlap", fixed(OverlapFFT)},
+		{"patterns", PatternGaps},
+		{"paramspace", fixed(ParameterSpace)},
+		{"pram", fixed(PRAMEmulation)},
+		{"robustness", fixed(Robustness)},
+		{"bsp", BSPComparison},
+		{"am", fixed(ActiveMessages)},
+	}
+}
+
+// RunAll regenerates every experiment at the given scale, running them
+// concurrently on the parallel runner (experiments with internal sweeps
+// additionally parallelize their own items). The reports come back in
+// catalog order and are identical to running each entry sequentially.
+func RunAll(scale Scale) []Report {
+	cat := Catalog()
+	return mapIndexed(len(cat), func(i int) Report { return cat[i].Run(scale) })
+}

@@ -26,9 +26,24 @@ func Multithreading() Report {
 	vstar := int(rtt / m.Params.SendInterval())
 	sweep := []int{1, 2, 4, vstar / 2, vstar, 2 * vstar}
 	base := vp.Config{Machine: m, RequestsPerVP: 30, WorkPerReply: 1}
-	results, err := vp.Sweep(base, sweep)
-	if err != nil {
-		return Report{ID: "multithreading", Checks: []Check{check("sweep", false, "%v", err)}}
+	// Each VP count is an independent machine run (vp.Sweep unrolled onto
+	// the parallel runner).
+	type vpOut struct {
+		res vp.Result
+		err error
+	}
+	outs := mapIndexed(len(sweep), func(i int) vpOut {
+		c := base
+		c.VPs = sweep[i]
+		r, err := vp.Run(c)
+		return vpOut{res: r, err: err}
+	})
+	results := make([]vp.Result, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return Report{ID: "multithreading", Checks: []Check{check("sweep", false, "%v", o.err)}}
+		}
+		results[i] = o.res
 	}
 	tb := stats.Table{Header: []string{"virtual procs", "throughput (req/cycle)", "vs 1 VP", "capacity stalls"}}
 	var tput []float64
@@ -80,8 +95,13 @@ func SurfaceToVolume(scale Scale) Report {
 	s := scale.clamp()
 	m := logp.Config{Params: core.Params{P: 4, L: 20, O: 4, G: 8}}
 	tb := stats.Table{Header: []string{"workload", "n", "comm share"}}
-	var stencilFracs, matmulFracs []float64
-	for _, n := range []int{8 * s, 16 * s, 48 * s} {
+	sizes := []int{8 * s, 16 * s, 48 * s}
+	type point struct {
+		stencilFrac, matmulFrac float64
+		fail                    failure
+	}
+	points := mapIndexed(len(sizes), func(i int) point {
+		n := sizes[i]
 		rng := rand.New(rand.NewSource(int64(n)))
 		g := make([][]float64, n)
 		for i := range g {
@@ -92,25 +112,32 @@ func SurfaceToVolume(scale Scale) Report {
 		}
 		_, st, err := stencil.Run(stencil.Config{Machine: m, N: n, Iterations: 4}, g)
 		if err != nil {
-			return Report{ID: "surface", Checks: []Check{check("stencil", false, "%v", err)}}
+			return point{fail: fail("surface", check("stencil", false, "%v", err))}
 		}
-		tb.Add("jacobi stencil", n, fmt.Sprintf("%.1f%%", st.CommFraction*100))
-		stencilFracs = append(stencilFracs, st.CommFraction)
-
 		a, b := lu.Random(n, int64(n)), lu.Random(n, int64(n)+1)
 		_, res, err := matmul.Run(matmul.Config{Machine: m, Algo: matmul.SUMMA}, a, b)
 		if err != nil {
-			return Report{ID: "surface", Checks: []Check{check("matmul", false, "%v", err)}}
+			return point{fail: fail("surface", check("matmul", false, "%v", err))}
 		}
-		frac := 1 - res.BusyFraction()
-		tb.Add("summa matmul", n, fmt.Sprintf("%.1f%%", frac*100))
-		matmulFracs = append(matmulFracs, frac)
+		return point{stencilFrac: st.CommFraction, matmulFrac: 1 - res.BusyFraction()}
+	})
+	var stencilFracs, matmulFracs []float64
+	for i, pt := range points {
+		if pt.fail.rep != nil {
+			return *pt.fail.rep
+		}
+		tb.Add("jacobi stencil", sizes[i], fmt.Sprintf("%.1f%%", pt.stencilFrac*100))
+		stencilFracs = append(stencilFracs, pt.stencilFrac)
+		tb.Add("summa matmul", sizes[i], fmt.Sprintf("%.1f%%", pt.matmulFrac*100))
+		matmulFracs = append(matmulFracs, pt.matmulFrac)
 	}
-	// 1D vs 2D matmul communication volume at a fixed size.
+	// 1D vs 2D matmul communication volume at a fixed size. Each run draws
+	// its own copies of the (deterministic) operand matrices, so the two
+	// algorithms can run concurrently without sharing them.
 	n := 32 * s
-	a, b := lu.Random(n, 5), lu.Random(n, 6)
 	m16 := logp.Config{Params: core.Params{P: 16, L: 20, O: 4, G: 8}}
 	maxRecv := func(alg matmul.Algorithm) int {
+		a, b := lu.Random(n, 5), lu.Random(n, 6)
 		_, res, err := matmul.Run(matmul.Config{Machine: m16, Algo: alg}, a, b)
 		if err != nil {
 			return -1
@@ -123,7 +150,9 @@ func SurfaceToVolume(scale Scale) Report {
 		}
 		return max
 	}
-	rows, summa := maxRecv(matmul.RowBroadcast), maxRecv(matmul.SUMMA)
+	algos := []matmul.Algorithm{matmul.RowBroadcast, matmul.SUMMA}
+	recvs := mapIndexed(len(algos), func(i int) int { return maxRecv(algos[i]) })
+	rows, summa := recvs[0], recvs[1]
 	text := tb.String()
 	text += fmt.Sprintf("\nmatmul communication per processor at n=%d, P=16: 1D rows %d words, 2D SUMMA %d words (%.1fx)\n",
 		n, rows, summa, float64(rows)/float64(summa))
@@ -183,8 +212,13 @@ func LongMessages() Report {
 		}
 		return total, engaged, resB.Time
 	}
-	pioTotal, pioEngaged, pioBalanced := measure(false)
-	dmaTotal, dmaEngaged, dmaBalanced := measure(true)
+	type mOut struct{ total, engaged, balanced int64 }
+	modes := mapIndexed(2, func(i int) mOut {
+		t, e, b := measure(i == 1)
+		return mOut{t, e, b}
+	})
+	pioTotal, pioEngaged, pioBalanced := modes[0].total, modes[0].engaged, modes[0].balanced
+	dmaTotal, dmaEngaged, dmaBalanced := modes[1].total, modes[1].engaged, modes[1].balanced
 	tb.Add("PIO (o per word)", pioTotal, pioEngaged, pioBalanced)
 	tb.Add("DMA coprocessor", dmaTotal, dmaEngaged, dmaBalanced)
 	text := tb.String()
@@ -222,20 +256,29 @@ func OverlapFFT() Report {
 	tb := stats.Table{Header: []string{"machine", "plain", "overlapped", "saving"}}
 	type row struct{ plain, fused int64 }
 	var future, cm5 row
-	for _, r := range []struct {
+	machines := []struct {
 		name string
 		o    int64
 		dst  *row
-	}{{"future (o=6)", 6, &future}, {"CM-5 (o=66)", 66, &cm5}} {
-		var err error
-		r.dst.plain, err = run(r.o, false)
-		if err != nil {
-			return Report{ID: "overlap", Checks: []Check{check(r.name, false, "%v", err)}}
+	}{{"future (o=6)", 6, &future}, {"CM-5 (o=66)", 66, &cm5}}
+	// Four independent runs: (machine, overlap) pairs.
+	type cell struct {
+		time int64
+		err  error
+	}
+	cells := mapIndexed(len(machines)*2, func(i int) cell {
+		t, err := run(machines[i/2].o, i%2 == 1)
+		return cell{time: t, err: err}
+	})
+	for i, r := range machines {
+		plain, fused := cells[2*i], cells[2*i+1]
+		if plain.err != nil {
+			return Report{ID: "overlap", Checks: []Check{check(r.name, false, "%v", plain.err)}}
 		}
-		r.dst.fused, err = run(r.o, true)
-		if err != nil {
-			return Report{ID: "overlap", Checks: []Check{check(r.name, false, "%v", err)}}
+		if fused.err != nil {
+			return Report{ID: "overlap", Checks: []Check{check(r.name, false, "%v", fused.err)}}
 		}
+		r.dst.plain, r.dst.fused = plain.time, fused.time
 		tb.Add(r.name, r.dst.plain, r.dst.fused,
 			fmt.Sprintf("%.1f%%", 100*float64(r.dst.plain-r.dst.fused)/float64(r.dst.plain)))
 	}

@@ -45,25 +45,43 @@ func fig6Machine(scale Scale) (p int, sizes []int) {
 // ~10x; the orderings and the staggered/compute ratio match the paper.
 func Fig6(scale Scale) Report {
 	P, sizes := fig6Machine(scale)
-	var xs, compute, naive, staggered []float64
-	var naiveStallFrac float64
-	for _, n := range sizes {
+	// One sweep item per problem size: both schedules for that size, run
+	// concurrently with the other sizes and reassembled in size order.
+	type point struct {
+		compute, naive, staggered, stallFrac float64
+		fail                                 failure
+	}
+	points := mapIndexed(len(sizes), func(i int) point {
+		n := sizes[i]
 		cfg := fft.Config{N: n, Machine: fft.CM5Machine(P), Cost: fft.CM5Cost(), Schedule: fft.StaggeredSchedule}
 		_, phS, _, err := fft.Run(cfg, fftInput(n, int64(n)))
 		if err != nil {
-			return Report{ID: "fig6", Checks: []Check{check("staggered run", false, "%v", err)}}
+			return point{fail: fail("fig6", check("staggered run", false, "%v", err))}
 		}
 		cfg.Schedule = fft.NaiveSchedule
 		_, phN, resN, err := fft.Run(cfg, fftInput(n, int64(n)))
 		if err != nil {
-			return Report{ID: "fig6", Checks: []Check{check("naive run", false, "%v", err)}}
+			return point{fail: fail("fig6", check("naive run", false, "%v", err))}
 		}
-		naiveStallFrac = float64(resN.TotalStall()) / float64(phN.Remap*int64(P))
-		xs = append(xs, float64(n))
 		comp := float64(phS.Cyclic + phS.Blocked)
-		compute = append(compute, comp*fft.CM5TickNanos/1e9)
-		naive = append(naive, float64(phN.Remap)*fft.CM5TickNanos/1e9)
-		staggered = append(staggered, float64(phS.Remap)*fft.CM5TickNanos/1e9)
+		return point{
+			compute:   comp * fft.CM5TickNanos / 1e9,
+			naive:     float64(phN.Remap) * fft.CM5TickNanos / 1e9,
+			staggered: float64(phS.Remap) * fft.CM5TickNanos / 1e9,
+			stallFrac: float64(resN.TotalStall()) / float64(phN.Remap*int64(P)),
+		}
+	})
+	var xs, compute, naive, staggered []float64
+	var naiveStallFrac float64
+	for i, pt := range points {
+		if pt.fail.rep != nil {
+			return *pt.fail.rep
+		}
+		xs = append(xs, float64(sizes[i]))
+		compute = append(compute, pt.compute)
+		naive = append(naive, pt.naive)
+		staggered = append(staggered, pt.staggered)
+		naiveStallFrac = pt.stallFrac
 	}
 	text := stats.CSV("points",
 		stats.Series{Name: "compute_s", X: xs, Y: compute},
@@ -111,18 +129,32 @@ func Fig7(scale Scale) Report {
 		return lg
 	}
 	lp := k(P)
-	for _, n := range sizes {
+	type point struct {
+		phase1, phase3 float64
+		fail           failure
+	}
+	points := mapIndexed(len(sizes), func(i int) point {
+		n := sizes[i]
 		cfg := fft.Config{N: n, Machine: fft.CM5Machine(P), Cost: cost, Schedule: fft.StaggeredSchedule}
 		_, ph, _, err := fft.Run(cfg, fftInput(n, int64(n)))
 		if err != nil {
-			return Report{ID: "fig7", Checks: []Check{check("run", false, "%v", err)}}
+			return point{fail: fail("fig7", check("run", false, "%v", err))}
 		}
 		bflyPerProc := int64(n / P / 2)
 		b1 := bflyPerProc * int64(k(n)-lp)
 		b3 := bflyPerProc * int64(lp)
-		xs = append(xs, float64(n))
-		phase1 = append(phase1, fft.ComputeMflopsPerProc(b1, ph.Cyclic, fft.CM5TickNanos))
-		phase3 = append(phase3, fft.ComputeMflopsPerProc(b3, ph.Blocked, fft.CM5TickNanos))
+		return point{
+			phase1: fft.ComputeMflopsPerProc(b1, ph.Cyclic, fft.CM5TickNanos),
+			phase3: fft.ComputeMflopsPerProc(b3, ph.Blocked, fft.CM5TickNanos),
+		}
+	})
+	for i, pt := range points {
+		if pt.fail.rep != nil {
+			return *pt.fail.rep
+		}
+		xs = append(xs, float64(sizes[i]))
+		phase1 = append(phase1, pt.phase1)
+		phase3 = append(phase3, pt.phase3)
 	}
 	text := stats.CSV("points",
 		stats.Series{Name: "phase1_mflops", X: xs, Y: phase1},
@@ -181,26 +213,41 @@ func Fig8(scale Scale) Report {
 	for _, n := range sizes {
 		xs = append(xs, float64(n))
 	}
-	for _, v := range variants {
-		var ys []float64
-		for _, n := range sizes {
-			m := fft.CM5Machine(P)
-			if !v.clean {
-				m.ComputeJitter = 0.02 // local timing noise
-				m.ProcSkew = 0.10      // systematic per-node speed differences
-				m.LatencyJitter = 10
-				m.Seed = int64(n)
+	// Flatten the variant x size grid into one sweep: 20 independent
+	// simulations, each with its own machine seeded only by (variant, n).
+	type cell struct {
+		rate float64
+		fail failure
+	}
+	cells := mapIndexed(len(variants)*len(sizes), func(i int) cell {
+		v := variants[i/len(sizes)]
+		n := sizes[i%len(sizes)]
+		m := fft.CM5Machine(P)
+		if !v.clean {
+			m.ComputeJitter = 0.02 // local timing noise
+			m.ProcSkew = 0.10      // systematic per-node speed differences
+			m.LatencyJitter = 10
+			m.Seed = int64(n)
+		}
+		m.BarrierCost = 33 // ~1us hardware barrier
+		if v.halveG {
+			m.Params = m.Params.WithG(m.Params.G / 2)
+		}
+		cfg := fft.Config{N: n, Machine: m, Cost: fft.CM5Cost(), Schedule: v.sched}
+		_, ph, _, err := fft.Run(cfg, fftInput(n, int64(n)))
+		if err != nil {
+			return cell{fail: fail("fig8", check(v.name, false, "%v", err))}
+		}
+		return cell{rate: ph.RemapRateMBps(fft.CM5TickNanos)}
+	})
+	for vi, v := range variants {
+		ys := make([]float64, 0, len(sizes))
+		for si := range sizes {
+			c := cells[vi*len(sizes)+si]
+			if c.fail.rep != nil {
+				return *c.fail.rep
 			}
-			m.BarrierCost = 33 // ~1us hardware barrier
-			if v.halveG {
-				m.Params = m.Params.WithG(m.Params.G / 2)
-			}
-			cfg := fft.Config{N: n, Machine: m, Cost: fft.CM5Cost(), Schedule: v.sched}
-			_, ph, _, err := fft.Run(cfg, fftInput(n, int64(n)))
-			if err != nil {
-				return Report{ID: "fig8", Checks: []Check{check(v.name, false, "%v", err)}}
-			}
-			ys = append(ys, ph.RemapRateMBps(fft.CM5TickNanos))
+			ys = append(ys, c.rate)
 		}
 		rates[v.name] = ys
 		series = append(series, stats.Series{Name: v.name + "_MBps", X: xs, Y: ys})

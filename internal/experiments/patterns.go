@@ -55,23 +55,37 @@ func PatternGaps(scale Scale) Report {
 	tb := stats.Table{Header: []string{"topology", "pattern", "mean latency @0.25", "effective g (1/saturation load)"}}
 	lat := map[string]float64{}
 	effg := map[string]float64{}
-	for _, top := range tops {
-		for _, pat := range patterns {
-			c := cfg
-			c.Pattern = pat
-			r, err := network.RunLoad(top, c)
-			if err != nil {
-				return Report{ID: "patterns", Checks: []Check{check("run", false, "%s/%v: %v", top.Name, pat, err)}}
-			}
-			g, err := effectiveG(top, pat)
-			if err != nil {
-				return Report{ID: "patterns", Checks: []Check{check("knee", false, "%s/%v: %v", top.Name, pat, err)}}
-			}
-			key := top.Name + "/" + pat.String()
-			lat[key] = r.MeanLatency
-			effg[key] = g
-			tb.Add(top.Name, pat.String(), r.MeanLatency, g)
+	// One item per (topology, pattern) cell; topologies are read-only, so
+	// concurrent drives over the same one are safe.
+	type cell struct {
+		lat, effg float64
+		fail      failure
+	}
+	cells := mapIndexed(len(tops)*len(patterns), func(i int) cell {
+		top := tops[i/len(patterns)]
+		pat := patterns[i%len(patterns)]
+		c := cfg
+		c.Pattern = pat
+		r, err := network.RunLoad(top, c)
+		if err != nil {
+			return cell{fail: fail("patterns", check("run", false, "%s/%v: %v", top.Name, pat, err))}
 		}
+		g, err := effectiveG(top, pat)
+		if err != nil {
+			return cell{fail: fail("patterns", check("knee", false, "%s/%v: %v", top.Name, pat, err))}
+		}
+		return cell{lat: r.MeanLatency, effg: g}
+	})
+	for i, c := range cells {
+		if c.fail.rep != nil {
+			return *c.fail.rep
+		}
+		top := tops[i/len(patterns)]
+		pat := patterns[i%len(patterns)]
+		key := top.Name + "/" + pat.String()
+		lat[key] = c.lat
+		effg[key] = c.effg
+		tb.Add(top.Name, pat.String(), c.lat, c.effg)
 	}
 	meshShift := lat["2d-mesh(8x8)/shift"]
 	meshTrans := lat["2d-mesh(8x8)/transpose"]

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapIndexedOrderAndCoverage(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 2, 8, 100} {
+		SetParallelism(workers)
+		var calls atomic.Int64
+		out := mapIndexed(37, func(i int) int {
+			calls.Add(1)
+			return i * i
+		})
+		if len(out) != 37 || calls.Load() != 37 {
+			t.Fatalf("workers=%d: %d results, %d calls", workers, len(out), calls.Load())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if mapIndexed(0, func(int) int { return 0 }) != nil {
+		t.Error("empty map should be nil")
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Errorf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(-5)
+	if Parallelism() < 1 {
+		t.Errorf("default parallelism %d", Parallelism())
+	}
+}
+
+// TestRunnerRaceSmoke drives a handful of cheap generators with many
+// workers. It stays active under -short so `go test -race -short` still
+// exercises the concurrent paths of the runner and the simulators beneath
+// it.
+func TestRunnerRaceSmoke(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	for _, r := range []Report{Multithreading(), LongMessages(), SurfaceToVolume(1), TableAvgDistance()} {
+		if r.ID == "" {
+			t.Error("empty report")
+		}
+	}
+}
+
+// TestParallelDeterminism is the regression test for the parallel runner's
+// central claim: for every converted experiment generator, running the
+// sweeps on many workers produces a Report identical (reflect.DeepEqual) to
+// the sequential path, across at least three scales per generator. Scales
+// that break a generator's preconditions (FFT sizes must be powers of two,
+// so scale 3 does not divide) are included deliberately where cheap: the
+// first-failure precedence of the parallel path must match the sequential
+// early return too. The full matrix is a few minutes of simulation; -short
+// skips it (TestRunnerRaceSmoke keeps race coverage).
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full determinism matrix is expensive")
+	}
+	defer SetParallelism(0)
+	fixed := func(f func() Report) func(Scale) Report {
+		return func(Scale) Report { return f() }
+	}
+	cases := []struct {
+		name   string
+		run    func(Scale) Report
+		scales []Scale
+	}{
+		{"Fig6", Fig6, []Scale{1, 2, 4}},
+		{"Fig7", Fig7, []Scale{1, 2, 4}},
+		{"Fig8", Fig8, []Scale{1, 2, 3}}, // 3: non-power-of-two error path
+		{"BSPComparison", BSPComparison, []Scale{1, 2, 4}},
+		{"Saturation", Saturation, []Scale{1, 2, 3}},
+		{"PatternGaps", PatternGaps, []Scale{1, 2, 3}},
+		{"SurfaceToVolume", SurfaceToVolume, []Scale{1, 2, 3}},
+		{"TableAvgDistance", fixed(TableAvgDistance), []Scale{1, 2, 3}},
+		{"Multithreading", fixed(Multithreading), []Scale{1, 2, 3}},
+		{"LongMessages", fixed(LongMessages), []Scale{1, 2, 3}},
+		{"OverlapFFT", fixed(OverlapFFT), []Scale{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, s := range tc.scales {
+				SetParallelism(1)
+				seq := tc.run(s)
+				SetParallelism(8)
+				par := tc.run(s)
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("scale %d: parallel report differs from sequential\nseq: %+v\npar: %+v", s, seq, par)
+				}
+			}
+		})
+	}
+}

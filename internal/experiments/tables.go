@@ -33,25 +33,37 @@ func TableAvgDistance() Report {
 	tb := stats.Table{Header: []string{"network", "formula @1024", "paper @1024", "measured (BFS, P=64)", "formula @64"}}
 	allClose, measuredTracks := true, true
 	var mins, maxs float64 = math.Inf(1), 0
-	for _, r := range rows {
+	// The BFS measurement dominates each row's cost; rows are independent.
+	type rowOut struct {
+		at1024, at64, measured float64
+		fail                   failure
+	}
+	outs := mapIndexed(len(rows), func(i int) rowOut {
+		r := rows[i]
 		at1024, err := network.AnalyticAverageDistance(r.kind, 1024)
 		if err != nil {
-			return Report{ID: "table-dist", Checks: []Check{check("formula", false, "%v", err)}}
+			return rowOut{fail: fail("table-dist", check("formula", false, "%v", err))}
 		}
 		at64, _ := network.AnalyticAverageDistance(r.kind, r.measP)
-		measured := r.topology.AverageDistance()
-		tb.Add(r.display, at1024, r.paper, measured, at64)
-		if math.Abs(at1024-r.paper) > 0.45 {
+		return rowOut{at1024: at1024, at64: at64, measured: r.topology.AverageDistance()}
+	})
+	for i, o := range outs {
+		if o.fail.rep != nil {
+			return *o.fail.rep
+		}
+		r := rows[i]
+		tb.Add(r.display, o.at1024, r.paper, o.measured, o.at64)
+		if math.Abs(o.at1024-r.paper) > 0.45 {
 			allClose = false
 		}
-		if math.Abs(measured-at64) > 0.35*at64 {
+		if math.Abs(o.measured-o.at64) > 0.35*o.at64 {
 			measuredTracks = false
 		}
-		if at1024 < mins {
-			mins = at1024
+		if o.at1024 < mins {
+			mins = o.at1024
 		}
-		if at1024 > maxs && r.kind != "2d-torus" && r.kind != "2d-mesh" {
-			maxs = at1024
+		if o.at1024 > maxs && r.kind != "2d-torus" && r.kind != "2d-mesh" {
+			maxs = o.at1024
 		}
 	}
 	text := tb.String()
@@ -117,21 +129,39 @@ func Saturation(scale Scale) Report {
 	base := network.LoadConfig{RouterDelay: 2, Pattern: network.UniformTraffic, Horizon: horizon, Warmup: horizon / 6, Seed: 42}
 
 	mesh := network.Mesh2D(8, 8, false)
-	meshRes, err := network.SaturationSweep(mesh, loads, base)
-	if err != nil {
-		return Report{ID: "saturation", Checks: []Check{check("mesh sweep", false, "%v", err)}}
-	}
 	ft := network.FatTree(4, 3)
-	ftRes, err := network.SaturationSweep(ft, loads, base)
-	if err != nil {
-		return Report{ID: "saturation", Checks: []Check{check("fat tree sweep", false, "%v", err)}}
-	}
 	hot := base
 	hot.Pattern = network.HotspotTraffic
-	hotRes, err := network.SaturationSweep(mesh, loads[:5], hot)
-	if err != nil {
-		return Report{ID: "saturation", Checks: []Check{check("hotspot sweep", false, "%v", err)}}
+	// The three load sweeps are independent simulations; run them
+	// concurrently and keep the sequential error precedence.
+	sweeps := []struct {
+		name  string
+		top   *network.Topology
+		loads []float64
+		cfg   network.LoadConfig
+	}{
+		{"mesh sweep", mesh, loads, base},
+		{"fat tree sweep", ft, loads, base},
+		{"hotspot sweep", mesh, loads[:5], hot},
 	}
+	type sweepOut struct {
+		res  []network.LoadResult
+		fail failure
+	}
+	outs := mapIndexed(len(sweeps), func(i int) sweepOut {
+		s := sweeps[i]
+		res, err := network.SaturationSweep(s.top, s.loads, s.cfg)
+		if err != nil {
+			return sweepOut{fail: fail("saturation", check(s.name, false, "%v", err))}
+		}
+		return sweepOut{res: res}
+	})
+	for _, o := range outs {
+		if o.fail.rep != nil {
+			return *o.fail.rep
+		}
+	}
+	meshRes, ftRes, hotRes := outs[0].res, outs[1].res, outs[2].res
 
 	xs := make([]float64, len(loads))
 	meshY := make([]float64, len(loads))

@@ -47,8 +47,11 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
 	}
 	cfg := &p.m.cfg
-	p.idleUntil(p.nextSend)
-	initiation := p.Now()
+	start := p.Now()
+	initiation := start
+	if p.nextSend > initiation {
+		initiation = p.nextSend
+	}
 
 	var engaged, portBusy, lastInjection int64
 	if cfg.Coprocessor {
@@ -64,9 +67,13 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 		lastInjection = engaged
 		portBusy = int64(words) * iv
 	}
-	p.ps.Wait(sim.Time(engaged))
+	// One park covers the gap wait and the engaged stretch.
+	p.ps.WaitUntil(sim.Time(initiation + engaged))
 	p.stats.SendOverhead += engaged
 	p.stats.MsgsSent++
+	if initiation > start {
+		p.record(trace.Idle, start, initiation)
+	}
 	p.record(trace.SendOverhead, initiation, p.Now())
 	p.nextSend = initiation + portBusy
 
@@ -104,16 +111,9 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	if delay < 0 {
 		delay = 0
 	}
-	msg := Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation}
-	dst := p.m.procs[to]
-	p.m.kernel.After(sim.Time(delay), func() {
-		msg.ArrivedAt = int64(p.m.kernel.Now())
-		dst.inbox = append(dst.inbox, msg)
-		if !p.m.cfg.HoldCapacityUntilReceive {
-			p.m.settle(msg)
-		}
-		dst.inboxSig.Notify()
-	})
+	d := p.m.newDelivery()
+	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation}
+	p.m.kernel.AfterRun(sim.Time(delay), d)
 }
 
 // recvCost is the processor engagement for consuming msg: o per word

@@ -153,6 +153,45 @@ type Machine struct {
 	inTransitTo   []int
 	maxOut        int
 	maxIn         int
+	// freeDeliveries recycles message-arrival event records: the kernel runs
+	// strictly single-threaded, so a plain freelist (no locking) makes the
+	// Send hot path allocation-free in steady state.
+	freeDeliveries []*delivery
+}
+
+// delivery is a pooled message-arrival event. It implements sim.Runner so
+// scheduling it does not allocate a closure, and it returns itself to the
+// machine's freelist once the message is enqueued at the destination.
+type delivery struct {
+	m   *Machine
+	msg Message
+}
+
+// RunEvent completes the message's flight: stamp the arrival, enqueue at
+// the destination inbox, settle capacity (unless held until receive), and
+// wake a waiting receiver.
+func (d *delivery) RunEvent() {
+	m := d.m
+	msg := d.msg
+	d.msg = Message{}
+	m.freeDeliveries = append(m.freeDeliveries, d)
+	msg.ArrivedAt = int64(m.kernel.Now())
+	dst := m.procs[msg.To]
+	dst.inbox = append(dst.inbox, msg)
+	if !m.cfg.HoldCapacityUntilReceive {
+		m.settle(msg)
+	}
+	dst.inboxSig.Notify()
+}
+
+// newDelivery takes an arrival record from the freelist, or allocates one.
+func (m *Machine) newDelivery() *delivery {
+	if n := len(m.freeDeliveries); n > 0 {
+		d := m.freeDeliveries[n-1]
+		m.freeDeliveries = m.freeDeliveries[:n-1]
+		return d
+	}
+	return &delivery{m: m}
 }
 
 // New builds a machine. Config.Params must validate.
@@ -249,7 +288,7 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 			res.Time = pr.stats.Finish
 		}
 		res.Messages += pr.stats.MsgsReceived
-		if n := len(pr.inbox); n > 0 {
+		if n := pr.Pending(); n > 0 {
 			return res, fmt.Errorf("logp: proc %d finished with %d undelivered messages", i, n)
 		}
 	}

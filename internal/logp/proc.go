@@ -33,8 +33,12 @@ type Proc struct {
 	nextSend int64 // earliest next send initiation (gap/overhead spacing)
 	nextRecv int64 // earliest next reception start
 
-	inbox    []Message
-	inboxSig sim.Signal
+	// inbox is head-indexed: arrivals append, receptions advance inboxHead,
+	// and the storage is reused once drained, so the steady-state message
+	// flow does not allocate.
+	inbox     []Message
+	inboxHead int
+	inboxSig  sim.Signal
 }
 
 // ID is the processor number in [0, P).
@@ -112,11 +116,20 @@ func (p *Proc) Send(to, tag int, data any) {
 		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
 	}
 	cfg := &p.m.cfg
-	p.idleUntil(p.nextSend)
-	initiation := p.Now()
-	p.ps.Wait(sim.Time(cfg.O)) // send overhead: the processor engages the interface
+	// The gap wait (until nextSend) and the o-cycle overhead are one
+	// uninterruptible stretch of processor time, so they share a single
+	// kernel park; the trace segments are computed analytically.
+	start := p.Now()
+	initiation := start
+	if p.nextSend > initiation {
+		initiation = p.nextSend
+	}
+	p.ps.WaitUntil(sim.Time(initiation + cfg.O)) // idle until nextSend, then send overhead
 	p.stats.SendOverhead += cfg.O
 	p.stats.MsgsSent++
+	if initiation > start {
+		p.record(trace.Idle, start, initiation)
+	}
 	p.record(trace.SendOverhead, initiation, p.Now())
 
 	// Capacity: a message is "in transit" during its L-cycle flight, from
@@ -153,38 +166,43 @@ func (p *Proc) Send(to, tag int, data any) {
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
-	msg := Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation}
-	dst := p.m.procs[to]
-	p.m.kernel.After(sim.Time(lat), func() {
-		msg.ArrivedAt = int64(p.m.kernel.Now())
-		dst.inbox = append(dst.inbox, msg)
-		if !p.m.cfg.HoldCapacityUntilReceive {
-			p.m.settle(msg)
-		}
-		dst.inboxSig.Notify()
-	})
+	d := p.m.newDelivery()
+	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation}
+	p.m.kernel.AfterRun(sim.Time(lat), d)
 }
 
 // HasMessage reports whether a message has arrived and is waiting, at no
 // cost: it models the processor glancing at its network interface.
-func (p *Proc) HasMessage() bool { return len(p.inbox) > 0 }
+func (p *Proc) HasMessage() bool { return p.Pending() > 0 }
 
 // Pending reports the number of arrived, unreceived messages.
-func (p *Proc) Pending() int { return len(p.inbox) }
+func (p *Proc) Pending() int { return len(p.inbox) - p.inboxHead }
+
+// popInbox removes and returns the earliest-arrived message.
+func (p *Proc) popInbox() Message {
+	msg := p.inbox[p.inboxHead]
+	p.inbox[p.inboxHead] = Message{}
+	p.inboxHead++
+	if p.inboxHead == len(p.inbox) {
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+	}
+	return msg
+}
 
 // RecvReady reports whether a Recv would proceed immediately: a message has
 // arrived and the reception gap has elapsed. Polling loops that interleave
 // receives with other work should gate on this rather than HasMessage, or
 // the Recv blocks waiting out the gap and delays the other work.
 func (p *Proc) RecvReady() bool {
-	return len(p.inbox) > 0 && p.Now() >= p.nextRecv
+	return p.Pending() > 0 && p.Now() >= p.nextRecv
 }
 
 // HasTag reports whether a message with the given tag has arrived and is
 // waiting, at no cost.
 func (p *Proc) HasTag(tag int) bool {
-	for _, m := range p.inbox {
-		if m.Tag == tag {
+	for i := p.inboxHead; i < len(p.inbox); i++ {
+		if p.inbox[i].Tag == tag {
 			return true
 		}
 	}
@@ -196,19 +214,27 @@ func (p *Proc) HasTag(tag int) bool {
 // receptions at least max(g, o) apart) and the processor is busy for o
 // cycles. The wait for arrival is idle time.
 func (p *Proc) Recv() Message {
-	for len(p.inbox) == 0 {
+	for p.Pending() == 0 {
 		start := p.Now()
 		p.inboxSig.Wait(p.ps)
 		p.record(trace.Idle, start, p.Now())
 	}
-	p.idleUntil(p.nextRecv)
-	msg := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	start := p.Now()
+	msg := p.popInbox()
+	// The gap wait (until nextRecv) and the reception overhead share one
+	// kernel park; popping first is safe because later arrivals only append
+	// behind the queue front.
+	arrived := p.Now()
+	start := arrived
+	if p.nextRecv > start {
+		start = p.nextRecv
+	}
 	cost := p.recvCost(msg)
-	p.ps.Wait(sim.Time(cost)) // receive overhead (per word without a coprocessor)
+	p.ps.WaitUntil(sim.Time(start + cost)) // gap, then receive overhead (per word without a coprocessor)
 	p.stats.RecvOverhead += cost
 	p.stats.MsgsReceived++
+	if start > arrived {
+		p.record(trace.Idle, arrived, start)
+	}
 	p.record(trace.RecvOverhead, start, p.Now())
 	p.nextRecv = start + p.m.cfg.SendInterval()
 	if t := start + cost; t > p.nextRecv {
@@ -223,7 +249,7 @@ func (p *Proc) Recv() Message {
 // TryRecv receives a message if one has arrived, without blocking for
 // arrival (it still pays the gap and overhead when a message is taken).
 func (p *Proc) TryRecv() (Message, bool) {
-	if len(p.inbox) == 0 {
+	if p.Pending() == 0 {
 		return Message{}, false
 	}
 	return p.Recv(), true
@@ -234,15 +260,28 @@ func (p *Proc) TryRecv() (Message, bool) {
 // inspection that lands on a matching message costs one reception (o).
 func (p *Proc) RecvTag(tag int) Message {
 	for {
-		for i, m := range p.inbox {
+		for i := p.inboxHead; i < len(p.inbox); i++ {
+			m := p.inbox[i]
 			if m.Tag == tag {
-				p.idleUntil(p.nextRecv)
-				p.inbox = append(p.inbox[:i:i], p.inbox[i+1:]...)
-				start := p.Now()
+				copy(p.inbox[i:], p.inbox[i+1:])
+				p.inbox[len(p.inbox)-1] = Message{}
+				p.inbox = p.inbox[:len(p.inbox)-1]
+				if p.inboxHead == len(p.inbox) {
+					p.inbox = p.inbox[:0]
+					p.inboxHead = 0
+				}
+				arrived := p.Now()
+				start := arrived
+				if p.nextRecv > start {
+					start = p.nextRecv
+				}
 				cost := p.recvCost(m)
-				p.ps.Wait(sim.Time(cost))
+				p.ps.WaitUntil(sim.Time(start + cost)) // gap, then reception
 				p.stats.RecvOverhead += cost
 				p.stats.MsgsReceived++
+				if start > arrived {
+					p.record(trace.Idle, arrived, start)
+				}
 				p.record(trace.RecvOverhead, start, p.Now())
 				p.nextRecv = start + p.m.cfg.SendInterval()
 				if t := start + cost; t > p.nextRecv {

@@ -1,51 +1,114 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
-// event is a scheduled callback. Events with equal time run in the order they
-// were scheduled (seq breaks ties), which keeps the simulation deterministic.
+// Runner is an event body that can be scheduled without allocating a
+// closure: the kernel stores the interface value (a pointer, so no boxing
+// allocation) and invokes RunEvent at the scheduled time. Processes and
+// pooled event records implement it; ad-hoc events use the func() forms.
+type Runner interface {
+	RunEvent()
+}
+
+// event is a scheduled callback. Events with equal time run in the order
+// they were scheduled (seq breaks ties), which keeps the simulation
+// deterministic. Exactly one of fn and r is set.
 type event struct {
 	t   Time
 	seq uint64
 	fn  func()
+	r   Runner
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// eventLess orders events by (time, sequence).
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// kernelStorage is the reusable backing store for a kernel's event queues.
+// Simulation sweeps build thousands of short-lived kernels; pooling the
+// slices means a fresh kernel starts with already-grown arrays instead of
+// re-paying the append growth path every run.
+type kernelStorage struct {
+	heap []event
+	fifo []event
+}
+
+var storagePool = sync.Pool{
+	New: func() any {
+		return &kernelStorage{
+			heap: make([]event, 0, 64),
+			fifo: make([]event, 0, 64),
+		}
+	},
+}
 
 // Kernel is a discrete-event simulation engine. The zero value is not ready
 // for use; construct with NewKernel.
+//
+// The event queue is split into two structures:
+//
+//   - a hand-rolled 4-ary min-heap (keyed on (time, seq)) for events
+//     scheduled in the future, with no interface conversions anywhere on
+//     the push/pop path, and
+//   - a FIFO fast path for events scheduled at the current instant
+//     (wake-ups, yields, signal notifications), which are extremely common
+//     in process-based simulations and need no heap discipline at all.
+//
+// The FIFO invariant: every queued FIFO event has t == now, and the clock
+// only advances once the FIFO is empty. Because seq increases globally,
+// merging the two queues at dispatch needs only a seq comparison when the
+// heap's top shares the current timestamp.
 type Kernel struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	procs   []*Process // all spawned processes, for deadlock reporting
-	stopped bool
+	now      Time
+	events   []event // 4-ary min-heap of future events
+	fifo     []event // events at t == now, in scheduling order
+	fifoHead int
+	storage  *kernelStorage
+	seq      uint64
+	rng      *rand.Rand
+	procs    []*Process // all spawned processes, for deadlock reporting
+	stopped  bool
+	deadline Time // active RunUntil deadline, bounding in-place clock advances
 }
 
 // NewKernel returns a kernel at time zero whose random source is seeded with
 // seed. All randomness used by simulations built on the kernel should come
 // from Rand so that runs are reproducible.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	st := storagePool.Get().(*kernelStorage)
+	return &Kernel{
+		rng:      rand.New(rand.NewSource(seed)),
+		events:   st.heap[:0],
+		fifo:     st.fifo[:0],
+		storage:  st,
+		deadline: Infinity,
+	}
+}
+
+// release returns the queue storage to the pool once the queues are empty.
+// The kernel remains usable afterwards (the slices simply start over), but
+// the common case — one run per kernel — hands its grown arrays to the next
+// simulation.
+func (k *Kernel) release() {
+	st := k.storage
+	if st == nil {
+		return
+	}
+	k.storage = nil
+	st.heap = k.events[:0]
+	st.fifo = k.fifo[:0]
+	k.events = nil
+	k.fifo = nil
+	k.fifoHead = 0
+	storagePool.Put(st)
 }
 
 // Now reports the current simulated time.
@@ -54,22 +117,101 @@ func (k *Kernel) Now() Time { return k.now }
 // Rand exposes the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is an
-// error that panics, since it would corrupt causality.
-func (k *Kernel) At(t Time, fn func()) {
+// pushHeap inserts e into the 4-ary heap (sift-up with a hole, no swaps).
+func (k *Kernel) pushHeap(e event) {
+	h := append(k.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	k.events = h
+}
+
+// popHeap removes and returns the minimum event.
+func (k *Kernel) popHeap() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop the closure reference
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(&h[j], &h[best]) {
+					best = j
+				}
+			}
+			if !eventLess(&h[best], &last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	k.events = h
+	return top
+}
+
+// schedule queues an event at absolute time t. Events at the current
+// instant take the FIFO fast path; future events go through the heap.
+func (k *Kernel) schedule(t Time, fn func(), r Runner) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before current time %d", t, k.now))
 	}
 	k.seq++
-	k.events.pushEvent(event{t: t, seq: k.seq, fn: fn})
+	e := event{t: t, seq: k.seq, fn: fn, r: r}
+	if t == k.now {
+		k.fifo = append(k.fifo, e)
+		return
+	}
+	k.pushHeap(e)
 }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error that panics, since it would corrupt causality.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, fn, nil) }
 
 // After schedules fn to run d cycles from now.
 func (k *Kernel) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	k.At(k.now+d, fn)
+	k.schedule(k.now+d, fn, nil)
+}
+
+// AtRun schedules r.RunEvent at absolute time t without allocating: the
+// closure-free counterpart of At.
+func (k *Kernel) AtRun(t Time, r Runner) { k.schedule(t, nil, r) }
+
+// AfterRun schedules r.RunEvent d cycles from now without allocating.
+func (k *Kernel) AfterRun(d Time, r Runner) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	k.schedule(k.now+d, nil, r)
+}
+
+// pendingEvents reports the number of queued events.
+func (k *Kernel) pendingEvents() int {
+	return len(k.events) + len(k.fifo) - k.fifoHead
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -87,14 +229,39 @@ func (k *Kernel) Run() error {
 // last executed event (or deadline if nothing ran beyond it).
 func (k *Kernel) RunUntil(deadline Time) error {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		if k.events.peek().t > deadline {
-			k.now = deadline
-			return nil
+	k.deadline = deadline
+	for !k.stopped {
+		var e event
+		if k.fifoHead < len(k.fifo) {
+			f := &k.fifo[k.fifoHead]
+			// Heap events that share the current timestamp were scheduled
+			// earlier only if their seq is smaller.
+			if len(k.events) == 0 || k.events[0].t > k.now || k.events[0].seq > f.seq {
+				e = *f
+				*f = event{}
+				k.fifoHead++
+				if k.fifoHead == len(k.fifo) {
+					k.fifo = k.fifo[:0]
+					k.fifoHead = 0
+				}
+			} else {
+				e = k.popHeap()
+			}
+		} else if len(k.events) > 0 {
+			if k.events[0].t > deadline {
+				k.now = deadline
+				return nil
+			}
+			e = k.popHeap()
+			k.now = e.t
+		} else {
+			break
 		}
-		e := k.events.popEvent()
-		k.now = e.t
-		e.fn()
+		if e.r != nil {
+			e.r.RunEvent()
+		} else {
+			e.fn()
+		}
 	}
 	if k.stopped {
 		return nil
@@ -105,6 +272,7 @@ func (k *Kernel) RunUntil(deadline Time) error {
 			blocked = append(blocked, p.name)
 		}
 	}
+	k.release()
 	if len(blocked) > 0 {
 		return &DeadlockError{Time: k.now, Blocked: blocked}
 	}

@@ -8,11 +8,16 @@ import "fmt"
 // back to the kernel, which runs other events until it is this process's turn
 // again. Simulated time only advances between those hand-offs, so process
 // code observes a coherent clock via Now.
+//
+// Control transfer uses a single unbuffered handoff channel. Because the
+// kernel and the process alternate strictly (the kernel only runs while the
+// process is parked, and vice versa), sends and receives on the one channel
+// pair up deterministically: kernel-send resumes the process, process-send
+// returns control to the kernel.
 type Process struct {
 	k       *Kernel
 	name    string
-	resume  chan struct{} // kernel -> process: run
-	parked  chan struct{} // process -> kernel: parked or finished
+	handoff chan struct{} // strict kernel <-> process control transfer
 	done    bool
 	blocked bool // parked with no scheduled wake-up (waiting on a Signal)
 }
@@ -21,21 +26,25 @@ type Process struct {
 // current simulated time. The name appears in deadlock reports.
 func (k *Kernel) Spawn(name string, body func(p *Process)) *Process {
 	p := &Process{
-		k:      k,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		k:       k,
+		name:    name,
+		handoff: make(chan struct{}),
 	}
 	k.procs = append(k.procs, p)
 	go func() {
-		<-p.resume // wait for the kernel to start us
+		<-p.handoff // wait for the kernel to start us
 		body(p)
 		p.done = true
-		p.parked <- struct{}{}
+		p.handoff <- struct{}{}
 	}()
-	k.After(0, p.wake)
+	k.AfterRun(0, p)
 	return p
 }
+
+// RunEvent wakes the process at its scheduled time. Process implements
+// Runner so that every wake-up (Spawn, Wait, Unblock, Yield) is scheduled
+// through the kernel without allocating a closure.
+func (p *Process) RunEvent() { p.wake() }
 
 // wake transfers control to the process goroutine and blocks the kernel until
 // the process parks again. This strict hand-off is what makes the simulation
@@ -44,14 +53,34 @@ func (p *Process) wake() {
 	if p.done {
 		return
 	}
-	p.resume <- struct{}{}
-	<-p.parked
+	p.handoff <- struct{}{}
+	<-p.handoff
 }
 
 // park returns control to the kernel and blocks until woken.
 func (p *Process) park() {
-	p.parked <- struct{}{}
-	<-p.resume
+	p.handoff <- struct{}{}
+	<-p.handoff
+}
+
+// advance tries to move the simulated clock to t without a kernel round
+// trip. While process code runs it holds the control token (the kernel is
+// blocked in wake), so if no queued event precedes t this process is
+// necessarily the next thing the kernel would dispatch — waking it at t. In
+// that case the park and both goroutine switches are pure overhead: the
+// process may simply set the clock forward and keep running. The elision is
+// suppressed past the active RunUntil deadline and after Stop, where control
+// must return to the kernel.
+func (p *Process) advance(t Time) bool {
+	k := p.k
+	if k.stopped || t > k.deadline || k.fifoHead != len(k.fifo) {
+		return false
+	}
+	if len(k.events) > 0 && k.events[0].t <= t {
+		return false
+	}
+	k.now = t
+	return true
 }
 
 // Name returns the process name given at Spawn.
@@ -71,7 +100,11 @@ func (p *Process) Wait(d Time) {
 	if d == 0 {
 		return
 	}
-	p.k.After(d, p.wake)
+	t := p.k.now + d
+	if p.advance(t) {
+		return
+	}
+	p.k.AtRun(t, p)
 	p.park()
 }
 
@@ -81,7 +114,10 @@ func (p *Process) WaitUntil(t Time) {
 	if t <= p.k.Now() {
 		return
 	}
-	p.k.At(t, p.wake)
+	if p.advance(t) {
+		return
+	}
+	p.k.AtRun(t, p)
 	p.park()
 }
 
@@ -90,22 +126,25 @@ func (p *Process) WaitUntil(t Time) {
 func (p *Process) Block() {
 	p.blocked = true
 	p.park()
-	p.blocked = false
 }
 
 // Unblock schedules a blocked process to resume at the current simulated
-// time. Calling Unblock on a process that is not blocked is a bug in the
-// caller and panics.
+// time and marks it unblocked immediately, so a second Unblock before the
+// process actually resumes is detected as the bug it is: a spurious extra
+// wake-up would hand control to the process at an arbitrary later park and
+// corrupt the simulation. Calling Unblock on a process that is not blocked
+// panics.
 func (p *Process) Unblock() {
 	if !p.blocked {
-		panic(fmt.Sprintf("sim: Unblock of process %q which is not blocked", p.name))
+		panic(fmt.Sprintf("sim: Unblock of process %q which is not blocked (double unblock?)", p.name))
 	}
-	p.k.After(0, p.wake)
+	p.blocked = false
+	p.k.AfterRun(0, p)
 }
 
 // Yield parks the process and immediately reschedules it at the current time,
 // letting other events scheduled for this instant run first.
 func (p *Process) Yield() {
-	p.k.After(0, p.wake)
+	p.k.AfterRun(0, p)
 	p.park()
 }

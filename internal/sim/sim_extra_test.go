@@ -151,3 +151,77 @@ func TestWakeAfterDoneIsNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A second Unblock before the woken process actually resumes is the classic
+// double-unblock hazard: the spurious wake-up would pair with some later
+// park and corrupt the handoff. Unblock clears blocked immediately, so the
+// second call must panic.
+func TestDoubleUnblockPanics(t *testing.T) {
+	k := NewKernel(1)
+	target := k.Spawn("sleeper", func(p *Process) { p.Block() })
+	k.At(1, func() {
+		target.Unblock() // legitimate wake-up
+		defer func() {
+			if recover() == nil {
+				t.Error("second Unblock before resume did not panic")
+			}
+		}()
+		target.Unblock() // the process has not resumed yet: must panic
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A process waiting past pending events must not skip them: the in-place
+// clock advance is only legal when the process is provably the next thing
+// to run.
+func TestWaitObservesInterveningEvents(t *testing.T) {
+	k := NewKernel(1)
+	var order []Time
+	k.At(5, func() { order = append(order, k.Now()) })
+	k.Spawn("waiter", func(p *Process) {
+		p.Wait(10) // an event at t=5 is pending: no elision
+		order = append(order, p.Now())
+		p.Wait(7) // queue now empty: elided, but time still advances
+		order = append(order, p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{5, 10, 17}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// RunUntil's deadline must bound in-place clock advances too: a process
+// waiting beyond the deadline parks, and the clock stops at the deadline.
+func TestRunUntilBoundsProcessWaits(t *testing.T) {
+	k := NewKernel(1)
+	resumed := false
+	k.Spawn("long", func(p *Process) {
+		p.Wait(100)
+		resumed = true
+	})
+	if err := k.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Error("process ran past the deadline")
+	}
+	if k.Now() != 50 {
+		t.Errorf("clock at %d, want 50", k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || k.Now() != 100 {
+		t.Errorf("resumed=%v now=%d after draining", resumed, k.Now())
+	}
+}

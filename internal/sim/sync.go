@@ -1,13 +1,20 @@
 package sim
 
 // Signal is a condition that simulated processes can wait on. Waiters are
-// woken in FIFO order, one per Notify, or all at once by Broadcast.
+// woken in FIFO order, one per Notify, or all at once by Broadcast. The
+// waiter queue is a head-indexed slice so the steady-state wait/notify
+// cycle reuses its storage instead of allocating per operation.
 type Signal struct {
 	waiters []*Process
+	head    int
 }
 
 // Wait blocks the calling process until another event notifies the signal.
 func (s *Signal) Wait(p *Process) {
+	if s.head == len(s.waiters) {
+		s.waiters = s.waiters[:0]
+		s.head = 0
+	}
 	s.waiters = append(s.waiters, p)
 	p.Block()
 }
@@ -15,25 +22,29 @@ func (s *Signal) Wait(p *Process) {
 // Notify wakes the longest-waiting process, if any, and reports whether a
 // process was woken.
 func (s *Signal) Notify() bool {
-	if len(s.waiters) == 0 {
+	if s.head == len(s.waiters) {
 		return false
 	}
-	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	w := s.waiters[s.head]
+	s.waiters[s.head] = nil
+	s.head++
 	w.Unblock()
 	return true
 }
 
 // Broadcast wakes every waiting process.
 func (s *Signal) Broadcast() {
-	for _, w := range s.waiters {
+	for i := s.head; i < len(s.waiters); i++ {
+		w := s.waiters[i]
+		s.waiters[i] = nil
 		w.Unblock()
 	}
-	s.waiters = nil
+	s.waiters = s.waiters[:0]
+	s.head = 0
 }
 
 // Waiting reports the number of processes blocked on the signal.
-func (s *Signal) Waiting() int { return len(s.waiters) }
+func (s *Signal) Waiting() int { return len(s.waiters) - s.head }
 
 // Semaphore is a counting resource with FIFO-queued acquirers. It models
 // finite capacities such as the LogP network capacity constraint: a process
