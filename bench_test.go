@@ -23,6 +23,7 @@ import (
 	"github.com/logp-model/logp/internal/experiments"
 	"github.com/logp-model/logp/internal/logp"
 	"github.com/logp-model/logp/internal/network"
+	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/sim"
 )
 
@@ -291,3 +292,67 @@ func BenchmarkRobustness(b *testing.B)    { runExperiment(b, fixed(experiments.R
 func BenchmarkBSPComparison(b *testing.B) { runExperiment(b, experiments.BSPComparison) }
 
 func BenchmarkActiveMessages(b *testing.B) { runExperiment(b, fixed(experiments.ActiveMessages)) }
+
+// --- Profiler hook overhead (the recorder must be free when off).
+
+// ringExchange is the message-throughput workload: every processor streams
+// msgs messages to its ring successor, then drains its own msgs receptions.
+// Payloads are nil so the recorder-off steady state allocates nothing per
+// message (boxing a non-pointer payload into the Message's any field is the
+// caller's allocation, not the machine's).
+func ringExchange(msgs int) func(p *logp.Proc) {
+	return func(p *logp.Proc) {
+		next := (p.ID() + 1) % p.P()
+		for m := 0; m < msgs; m++ {
+			p.Send(next, 0, nil)
+		}
+		for m := 0; m < msgs; m++ {
+			p.Recv()
+		}
+	}
+}
+
+func benchSendRecv(b *testing.B, rec *prof.Recorder) {
+	const msgs = 2000
+	cfg := logp.Config{Params: core.Params{P: 8, L: 20, O: 2, G: 4}, Profiler: rec}
+	body := ringExchange(msgs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := logp.Run(cfg, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgs*8*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkSendRecvRecorderOff measures Send/Recv with profiling off: the
+// nil-checked hooks must leave the zero-allocation hot path untouched.
+func BenchmarkSendRecvRecorderOff(b *testing.B) { benchSendRecv(b, nil) }
+
+// BenchmarkSendRecvRecorderOn measures the same workload with the causal
+// profiler recording every operation (the recorder is reused, so its op
+// storage reaches a steady state too).
+func BenchmarkSendRecvRecorderOn(b *testing.B) { benchSendRecv(b, prof.NewRecorder()) }
+
+// TestSendRecvZeroAllocPerMessage pins the zero-allocation claim: with the
+// recorder disabled, the steady-state cost of a message is zero heap
+// allocations. Per-run setup (machine, processes, freelist warm-up) is
+// amortized out by differencing two message counts.
+func TestSendRecvZeroAllocPerMessage(t *testing.T) {
+	cfg := logp.Config{Params: core.Params{P: 4, L: 20, O: 2, G: 4}}
+	run := func(msgs int) func() {
+		body := ringExchange(msgs)
+		return func() {
+			if _, err := logp.Run(cfg, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const small, large = 500, 2500
+	base := testing.AllocsPerRun(10, run(small))
+	grown := testing.AllocsPerRun(10, run(large))
+	perMsg := (grown - base) / float64((large-small)*cfg.P)
+	if perMsg > 0.01 {
+		t.Errorf("steady-state messaging allocates %.4f allocs/message with the recorder off, want 0", perMsg)
+	}
+}

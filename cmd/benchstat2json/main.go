@@ -27,8 +27,9 @@ import (
 )
 
 // defaultBench selects the substrate microbenchmarks: the two throughput
-// targets plus the heap, handoff, and wait-elision paths.
-const defaultBench = "BenchmarkKernelEventThroughput|BenchmarkMachineMessageThroughput|BenchmarkHeapPushPop|BenchmarkContextSwitch|BenchmarkProcessWait"
+// targets, the heap, handoff, and wait-elision paths, and the profiler
+// overhead pair (recorder detached vs attached).
+const defaultBench = "BenchmarkKernelEventThroughput|BenchmarkMachineMessageThroughput|BenchmarkHeapPushPop|BenchmarkContextSwitch|BenchmarkProcessWait|BenchmarkSendRecvRecorderOff|BenchmarkSendRecvRecorderOn"
 
 type benchmark struct {
 	Name    string             `json:"name"`

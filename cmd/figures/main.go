@@ -26,6 +26,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	out := flag.String("out", "", "also write each report to <dir>/<id>.txt")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS; results are identical at any setting)")
+	profDir := flag.String("prof", "", "also write Chrome trace_event JSON of the Figure 3/4 schedule runs to this directory")
 	flag.Parse()
 
 	cat := experiments.Catalog()
@@ -42,6 +43,16 @@ func main() {
 		}
 	}
 	experiments.SetParallelism(*par)
+	if *profDir != "" {
+		if err := os.MkdirAll(*profDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteProfTraces(*profDir); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
 
 	var reports []experiments.Report
 	if *id == "" {

@@ -5,6 +5,7 @@
 // Examples:
 //
 //	logpsim -algo broadcast -P 8 -L 6 -o 2 -g 4 -trace
+//	logpsim -algo broadcast -prof bcast.trace.json   # critical path + Chrome trace
 //	logpsim -algo fft -P 32 -n 16384
 //	logpsim -algo sum -P 8 -L 5 -o 2 -g 4 -n 79
 //	logpsim -algo sort -P 8 -n 4096
@@ -27,6 +28,7 @@ import (
 	"github.com/logp-model/logp/internal/collective"
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/prof"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		layout   = flag.String("layout", "scattered", "lu layout: column | blocked | scattered")
 		sortAlgo = flag.String("sort", "splitter", "sort algorithm: splitter | bitonic | column")
 		traceIt  = flag.Bool("trace", false, "print the activity Gantt (small runs only)")
+		profOut  = flag.String("prof", "", "profile the run: print the critical-path attribution and write Chrome trace_event JSON to this file (view at chrome://tracing)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -49,6 +52,11 @@ func main() {
 		fatal(err)
 	}
 	cfg := logp.Config{Params: params, CollectTrace: *traceIt, Seed: *seed}
+	var rec *prof.Recorder
+	if *profOut != "" {
+		rec = prof.NewRecorder()
+		cfg.Profiler = rec
+	}
 
 	var res logp.Result
 	var err error
@@ -196,6 +204,38 @@ func main() {
 		fmt.Print(res.Trace.Gantt(params.P, unit))
 		printUtilization(res, params.P)
 	}
+	if rec != nil {
+		if err := writeProfile(rec, *profOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeProfile analyzes the recorded run (the last machine run, for
+// algorithms that build several), prints the critical-path accounting and
+// exports the Chrome trace.
+func writeProfile(rec *prof.Recorder, path string) error {
+	run, err := rec.Analyze()
+	if err != nil {
+		return err
+	}
+	cp := run.CriticalPath()
+	fmt.Println()
+	fmt.Print(cp)
+	fmt.Println(cp.Attribution())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := run.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("chrome trace written to %s (open chrome://tracing or https://ui.perfetto.dev and load it)\n", path)
+	return nil
 }
 
 func defaultN(n, def int) int {

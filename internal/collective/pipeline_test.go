@@ -5,6 +5,7 @@ import (
 
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/prof"
 )
 
 func checkStream(t *testing.T, name string, got [][]any, P, m int) {
@@ -42,6 +43,51 @@ func TestPipelinedBinomialBroadcast(t *testing.T) {
 			got[p.ID()] = PipelinedBinomialBroadcast(p, 1%P, 30, m, func(i int) any { return i * i })
 		})
 		checkStream(t, "binomial", got, P, m)
+	}
+}
+
+// TestPipelineLatencyFractionShrinks quantifies the Section 3.1 claim that
+// pipelined streams amortize latency: profiling the chain broadcast and
+// attributing the critical path to the model parameters, the fraction of
+// the makespan charged to L falls monotonically as the stream grows (the
+// P-1 flight hops are a fixed pipeline fill; every extra value adds only
+// gap-rate cycles).
+func TestPipelineLatencyFractionShrinks(t *testing.T) {
+	params := core.Params{P: 4, L: 10, O: 2, G: 4}
+	lfrac := func(m int) float64 {
+		rec := prof.NewRecorder()
+		mustRun(t, logp.Config{Params: params, Profiler: rec}, func(p *logp.Proc) {
+			PipelinedChainBroadcast(p, 0, 30, m, func(i int) any { return nil })
+		})
+		run, err := rec.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := run.CriticalPath()
+		if err := cp.Contiguous(); err != nil {
+			t.Fatalf("m=%d: critical path does not tile the makespan: %v", m, err)
+		}
+		a := cp.Attribution()
+		return a.Fraction(a.Latency)
+	}
+	ms := []int{1, 4, 16, 64}
+	fracs := make([]float64, len(ms))
+	for i, m := range ms {
+		fracs[i] = lfrac(m)
+	}
+	for i := 1; i < len(ms); i++ {
+		if fracs[i] >= fracs[i-1] {
+			t.Errorf("L-fraction did not shrink: m=%d gives %.2f, m=%d gives %.2f",
+				ms[i-1], fracs[i-1], ms[i], fracs[i])
+		}
+	}
+	// With one value the three flights dominate; with a long stream they are
+	// a vanishing fill term.
+	if fracs[0] < 0.5 {
+		t.Errorf("single-value chain charges only %.2f to L, expected latency-dominated", fracs[0])
+	}
+	if last := fracs[len(fracs)-1]; last > 0.2 {
+		t.Errorf("long stream still charges %.2f to L, expected gap-dominated", last)
 	}
 }
 

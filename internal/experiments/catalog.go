@@ -39,6 +39,7 @@ func Catalog() []Entry {
 		{"robustness", fixed(Robustness)},
 		{"bsp", BSPComparison},
 		{"am", fixed(ActiveMessages)},
+		{"whatif", fixed(WhatIf)},
 	}
 }
 

@@ -101,6 +101,9 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
+	if p.m.rec != nil {
+		p.m.rec.SendBulk(p.id, to, tag, words, lat)
+	}
 	// The train's last word was injected at initiation+lastInjection; the
 	// message is complete at the destination L later. (The DMA processor
 	// may already be past this point in simulated time; the arrival event

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/sim"
 	"github.com/logp-model/logp/internal/trace"
 )
@@ -67,6 +68,13 @@ type Config struct {
 	// CollectTrace records per-processor activity segments (costly for
 	// long runs; used for Figure 3/4 style Gantt output).
 	CollectTrace bool
+
+	// Profiler, when non-nil, records the run as a causal operation DAG
+	// for critical-path analysis, what-if re-costing and Chrome-trace
+	// export (see internal/prof). Every hook sits behind a nil check, so
+	// the simulator's zero-allocation hot paths are untouched when
+	// profiling is off.
+	Profiler *prof.Recorder
 
 	// BarrierCost is the completion cost of the hardware barrier
 	// (Section 5.5); Proc.Barrier releases all processors BarrierCost
@@ -146,7 +154,8 @@ type Machine struct {
 	inCap   []*sim.Semaphore
 	barrier *sim.Barrier
 	tr      *trace.Log
-	skew    []float64 // per-processor systematic speed factor
+	rec     *prof.Recorder // nil unless Config.Profiler
+	skew    []float64      // per-processor systematic speed factor
 	// in-transit tracking (kept even when enforcement is disabled, so the
 	// ablation can show the flood)
 	inTransitFrom []int
@@ -223,6 +232,16 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.CollectTrace {
 		m.tr = &trace.Log{}
+	}
+	if cfg.Profiler != nil {
+		m.rec = cfg.Profiler
+		m.rec.Begin(prof.RunInfo{
+			Params:                   cfg.Params,
+			Coprocessor:              cfg.Coprocessor,
+			DisableCapacity:          cfg.DisableCapacity,
+			HoldCapacityUntilReceive: cfg.HoldCapacityUntilReceive,
+			BarrierCost:              cfg.BarrierCost,
+		})
 	}
 	if !cfg.DisableCapacity {
 		capUnits := cfg.Params.Capacity()

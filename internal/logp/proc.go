@@ -84,6 +84,9 @@ func (p *Proc) Compute(cycles int64) {
 	p.ps.Wait(sim.Time(cycles))
 	p.stats.Compute += p.Now() - start
 	p.record(trace.Compute, start, p.Now())
+	if p.m.rec != nil {
+		p.m.rec.Compute(p.id, cycles)
+	}
 }
 
 // idleUntil waits until absolute time t, recording the wait as idle.
@@ -166,6 +169,9 @@ func (p *Proc) Send(to, tag int, data any) {
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
+	if p.m.rec != nil {
+		p.m.rec.Send(p.id, to, tag, lat)
+	}
 	d := p.m.newDelivery()
 	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation}
 	p.m.kernel.AfterRun(sim.Time(lat), d)
@@ -214,6 +220,9 @@ func (p *Proc) HasTag(tag int) bool {
 // receptions at least max(g, o) apart) and the processor is busy for o
 // cycles. The wait for arrival is idle time.
 func (p *Proc) Recv() Message {
+	if p.m.rec != nil {
+		p.m.rec.Recv(p.id)
+	}
 	for p.Pending() == 0 {
 		start := p.Now()
 		p.inboxSig.Wait(p.ps)
@@ -259,6 +268,9 @@ func (p *Proc) TryRecv() (Message, bool) {
 // one arrives. Messages with other tags stay queued in arrival order. Each
 // inspection that lands on a matching message costs one reception (o).
 func (p *Proc) RecvTag(tag int) Message {
+	if p.m.rec != nil {
+		p.m.rec.RecvTag(p.id, tag)
+	}
 	for {
 		for i := p.inboxHead; i < len(p.inbox); i++ {
 			m := p.inbox[i]
@@ -304,6 +316,9 @@ func (p *Proc) RecvTag(tag int) Message {
 // synchronization hardware of Section 5.5 (the CM-5 control network); the
 // message-based alternative is collective.Barrier.
 func (p *Proc) Barrier() {
+	if p.m.rec != nil {
+		p.m.rec.Barrier(p.id)
+	}
 	start := p.Now()
 	p.m.barrier.Await(p.ps)
 	if c := p.m.cfg.BarrierCost; c > 0 {
@@ -317,10 +332,18 @@ func (p *Proc) Wait(cycles int64) {
 	if cycles <= 0 {
 		return
 	}
+	if p.m.rec != nil {
+		p.m.rec.Wait(p.id, cycles)
+	}
 	start := p.Now()
 	p.ps.Wait(sim.Time(cycles))
 	p.record(trace.Idle, start, p.Now())
 }
 
 // WaitUntil idles until the given absolute time (no-op if already past).
-func (p *Proc) WaitUntil(t int64) { p.idleUntil(t) }
+func (p *Proc) WaitUntil(t int64) {
+	if p.m.rec != nil {
+		p.m.rec.WaitUntil(p.id, t)
+	}
+	p.idleUntil(t)
+}

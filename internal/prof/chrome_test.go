@@ -1,0 +1,92 @@
+package prof_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the Chrome trace_event export byte-for-byte:
+// the optimal broadcast on a small machine, compared against
+// testdata/broadcast_p4.trace.json (regenerate with go test -run Golden
+// -update after intentional format changes).
+func TestChromeTraceGolden(t *testing.T) {
+	params := core.Params{P: 4, L: 4, O: 1, G: 2}
+	rec, _ := recordBroadcast(t, params, logp.Config{})
+	run := mustAnalyze(t, rec)
+
+	var buf bytes.Buffer
+	if err := run.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "broadcast_p4.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace differs from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestChromeTraceWellFormed checks structural invariants of the export on a
+// busier run: valid JSON, all duration events within [0, makespan], every
+// thread id within [0, P] (P is the network lane), and one flow start/finish
+// pair per received message.
+func TestChromeTraceWellFormed(t *testing.T) {
+	rec, _ := recordBroadcast(t, fig3, logp.Config{LatencyJitter: 2, Seed: 3})
+	run := mustAnalyze(t, rec)
+
+	var buf bytes.Buffer
+	if err := run.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Tid  int    `json:"tid"`
+			ID   string `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var flows, spans int
+	for _, e := range tr.TraceEvents {
+		if e.Tid < 0 || e.Tid > run.P {
+			t.Errorf("event %q on thread %d, machine has threads 0..%d", e.Name, e.Tid, run.P)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Ts < 0 || e.Ts+e.Dur > run.Makespan {
+				t.Errorf("span %q [%d,%d) outside the run [0,%d)", e.Name, e.Ts, e.Ts+e.Dur, run.Makespan)
+			}
+		case "s":
+			flows++
+		}
+	}
+	if spans == 0 {
+		t.Error("export contains no duration events")
+	}
+	if flows != len(run.Msgs) {
+		t.Errorf("%d flow starts for %d messages", flows, len(run.Msgs))
+	}
+}

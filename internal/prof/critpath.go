@@ -1,0 +1,159 @@
+package prof
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/logp-model/logp/internal/trace"
+)
+
+// CriticalPath is the longest weighted chain of spans ending at the last
+// event of a run: the sequence of activities that determined the makespan.
+// Its spans tile [0, Makespan) exactly — each span's start is its
+// predecessor's end — so summing them by kind partitions the completion
+// time among the model parameters, the accounting the paper performs by
+// hand for the optimal broadcast and summation schedules.
+type CriticalPath struct {
+	Makespan int64
+	Spans    []Span // in time order, first starts at 0, last ends at Makespan
+}
+
+// CriticalPath extracts the critical path: from the last span of the
+// slowest processor (ties to the lowest processor number), follow each
+// span's binding predecessor back to time zero.
+func (run *Run) CriticalPath() CriticalPath {
+	cp := CriticalPath{Makespan: run.Makespan}
+	last := -1
+	for p := 0; p < run.P; p++ {
+		s := run.lastSpan[p]
+		if s < 0 {
+			continue
+		}
+		if last < 0 || run.Spans[s].End > run.Spans[last].End {
+			last = s
+		}
+	}
+	for s := last; s >= 0; s = run.Spans[s].Pred {
+		cp.Spans = append(cp.Spans, run.Spans[s])
+	}
+	for i, j := 0, len(cp.Spans)-1; i < j; i, j = i+1, j-1 {
+		cp.Spans[i], cp.Spans[j] = cp.Spans[j], cp.Spans[i]
+	}
+	return cp
+}
+
+// Kinds returns the path's span kinds in time order, a compact signature
+// for tests and summaries.
+func (cp CriticalPath) Kinds() []trace.Kind {
+	out := make([]trace.Kind, len(cp.Spans))
+	for i, s := range cp.Spans {
+		out[i] = s.Kind
+	}
+	return out
+}
+
+// Attribution partitions a critical path's cycles among the LogP model
+// parameters: every cycle of the makespan is charged to local computation,
+// send/receive overhead o, gap g, network latency L, a capacity stall, or
+// other idling (explicit waits and barrier time).
+type Attribution struct {
+	Makespan int64
+	Compute  int64 // local work
+	Overhead int64 // send and receive overhead, the o parameter
+	Gap      int64 // gap waits (and DMA streaming), the g parameter
+	Latency  int64 // network flights, the L parameter
+	Stall    int64 // capacity-constraint stalls
+	Idle     int64 // explicit waits, barrier waits, untyped idling
+}
+
+// Attribution sums the path spans by kind. If the path does not reach back
+// to time zero (a chain head after 0, which only synthetic recordings can
+// produce), the uncovered prefix counts as Idle.
+func (cp CriticalPath) Attribution() Attribution {
+	a := Attribution{Makespan: cp.Makespan}
+	if len(cp.Spans) > 0 {
+		a.Idle += cp.Spans[0].Start
+	}
+	for _, s := range cp.Spans {
+		d := s.End - s.Start
+		switch s.Kind {
+		case trace.Compute:
+			a.Compute += d
+		case trace.SendOverhead, trace.RecvOverhead:
+			a.Overhead += d
+		case trace.GapWait:
+			a.Gap += d
+		case trace.Flight:
+			a.Latency += d
+		case trace.Stall:
+			a.Stall += d
+		default:
+			a.Idle += d
+		}
+	}
+	return a
+}
+
+// Fraction returns cycles/Makespan, guarding the empty run.
+func (a Attribution) Fraction(cycles int64) float64 {
+	if a.Makespan == 0 {
+		return 0
+	}
+	return float64(cycles) / float64(a.Makespan)
+}
+
+// String renders the attribution as one line of fractions.
+func (a Attribution) String() string {
+	return fmt.Sprintf("makespan %d = compute %.0f%% + o %.0f%% + g %.0f%% + L %.0f%% + stall %.0f%% + idle %.0f%%",
+		a.Makespan,
+		100*a.Fraction(a.Compute), 100*a.Fraction(a.Overhead), 100*a.Fraction(a.Gap),
+		100*a.Fraction(a.Latency), 100*a.Fraction(a.Stall), 100*a.Fraction(a.Idle))
+}
+
+// String renders the path as an ordered list of spans, one per line:
+//
+//	[    0,    2) P0    send-o
+//	[    2,    8) net   flight   (P0 -> P1)
+//	[    8,   10) P1    recv-o
+func (cp CriticalPath) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path, %d spans over %d cycles:\n", len(cp.Spans), cp.Makespan)
+	for _, s := range cp.Spans {
+		who := "net  "
+		if s.Proc >= 0 {
+			who = fmt.Sprintf("P%-4d", s.Proc)
+		}
+		fmt.Fprintf(&b, "  [%6d,%6d) %s %s", s.Start, s.End, who, s.Kind)
+		if s.Kind == trace.Flight && s.Msg >= 0 {
+			fmt.Fprintf(&b, " (msg %d)", s.Msg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Contiguous verifies the tiling invariant: the first span starts at zero,
+// each span starts where its predecessor ends, and the last ends at the
+// makespan. It returns an error describing the first violation, and is used
+// by tests as a structural oracle.
+func (cp CriticalPath) Contiguous() error {
+	if len(cp.Spans) == 0 {
+		if cp.Makespan != 0 {
+			return fmt.Errorf("prof: empty path for makespan %d", cp.Makespan)
+		}
+		return nil
+	}
+	if cp.Spans[0].Start != 0 {
+		return fmt.Errorf("prof: path starts at %d, not 0", cp.Spans[0].Start)
+	}
+	for i := 1; i < len(cp.Spans); i++ {
+		if cp.Spans[i].Start != cp.Spans[i-1].End {
+			return fmt.Errorf("prof: path gap between span %d (ends %d) and span %d (starts %d)",
+				i-1, cp.Spans[i-1].End, i, cp.Spans[i].Start)
+		}
+	}
+	if end := cp.Spans[len(cp.Spans)-1].End; end != cp.Makespan {
+		return fmt.Errorf("prof: path ends at %d, makespan %d", end, cp.Makespan)
+	}
+	return nil
+}

@@ -26,7 +26,25 @@ const (
 	// Idle is time waiting: for a message to arrive, for the gap, or for
 	// the program to end.
 	Idle
+	// numKinds counts the kinds machine trace logs contain; Gantt and
+	// Utilization render exactly these.
 	numKinds
+
+	// The remaining kinds type the finer-grained causal spans produced by
+	// the profiler (internal/prof). They never appear in machine trace
+	// logs, so the renderers above ignore them.
+
+	// Flight is a message's L-cycle network flight (not attached to any
+	// processor).
+	Flight
+	// GapWait is idle time waiting out the gap g before the processor's
+	// next send or reception slot (including a DMA coprocessor streaming a
+	// bulk train at the gap rate).
+	GapWait
+	// MsgWait is idle time waiting for a message to arrive.
+	MsgWait
+	// BarrierWait is time blocked at the hardware barrier.
+	BarrierWait
 )
 
 // String returns a short name for the kind.
@@ -42,12 +60,21 @@ func (k Kind) String() string {
 		return "stall"
 	case Idle:
 		return "idle"
+	case Flight:
+		return "flight"
+	case GapWait:
+		return "gap"
+	case MsgWait:
+		return "msg-wait"
+	case BarrierWait:
+		return "barrier"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// glyph is the single character used in Gantt rendering.
-func (k Kind) glyph() byte {
+// Glyph is the single character representing the kind in Gantt rendering
+// and other compact timelines.
+func (k Kind) Glyph() byte {
 	switch k {
 	case Compute:
 		return '#'
@@ -59,6 +86,14 @@ func (k Kind) glyph() byte {
 		return '!'
 	case Idle:
 		return '.'
+	case Flight:
+		return '~'
+	case GapWait:
+		return 'g'
+	case MsgWait:
+		return 'm'
+	case BarrierWait:
+		return 'b'
 	}
 	return '?'
 }
@@ -154,7 +189,7 @@ func (l *Log) Utilization(procs int) [][]float64 {
 		}
 		var accounted int64
 		for _, s := range l.Segments {
-			if s.Proc != p {
+			if s.Proc != p || s.Kind >= numKinds {
 				continue
 			}
 			out[p][s.Kind] += float64(s.End-s.Start) / float64(end)
@@ -194,6 +229,9 @@ func (l *Log) Gantt(procs int, timeUnit int64) string {
 		row := make([]byte, cols)
 		fill := make([][numKinds]int64, cols)
 		for _, s := range l.ByProc(p) {
+			if s.Kind >= numKinds {
+				continue
+			}
 			for t := s.Start; t < s.End; t++ {
 				c := int(t / timeUnit)
 				if c < cols {
@@ -211,7 +249,7 @@ func (l *Log) Gantt(procs int, timeUnit int64) string {
 			if bestV == 0 {
 				row[c] = ' '
 			} else {
-				row[c] = bestK.glyph()
+				row[c] = bestK.Glyph()
 			}
 		}
 		fmt.Fprintf(&b, "P%-4d |%s|\n", p, string(row))

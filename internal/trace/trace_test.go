@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -101,6 +102,126 @@ func TestGanttBucketsMajority(t *testing.T) {
 	out := l.Gantt(1, 10) // one bucket: compute dominates
 	if !strings.Contains(out, "|#|") {
 		t.Errorf("bucket glyph wrong:\n%s", out)
+	}
+}
+
+func TestGlyphAccessor(t *testing.T) {
+	glyphs := map[Kind]byte{
+		Compute: '#', SendOverhead: 'S', RecvOverhead: 'R', Stall: '!', Idle: '.',
+		Flight: '~', GapWait: 'g', MsgWait: 'm', BarrierWait: 'b',
+	}
+	for k, want := range glyphs {
+		if got := k.Glyph(); got != want {
+			t.Errorf("%v glyph = %c, want %c", k, got, want)
+		}
+	}
+	if Kind(99).Glyph() != '?' {
+		t.Errorf("unknown kind glyph = %c", Kind(99).Glyph())
+	}
+}
+
+// TestGanttEdgeCases drives Gantt through the boundary shapes the happy-path
+// test misses: an empty log, single-cycle segments, a timeline that starts
+// after cycle 0, and a segment of a profiler-only kind (which must not
+// render).
+func TestGanttEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func(l *Log)
+		procs    int
+		timeUnit int64
+		wantRow  map[int]string // substring expected in each processor row
+		wantCols int            // expected rendered columns between the bars
+	}{
+		{
+			name:     "empty log",
+			build:    func(l *Log) {},
+			procs:    2,
+			timeUnit: 1,
+			wantRow:  map[int]string{0: "||", 1: "||"},
+			wantCols: 0,
+		},
+		{
+			name: "single-cycle segments",
+			build: func(l *Log) {
+				l.Add(0, SendOverhead, 0, 1)
+				l.Add(0, Compute, 1, 2)
+				l.Add(0, Idle, 2, 3)
+			},
+			procs:    1,
+			timeUnit: 1,
+			wantRow:  map[int]string{0: "|S#.|"},
+			wantCols: 3,
+		},
+		{
+			name: "non-zero start leaves leading blank",
+			build: func(l *Log) {
+				l.Add(0, Compute, 3, 6)
+			},
+			procs:    1,
+			timeUnit: 1,
+			wantRow:  map[int]string{0: "|   ###|"},
+			wantCols: 6,
+		},
+		{
+			name: "profiler-only kinds are not rendered",
+			build: func(l *Log) {
+				l.Add(0, Flight, 0, 4)
+				l.Add(0, Compute, 4, 6)
+			},
+			procs:    1,
+			timeUnit: 1,
+			wantRow:  map[int]string{0: "|    ##|"},
+			wantCols: 6,
+		},
+		{
+			name: "bucket rounding covers a partial trailing unit",
+			build: func(l *Log) {
+				l.Add(0, Compute, 0, 5)
+			},
+			procs:    1,
+			timeUnit: 2,
+			wantRow:  map[int]string{0: "|###|"},
+			wantCols: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l Log
+			tc.build(&l)
+			out := l.Gantt(tc.procs, tc.timeUnit)
+			lines := strings.Split(out, "\n")
+			rows := map[int]string{}
+			for _, ln := range lines {
+				var p int
+				if n, _ := fmt.Sscanf(ln, "P%d", &p); n == 1 {
+					rows[p] = ln
+				}
+			}
+			if len(rows) != tc.procs {
+				t.Fatalf("%d processor rows, want %d:\n%s", len(rows), tc.procs, out)
+			}
+			for p, want := range tc.wantRow {
+				if !strings.Contains(rows[p], want) {
+					t.Errorf("P%d row %q does not contain %q", p, rows[p], want)
+				}
+			}
+			for p, row := range rows {
+				open := strings.IndexByte(row, '|')
+				close := strings.LastIndexByte(row, '|')
+				if got := close - open - 1; got != tc.wantCols {
+					t.Errorf("P%d row has %d columns, want %d: %q", p, got, tc.wantCols, row)
+				}
+			}
+		})
+	}
+}
+
+func TestGanttZeroTimeUnitClamped(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 3)
+	if out := l.Gantt(1, 0); !strings.Contains(out, "|###|") {
+		t.Errorf("timeUnit 0 not clamped to 1:\n%s", out)
 	}
 }
 
