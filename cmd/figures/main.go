@@ -28,6 +28,11 @@ func main() {
 	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS; results are identical at any setting)")
 	profDir := flag.String("prof", "", "also write Chrome trace_event JSON of the Figure 3/4 schedule runs to this directory")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "figures: unexpected argument %q (all options are flags)\n\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	cat := experiments.Catalog()
 	if *list {
@@ -66,7 +71,10 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (use -list)\n", *id)
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q; known ids:\n", *id)
+			for _, e := range cat {
+				fmt.Fprintf(os.Stderr, "  %s\n", e.ID)
+			}
 			os.Exit(2)
 		}
 	}

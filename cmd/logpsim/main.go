@@ -11,6 +11,8 @@
 //	logpsim -algo sort -P 8 -n 4096
 //	logpsim -algo lu -P 16 -n 64 -layout scattered
 //	logpsim -algo cc -P 8 -n 512
+//	logpsim -algo rbcast -drop 0.05 -faultseed 7     # reliable broadcast on a lossy network
+//	logpsim -algo broadcast -fail 3@10               # fail-stop proc 3 at cycle 10
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/logp-model/logp/internal/algo/cc"
 	"github.com/logp-model/logp/internal/algo/fft"
@@ -29,11 +33,12 @@ import (
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
 	"github.com/logp-model/logp/internal/prof"
+	"github.com/logp-model/logp/internal/reliable"
 )
 
 func main() {
 	var (
-		algo     = flag.String("algo", "broadcast", "broadcast | sum | fft | sort | lu | cc | matmul | stencil")
+		algo     = flag.String("algo", "broadcast", "broadcast | rbcast | sum | fft | sort | lu | cc | matmul | stencil")
 		p        = flag.Int("P", 8, "processors")
 		l        = flag.Int64("L", 6, "latency upper bound (cycles)")
 		o        = flag.Int64("o", 2, "send/receive overhead (cycles)")
@@ -44,14 +49,34 @@ func main() {
 		traceIt  = flag.Bool("trace", false, "print the activity Gantt (small runs only)")
 		profOut  = flag.String("prof", "", "profile the run: print the critical-path attribution and write Chrome trace_event JSON to this file (view at chrome://tracing)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		drop     = flag.Float64("drop", 0, "fault injection: per-message drop probability on every link")
+		dup      = flag.Float64("dup", 0, "fault injection: per-message duplication probability on every link")
+		jitter   = flag.Int64("jitter", 0, "fault injection: max extra latency cycles per message (uniform)")
+		failAt   = flag.String("fail", "", "fault injection: comma-separated fail-stop list, proc@cycle (e.g. 2@100,5@0)")
+		fseed    = flag.Int64("faultseed", 1, "seed for the fault plan's random draws")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "logpsim: unexpected argument %q (all options are flags)\n\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	params := core.Params{P: *p, L: *l, O: *o, G: *g}
 	if err := params.Validate(); err != nil {
 		fatal(err)
 	}
 	cfg := logp.Config{Params: params, CollectTrace: *traceIt, Seed: *seed}
+	faults, err := faultPlan(*drop, *dup, *jitter, *failAt, *fseed)
+	if err != nil {
+		usageError(err)
+	}
+	if faults != nil {
+		if err := faults.Validate(params.P); err != nil {
+			usageError(err)
+		}
+	}
+	cfg.Faults = faults
 	var rec *prof.Recorder
 	if *profOut != "" {
 		rec = prof.NewRecorder()
@@ -59,7 +84,6 @@ func main() {
 	}
 
 	var res logp.Result
-	var err error
 	var summary string
 	switch *algo {
 	case "broadcast":
@@ -71,6 +95,31 @@ func main() {
 		res, err = logp.Run(cfg, func(pr *logp.Proc) { collective.Broadcast(pr, s, 1, "datum") })
 		summary = fmt.Sprintf("optimal broadcast: predicted %d, binomial %d, linear %d",
 			s.Finish, core.BinomialBroadcastTime(params), core.LinearBroadcastTime(params))
+	case "rbcast":
+		done := make([]int64, params.P)
+		got := make([]any, params.P)
+		retr := make([]int, params.P)
+		res, err = logp.Run(cfg, func(pr *logp.Proc) {
+			e := reliable.New(pr, reliable.Config{})
+			v, _ := reliable.Broadcast(e, 0, 1, "datum", pr.Now()+10_000_000)
+			done[pr.ID()] = pr.Now()
+			got[pr.ID()] = v
+			e.Drain(pr.Now() + 4000)
+			retr[pr.ID()] = e.Retransmits()
+		})
+		delivered, retrans := 0, 0
+		var last int64
+		for i := 0; i < params.P; i++ {
+			if got[i] == "datum" {
+				delivered++
+			}
+			if done[i] > last {
+				last = done[i]
+			}
+			retrans += retr[i]
+		}
+		summary = fmt.Sprintf("reliable broadcast: delivered to %d/%d processors by cycle %d, %d retransmissions",
+			delivered, params.P, last, retrans)
 	case "sum":
 		size := int64(defaultN(*n, 1000))
 		deadline := core.MinSumTime(params, size)
@@ -115,7 +164,7 @@ func main() {
 		case "column":
 			sa = parsort.Column
 		default:
-			fatal(fmt.Errorf("unknown sort algorithm %q", *sortAlgo))
+			usageError(fmt.Errorf("unknown sort algorithm %q (want splitter, bitonic or column)", *sortAlgo))
 		}
 		var st parsort.Stats
 		_, st, err = parsort.Run(parsort.Config{Machine: cfg, Algo: sa}, keys)
@@ -133,7 +182,7 @@ func main() {
 		case "scattered":
 			lay = lu.ScatteredGrid
 		default:
-			fatal(fmt.Errorf("unknown layout %q", *layout))
+			usageError(fmt.Errorf("unknown layout %q (want column, blocked or scattered)", *layout))
 		}
 		a := lu.Random(size, *seed)
 		var perm []int
@@ -182,7 +231,7 @@ func main() {
 				size, size*8, cc.CountComponents(labels), st.Rounds)
 		}
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		usageError(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 	if err != nil {
 		fatal(err)
@@ -191,6 +240,13 @@ func main() {
 	fmt.Printf("machine: %v  (capacity %d msgs in transit)\n", params, params.Capacity())
 	fmt.Println(summary)
 	fmt.Printf("simulated time: %d cycles, %d messages\n", res.Time, res.Messages)
+	if cfg.Faults != nil {
+		fmt.Printf("faults: %d dropped, %d duplicated", res.Dropped, res.Duplicated)
+		if len(res.Failed) > 0 {
+			fmt.Printf(", fail-stopped procs %v", res.Failed)
+		}
+		fmt.Println()
+	}
 	if len(res.Procs) > 0 {
 		fmt.Printf("efficiency: %.1f%% of processor-cycles computing, %d cycles stalled\n",
 			res.BusyFraction()*100, res.TotalStall())
@@ -257,6 +313,44 @@ func randomComplex(n int, seed int64) []complex128 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "logpsim:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag value with the full usage text and the
+// conventional flag-error exit status 2.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "logpsim:", err)
+	fmt.Fprintln(os.Stderr)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// faultPlan assembles a logp.FaultPlan from the fault flags, or nil when no
+// fault flag was set (keeping the machine on its zero-overhead path).
+func faultPlan(drop, dup float64, jitter int64, failAt string, seed int64) (*logp.FaultPlan, error) {
+	if drop == 0 && dup == 0 && jitter == 0 && failAt == "" {
+		return nil, nil
+	}
+	plan := &logp.FaultPlan{
+		Seed:    seed,
+		Default: logp.LinkFault{Drop: drop, Dup: dup, Jitter: jitter},
+	}
+	if failAt != "" {
+		for _, item := range strings.Split(failAt, ",") {
+			procStr, atStr, ok := strings.Cut(item, "@")
+			var proc int
+			var at int64
+			var err1, err2 error
+			if ok {
+				proc, err1 = strconv.Atoi(strings.TrimSpace(procStr))
+				at, err2 = strconv.ParseInt(strings.TrimSpace(atStr), 10, 64)
+			}
+			if !ok || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("-fail %q: want comma-separated proc@cycle entries", item)
+			}
+			plan.FailStops = append(plan.FailStops, logp.FailStop{Proc: proc, At: at})
+		}
+	}
+	return plan, nil
 }
 
 // printUtilization renders the per-processor activity split of a traced run.

@@ -1,0 +1,58 @@
+package logp_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments is the repository's doc-lint gate (staticcheck's
+// ST1000 rule, enforced without the external tool so `go test ./...` alone
+// catches regressions): every package in the module — internal, cmd and
+// examples alike — must carry a package comment on at least one of its
+// non-test files. CI runs this test by name in its doc-lint step;
+// staticcheck.conf enables the same rule for staticcheck runs.
+func TestPackageComments(t *testing.T) {
+	fset := token.NewFileSet()
+	documented := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		} else if _, seen := documented[dir]; !seen {
+			documented[dir] = false
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(documented) == 0 {
+		t.Fatal("no packages found: doc lint walked the wrong root")
+	}
+	for dir, ok := range documented {
+		if !ok {
+			t.Errorf("package in %s has no package comment on any file", dir)
+		}
+	}
+}

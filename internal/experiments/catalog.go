@@ -40,6 +40,7 @@ func Catalog() []Entry {
 		{"bsp", BSPComparison},
 		{"am", fixed(ActiveMessages)},
 		{"whatif", fixed(WhatIf)},
+		{"chaos", fixed(Chaos)},
 	}
 }
 

@@ -159,3 +159,8 @@ func TestBSPComparison(t *testing.T) {
 }
 
 func TestActiveMessages(t *testing.T) { assertReport(t, ActiveMessages(), "am") }
+
+func TestChaos(t *testing.T) {
+	t.Parallel()
+	assertReport(t, Chaos(), "chaos")
+}

@@ -46,6 +46,7 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	if to < 0 || to >= p.m.cfg.P {
 		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
 	}
+	p.checkFail()
 	cfg := &p.m.cfg
 	start := p.Now()
 	initiation := start
@@ -101,8 +102,18 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
+	// The whole train shares one fate draw: it is one message in the
+	// capacity books, so it drops or duplicates as a unit.
+	var drop, dup bool
+	var dupLat int64
+	if p.m.faults != nil {
+		lat, drop, dup, dupLat = p.m.faults.messageFate(p.id, to, lat)
+	}
 	if p.m.rec != nil {
 		p.m.rec.SendBulk(p.id, to, tag, words, lat)
+		if drop {
+			p.m.rec.DropLast(p.id)
+		}
 	}
 	// The train's last word was injected at initiation+lastInjection; the
 	// message is complete at the destination L later. (The DMA processor
@@ -116,7 +127,21 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	}
 	d := p.m.newDelivery()
 	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation}
+	d.drop = drop
 	p.m.kernel.AfterRun(sim.Time(delay), d)
+	if dup {
+		if p.m.rec != nil {
+			p.m.rec.Dup(p.id, to, tag, words, dupLat)
+		}
+		dupDelay := arriveAt - lat + dupLat - now
+		if dupDelay < 0 {
+			dupDelay = 0
+		}
+		d2 := p.m.newDelivery()
+		d2.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation, dup: true}
+		d2.dup = true
+		p.m.kernel.AfterRun(sim.Time(dupDelay), d2)
+	}
 }
 
 // recvCost is the processor engagement for consuming msg: o per word

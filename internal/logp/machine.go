@@ -81,6 +81,13 @@ type Config struct {
 	// cycles after the last arrival. The CM-5 implementation of Section
 	// 4.1.4 uses such a barrier to resynchronize the remap phase.
 	BarrierCost int64
+
+	// Faults, when non-nil, injects seeded link and processor faults into
+	// the run: message drop/duplication/extra latency, transient compute
+	// slowdowns and fail-stop processor deaths. See FaultPlan (faults.go)
+	// for the exact semantics and determinism contract. Every fault check
+	// sits behind a nil test, so the fault-free hot paths are untouched.
+	Faults *FaultPlan
 }
 
 // ProcStats aggregates one processor's activity over a run.
@@ -120,6 +127,18 @@ type Result struct {
 	MaxInTransitTo   int
 	// Trace is the activity log (nil unless Config.CollectTrace).
 	Trace *trace.Log
+	// Dropped counts messages the fault layer lost in flight (including
+	// messages addressed to an already-dead processor); Duplicated counts
+	// network-made extra copies delivered. Both are zero without faults.
+	Dropped    int
+	Duplicated int
+	// Failed lists fail-stopped processors in processor order.
+	Failed []int
+	// Undelivered counts messages still queued at processor inboxes when
+	// the run ended. Without a FaultPlan this is always zero (a leftover
+	// message is reported as an error instead); under faults it is expected
+	// residue — retransmissions and acks outliving their consumer.
+	Undelivered int
 }
 
 // BusyFraction is the fraction of processor-cycles spent on computation, a
@@ -155,7 +174,11 @@ type Machine struct {
 	barrier *sim.Barrier
 	tr      *trace.Log
 	rec     *prof.Recorder // nil unless Config.Profiler
+	faults  *faultState    // nil unless Config.Faults
 	skew    []float64      // per-processor systematic speed factor
+	// fault counters (see Result)
+	dropped    int
+	duplicated int
 	// in-transit tracking (kept even when enforcement is disabled, so the
 	// ablation can show the flood)
 	inTransitFrom []int
@@ -171,23 +194,41 @@ type Machine struct {
 // delivery is a pooled message-arrival event. It implements sim.Runner so
 // scheduling it does not allocate a closure, and it returns itself to the
 // machine's freelist once the message is enqueued at the destination.
+// drop marks a message the fault layer loses at arrival; dup marks a
+// network-made duplicate copy, which is exempt from capacity accounting.
 type delivery struct {
-	m   *Machine
-	msg Message
+	m    *Machine
+	msg  Message
+	drop bool
+	dup  bool
 }
 
 // RunEvent completes the message's flight: stamp the arrival, enqueue at
 // the destination inbox, settle capacity (unless held until receive), and
-// wake a waiting receiver.
+// wake a waiting receiver. Under faults, a dropped message — or any message
+// addressed to a dead processor — is discarded here instead, freeing its
+// capacity slots (the network has dropped its buffer), and duplicate copies
+// are enqueued without touching the capacity books.
 func (d *delivery) RunEvent() {
 	m := d.m
 	msg := d.msg
+	drop, dup := d.drop, d.dup
 	d.msg = Message{}
+	d.drop, d.dup = false, false
 	m.freeDeliveries = append(m.freeDeliveries, d)
 	msg.ArrivedAt = int64(m.kernel.Now())
 	dst := m.procs[msg.To]
+	if drop || dst.failed {
+		m.dropped++
+		if !dup {
+			m.settle(msg)
+		}
+		return
+	}
 	dst.inbox = append(dst.inbox, msg)
-	if !m.cfg.HoldCapacityUntilReceive {
+	if dup {
+		m.duplicated++
+	} else if !m.cfg.HoldCapacityUntilReceive {
 		m.settle(msg)
 	}
 	dst.inboxSig.Notify()
@@ -217,6 +258,11 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.ProcSkew < 0 {
 		return nil, fmt.Errorf("logp: negative processor skew %v", cfg.ProcSkew)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.P); err != nil {
+			return nil, err
+		}
+	}
 	m := &Machine{
 		cfg:           cfg,
 		kernel:        sim.NewKernel(cfg.Seed),
@@ -232,6 +278,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.CollectTrace {
 		m.tr = &trace.Log{}
+	}
+	if cfg.Faults != nil {
+		m.faults = newFaultState(cfg.Faults, cfg.P)
 	}
 	if cfg.Profiler != nil {
 		m.rec = cfg.Profiler
@@ -281,14 +330,33 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 		return Result{}, fmt.Errorf("logp: machine already ran")
 	}
 	m.procs = make([]*Proc, m.cfg.P)
+	// Fail-stop events are scheduled before the processors so that at equal
+	// times the kill fires first and the victim dies before doing any work.
+	if m.faults != nil {
+		for _, fs := range m.faults.plan.FailStops {
+			pr := &fs
+			m.kernel.At(sim.Time(pr.At), func() { m.kill(pr.Proc) })
+		}
+	}
 	for i := 0; i < m.cfg.P; i++ {
-		i := i
 		pr := &Proc{id: i, m: m}
+		pr.wake.p = pr
 		m.procs[i] = pr
 		m.kernel.Spawn(fmt.Sprintf("proc%d", i), func(ps *sim.Process) {
 			pr.ps = ps
+			defer func() {
+				pr.stats.Finish = int64(ps.Now())
+				if r := recover(); r != nil {
+					if _, ok := r.(procFailure); ok && pr.failed {
+						if m.rec != nil {
+							m.rec.FailStop(pr.id, pr.stats.Finish)
+						}
+						return
+					}
+					panic(r)
+				}
+			}()
 			body(pr)
-			pr.stats.Finish = int64(ps.Now())
 		})
 	}
 	if err := m.kernel.Run(); err != nil {
@@ -299,6 +367,8 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 		Trace:            m.tr,
 		MaxInTransitFrom: m.maxOut,
 		MaxInTransitTo:   m.maxIn,
+		Dropped:          m.dropped,
+		Duplicated:       m.duplicated,
 	}
 	for i, pr := range m.procs {
 		pr.stats.Proc = i
@@ -307,11 +377,31 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 			res.Time = pr.stats.Finish
 		}
 		res.Messages += pr.stats.MsgsReceived
+		if pr.failed {
+			res.Failed = append(res.Failed, i)
+		}
 		if n := pr.Pending(); n > 0 {
-			return res, fmt.Errorf("logp: proc %d finished with %d undelivered messages", i, n)
+			res.Undelivered += n
+			if m.faults == nil {
+				return res, fmt.Errorf("logp: proc %d finished with %d undelivered messages", i, n)
+			}
 		}
 	}
 	return res, nil
+}
+
+// kill marks a processor fail-stopped and wakes it if it is blocked waiting
+// for a message, so a dead receiver halts immediately instead of deadlocking
+// the kernel. A processor blocked elsewhere (capacity stall, barrier) halts
+// at its next operation boundary; a barrier that a dead processor never
+// reaches deadlocks the survivors, which the kernel reports.
+func (m *Machine) kill(proc int) {
+	pr := m.procs[proc]
+	if pr.failed {
+		return
+	}
+	pr.failed = true
+	pr.inboxSig.Broadcast()
 }
 
 // Run is a convenience wrapper: build a machine from cfg and run body.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/sim"
 	"github.com/logp-model/logp/internal/trace"
 )
@@ -19,7 +20,16 @@ type Message struct {
 	Size      int   // words in the message: 1 for Send, k for SendBulk
 	SentAt    int64 // initiation time at the sender
 	ArrivedAt int64 // arrival time at the destination module
+
+	// dup marks a network-made duplicate copy (fault injection). The copy
+	// never touched the capacity books, so reception must not settle it.
+	dup bool
 }
+
+// Dup reports whether this message is a fault-injected duplicate copy of an
+// earlier delivery. Protocols normally detect duplicates by sequence number;
+// this is for tests and diagnostics.
+func (m Message) Dup() bool { return m.dup }
 
 // Proc is one of the P processor/memory modules. All methods must be called
 // from the processor's own body function. Methods advance this processor's
@@ -39,6 +49,30 @@ type Proc struct {
 	inbox     []Message
 	inboxHead int
 	inboxSig  sim.Signal
+
+	// failed is set by a fault-plan fail-stop; the processor unwinds with a
+	// procFailure panic at its next machine operation.
+	failed bool
+	// wake is this processor's pooled timeout event (RecvTimeout): it nudges
+	// inboxSig at the deadline so the condition loop re-checks the clock.
+	wake wakeup
+}
+
+// wakeup is a pooled timer event for RecvTimeout. Notify with no waiter is a
+// no-op and all inbox waits are condition loops, so a stale wakeup (the
+// message arrived first) is harmless.
+type wakeup struct{ p *Proc }
+
+// RunEvent implements sim.Runner.
+func (w *wakeup) RunEvent() { w.p.inboxSig.Notify() }
+
+// checkFail unwinds the processor body if a fail-stop has triggered. It is
+// called on entry to every machine operation and after every inbox wait, so
+// a dead processor halts at the next operation boundary.
+func (p *Proc) checkFail() {
+	if p.failed {
+		panic(procFailure{p.id})
+	}
 }
 
 // ID is the processor number in [0, P).
@@ -46,6 +80,15 @@ func (p *Proc) ID() int { return p.id }
 
 // P returns the machine's processor count.
 func (p *Proc) P() int { return p.m.cfg.P }
+
+// Params returns the machine's LogP parameters. Protocols use them to derive
+// timeouts from the model's L, o and g.
+func (p *Proc) Params() core.Params { return p.m.cfg.Params }
+
+// Failed reports whether a fail-stop has triggered for this processor. The
+// processor itself never observes true (it unwinds first); other processors'
+// code must not call this — protocols learn about dead peers by timeout.
+func (p *Proc) Failed() bool { return p.failed }
 
 // Now is this processor's current local time in cycles.
 func (p *Proc) Now() int64 { return int64(p.ps.Now()) }
@@ -66,11 +109,13 @@ func (p *Proc) record(kind trace.Kind, start, end int64) {
 
 // Compute performs cycles of local work (the model charges unit time per
 // local operation). With Config.ComputeJitter the actual duration stretches
-// by a random factor, modeling local timing noise.
+// by a random factor, modeling local timing noise; a fault-plan Slowdown
+// window overlapping the start time stretches it further.
 func (p *Proc) Compute(cycles int64) {
 	if cycles < 0 {
 		panic(fmt.Sprintf("logp: negative compute %d", cycles))
 	}
+	p.checkFail()
 	if cycles == 0 {
 		return
 	}
@@ -79,6 +124,11 @@ func (p *Proc) Compute(cycles int64) {
 	}
 	if j := p.m.cfg.ComputeJitter; j > 0 {
 		cycles += int64(float64(cycles) * j * p.m.kernel.Rand().Float64())
+	}
+	if p.m.faults != nil {
+		if f := p.m.faults.slowFactor(p.id, p.Now()); f > 1 {
+			cycles = int64(float64(cycles) * f)
+		}
 	}
 	start := p.Now()
 	p.ps.Wait(sim.Time(cycles))
@@ -118,6 +168,7 @@ func (p *Proc) Send(to, tag int, data any) {
 	if to < 0 || to >= p.m.cfg.P {
 		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
 	}
+	p.checkFail()
 	cfg := &p.m.cfg
 	// The gap wait (until nextSend) and the o-cycle overhead are one
 	// uninterruptible stretch of processor time, so they share a single
@@ -169,12 +220,30 @@ func (p *Proc) Send(to, tag int, data any) {
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
+	var drop, dup bool
+	var dupLat int64
+	if p.m.faults != nil {
+		lat, drop, dup, dupLat = p.m.faults.messageFate(p.id, to, lat)
+	}
 	if p.m.rec != nil {
 		p.m.rec.Send(p.id, to, tag, lat)
+		if drop {
+			p.m.rec.DropLast(p.id)
+		}
 	}
 	d := p.m.newDelivery()
 	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation}
+	d.drop = drop
 	p.m.kernel.AfterRun(sim.Time(lat), d)
+	if dup {
+		if p.m.rec != nil {
+			p.m.rec.Dup(p.id, to, tag, 1, dupLat)
+		}
+		d2 := p.m.newDelivery()
+		d2.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation, dup: true}
+		d2.dup = true
+		p.m.kernel.AfterRun(sim.Time(dupLat), d2)
+	}
 }
 
 // HasMessage reports whether a message has arrived and is waiting, at no
@@ -215,23 +284,11 @@ func (p *Proc) HasTag(tag int) bool {
 	return false
 }
 
-// Recv receives the earliest-arrived message, blocking until one is
-// available. Model costs: reception start respects the gap (consecutive
-// receptions at least max(g, o) apart) and the processor is busy for o
-// cycles. The wait for arrival is idle time.
-func (p *Proc) Recv() Message {
-	if p.m.rec != nil {
-		p.m.rec.Recv(p.id)
-	}
-	for p.Pending() == 0 {
-		start := p.Now()
-		p.inboxSig.Wait(p.ps)
-		p.record(trace.Idle, start, p.Now())
-	}
-	msg := p.popInbox()
-	// The gap wait (until nextRecv) and the reception overhead share one
-	// kernel park; popping first is safe because later arrivals only append
-	// behind the queue front.
+// finishRecv pays the reception costs for a message already popped from the
+// inbox: the gap wait (until nextRecv) and the reception overhead share one
+// kernel park; popping first is safe because later arrivals only append
+// behind the queue front.
+func (p *Proc) finishRecv(msg Message) Message {
 	arrived := p.Now()
 	start := arrived
 	if p.nextRecv > start {
@@ -249,10 +306,57 @@ func (p *Proc) Recv() Message {
 	if t := start + cost; t > p.nextRecv {
 		p.nextRecv = t
 	}
-	if p.m.cfg.HoldCapacityUntilReceive {
+	if p.m.cfg.HoldCapacityUntilReceive && !msg.dup {
 		p.m.settle(msg)
 	}
+	if p.m.rec != nil {
+		p.m.rec.RecvDone(p.id)
+	}
 	return msg
+}
+
+// Recv receives the earliest-arrived message, blocking until one is
+// available. Model costs: reception start respects the gap (consecutive
+// receptions at least max(g, o) apart) and the processor is busy for o
+// cycles. The wait for arrival is idle time.
+func (p *Proc) Recv() Message {
+	p.checkFail()
+	if p.m.rec != nil {
+		p.m.rec.Recv(p.id)
+	}
+	for p.Pending() == 0 {
+		start := p.Now()
+		p.inboxSig.Wait(p.ps)
+		p.record(trace.Idle, start, p.Now())
+		p.checkFail()
+	}
+	return p.finishRecv(p.popInbox())
+}
+
+// RecvTimeout receives like Recv, but gives up if no message has arrived by
+// absolute time deadline: the processor idles until the deadline and returns
+// false. A message arriving exactly at the deadline is missed (the timer was
+// scheduled first); one that arrived earlier is received normally, paying
+// the usual gap and overhead.
+func (p *Proc) RecvTimeout(deadline int64) (Message, bool) {
+	p.checkFail()
+	for p.Pending() == 0 {
+		if p.Now() >= deadline {
+			if p.m.rec != nil {
+				p.m.rec.WaitUntil(p.id, deadline)
+			}
+			return Message{}, false
+		}
+		p.m.kernel.AtRun(sim.Time(deadline), &p.wake)
+		start := p.Now()
+		p.inboxSig.Wait(p.ps)
+		p.record(trace.Idle, start, p.Now())
+		p.checkFail()
+	}
+	if p.m.rec != nil {
+		p.m.rec.Recv(p.id)
+	}
+	return p.finishRecv(p.popInbox()), true
 }
 
 // TryRecv receives a message if one has arrived, without blocking for
@@ -268,6 +372,7 @@ func (p *Proc) TryRecv() (Message, bool) {
 // one arrives. Messages with other tags stay queued in arrival order. Each
 // inspection that lands on a matching message costs one reception (o).
 func (p *Proc) RecvTag(tag int) Message {
+	p.checkFail()
 	if p.m.rec != nil {
 		p.m.rec.RecvTag(p.id, tag)
 	}
@@ -282,32 +387,13 @@ func (p *Proc) RecvTag(tag int) Message {
 					p.inbox = p.inbox[:0]
 					p.inboxHead = 0
 				}
-				arrived := p.Now()
-				start := arrived
-				if p.nextRecv > start {
-					start = p.nextRecv
-				}
-				cost := p.recvCost(m)
-				p.ps.WaitUntil(sim.Time(start + cost)) // gap, then reception
-				p.stats.RecvOverhead += cost
-				p.stats.MsgsReceived++
-				if start > arrived {
-					p.record(trace.Idle, arrived, start)
-				}
-				p.record(trace.RecvOverhead, start, p.Now())
-				p.nextRecv = start + p.m.cfg.SendInterval()
-				if t := start + cost; t > p.nextRecv {
-					p.nextRecv = t
-				}
-				if p.m.cfg.HoldCapacityUntilReceive {
-					p.m.settle(m)
-				}
-				return m
+				return p.finishRecv(m)
 			}
 		}
 		start := p.Now()
 		p.inboxSig.Wait(p.ps)
 		p.record(trace.Idle, start, p.Now())
+		p.checkFail()
 	}
 }
 
@@ -316,6 +402,7 @@ func (p *Proc) RecvTag(tag int) Message {
 // synchronization hardware of Section 5.5 (the CM-5 control network); the
 // message-based alternative is collective.Barrier.
 func (p *Proc) Barrier() {
+	p.checkFail()
 	if p.m.rec != nil {
 		p.m.rec.Barrier(p.id)
 	}
@@ -329,6 +416,7 @@ func (p *Proc) Barrier() {
 
 // Wait idles for the given number of cycles without counting as computation.
 func (p *Proc) Wait(cycles int64) {
+	p.checkFail()
 	if cycles <= 0 {
 		return
 	}
@@ -342,6 +430,7 @@ func (p *Proc) Wait(cycles int64) {
 
 // WaitUntil idles until the given absolute time (no-op if already past).
 func (p *Proc) WaitUntil(t int64) {
+	p.checkFail()
 	if p.m.rec != nil {
 		p.m.rec.WaitUntil(p.id, t)
 	}

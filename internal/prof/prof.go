@@ -43,6 +43,10 @@ const (
 	OpWait
 	// OpWaitUntil is a WaitUntil; Arg holds the absolute target time.
 	OpWaitUntil
+	// OpDup is a network-made duplicate (fault injection) of the send
+	// recorded immediately before it; Arg holds the duplicate's latency. It
+	// consumes no processor time and no capacity slot on replay.
+	OpDup
 )
 
 // Op is one recorded operation of one processor. Ops are recorded in
@@ -50,12 +54,13 @@ const (
 // determine the run completely (the simulator is deterministic), which is
 // what makes replay under altered parameters possible.
 type Op struct {
-	Kind   OpKind
-	AnyTag bool  // OpRecv: plain Recv (matches any tag) rather than RecvTag
-	To     int32 // OpSend/OpSendBulk: destination processor
-	Tag    int32 // send tag, or RecvTag filter
-	Words  int32 // OpSendBulk: words in the train (1 for OpSend)
-	Arg    int64 // cycles, latency, or absolute time, per Kind
+	Kind    OpKind
+	AnyTag  bool  // OpRecv: plain Recv (matches any tag) rather than RecvTag
+	Dropped bool  // OpSend/OpSendBulk: the fault layer lost this message
+	To      int32 // OpSend/OpSendBulk: destination processor
+	Tag     int32 // send tag, or RecvTag filter
+	Words   int32 // OpSendBulk: words in the train (1 for OpSend)
+	Arg     int64 // cycles, latency, or absolute time, per Kind
 }
 
 // RunInfo is the machine configuration the recording was made under: the
@@ -79,6 +84,12 @@ type Recorder struct {
 	info RunInfo
 	ops  [][]Op
 	sent int // total messages recorded
+	// fault bookkeeping: pendingRecv tracks a Recv/RecvTag that has been
+	// recorded but not yet completed (so FailStop can pop a receive the dead
+	// processor never finished); failed marks fail-stopped processors, which
+	// replay uses to discard their late arrivals as the machine does.
+	pendingRecv []bool
+	failed      []bool
 }
 
 // NewRecorder returns an empty recorder.
@@ -98,6 +109,8 @@ func (r *Recorder) Begin(info RunInfo) {
 	} else {
 		r.ops = make([][]Op, info.Params.P)
 	}
+	r.pendingRecv = make([]bool, info.Params.P)
+	r.failed = make([]bool, info.Params.P)
 }
 
 // Info returns the recorded machine configuration.
@@ -130,12 +143,52 @@ func (r *Recorder) SendBulk(proc, to, tag, words int, lat int64) {
 // Recv records a reception that matches any tag.
 func (r *Recorder) Recv(proc int) {
 	r.ops[proc] = append(r.ops[proc], Op{Kind: OpRecv, AnyTag: true})
+	r.pendingRecv[proc] = true
 }
 
 // RecvTag records a reception filtered to one tag.
 func (r *Recorder) RecvTag(proc, tag int) {
 	r.ops[proc] = append(r.ops[proc], Op{Kind: OpRecv, Tag: int32(tag)})
+	r.pendingRecv[proc] = true
 }
+
+// RecvDone records that the last recorded reception completed (the machine
+// calls it once the message is consumed), so a later FailStop knows whether
+// the trailing receive is still open.
+func (r *Recorder) RecvDone(proc int) { r.pendingRecv[proc] = false }
+
+// DropLast marks the just-recorded send of proc as lost by the fault layer:
+// replay puts the message in flight (the sender paid its costs) but discards
+// it at arrival instead of delivering it.
+func (r *Recorder) DropLast(proc int) {
+	ops := r.ops[proc]
+	ops[len(ops)-1].Dropped = true
+}
+
+// Dup records a network-made duplicate (fault injection) of the send
+// recorded immediately before it, with the duplicate's own latency. Replay
+// re-delivers the previous message at the duplicate latency, exempt from
+// capacity.
+func (r *Recorder) Dup(proc, to, tag, words int, lat int64) {
+	r.ops[proc] = append(r.ops[proc], Op{Kind: OpDup, To: int32(to), Tag: int32(tag), Words: int32(words), Arg: lat})
+}
+
+// FailStop records that proc fail-stopped at absolute time t. If the
+// processor died inside a receive (recorded at entry but never completed),
+// that trailing OpRecv is popped, so replay does not wait for a message the
+// dead processor never consumed; an OpWaitUntil to the halt time takes its
+// place, so replay finishes the victim exactly when the machine did.
+func (r *Recorder) FailStop(proc int, t int64) {
+	if r.pendingRecv[proc] {
+		r.ops[proc] = r.ops[proc][:len(r.ops[proc])-1]
+		r.pendingRecv[proc] = false
+	}
+	r.ops[proc] = append(r.ops[proc], Op{Kind: OpWaitUntil, Arg: t})
+	r.failed[proc] = true
+}
+
+// Failed reports whether proc fail-stopped during the recorded run.
+func (r *Recorder) Failed(proc int) bool { return r.failed[proc] }
 
 // Barrier records an arrival at the hardware barrier.
 func (r *Recorder) Barrier(proc int) {

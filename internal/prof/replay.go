@@ -59,7 +59,9 @@ type MsgInfo struct {
 	Arrived              int64 // complete at the destination module
 	RecvStart, RecvEnd   int64 // reception overhead interval at the receiver
 	FlightSpan           int
-	RecvSpan             int // -1 if the program ended without receiving it
+	RecvSpan             int  // -1 if the program ended without receiving it
+	Dropped              bool // lost by the fault layer at arrival
+	Dup                  bool // network-made duplicate copy (fault injection)
 }
 
 // Run is a replayed (re-costed) execution of a recorded DAG.
@@ -186,6 +188,8 @@ type rmsg struct {
 	arrival              int64
 	flightSpan           int
 	settled              bool
+	dropped              bool // discarded at arrival, capacity settled there
+	dup                  bool // capacity-exempt network copy
 }
 
 type rproc struct {
@@ -199,6 +203,8 @@ type rproc struct {
 	inbox     []int32 // arrived, unconsumed message indices in arrival order
 	waiting   waitState
 	waitStart int64
+	lastMsg   int32 // message index of this processor's latest send, for OpDup
+	failed    bool  // fail-stopped in the recording: late arrivals are discarded
 	// pending send context while acquiring capacity
 	sendInit int64 // initiation time
 	sendEng  int64 // end of the engaged (overhead) stretch
@@ -238,7 +244,10 @@ func newReplayer(r *Recorder, cfg Config) *replayer {
 	rp := &replayer{rec: r, cfg: cfg}
 	rp.procs = make([]*rproc, P)
 	for i := 0; i < P; i++ {
-		rp.procs[i] = &rproc{id: i, ops: r.ops[i], chain: -1}
+		rp.procs[i] = &rproc{id: i, ops: r.ops[i], chain: -1, lastMsg: -1}
+		if r.failed != nil {
+			rp.procs[i].failed = r.failed[i]
+		}
 		rp.q.push(0, evStep, int32(i), 0)
 	}
 	if !cfg.DisableCapacity {
@@ -307,6 +316,9 @@ func (rp *replayer) step(p *rproc, now int64) {
 				p.chain = rp.addSpan(p.id, trace.Idle, p.t, op.Arg, p.chain, -1)
 				p.t = op.Arg
 			}
+			p.pc++
+		case OpDup:
+			rp.startDup(p, op)
 			p.pc++
 		case OpSend, OpSendBulk:
 			if p.t > now {
@@ -460,27 +472,65 @@ func (rp *replayer) finishSend(p *rproc, tInj int64) {
 	rp.spans = append(rp.spans, Span{Proc: -1, Kind: trace.Flight, Start: flightStart, End: arrival, Pred: flightPred, Msg: mi})
 	rp.msgs = append(rp.msgs, rmsg{
 		from: p.id, to: int(op.To), tag: int(op.Tag), words: int(op.Words),
-		lat: lat, arrival: arrival, flightSpan: fs,
+		lat: lat, arrival: arrival, flightSpan: fs, dropped: op.Dropped,
 	})
 	rp.minfo = append(rp.minfo, MsgInfo{
 		From: p.id, To: int(op.To), Tag: int(op.Tag), Words: int(op.Words),
 		Injected: tInj, Arrived: arrival, FlightSpan: fs, RecvSpan: -1,
+		Dropped: op.Dropped,
 	})
 	rp.q.push(arrival, evDelivery, 0, int32(mi))
+	p.lastMsg = int32(mi)
 
 	p.t = tInj
 	p.pc++
 	rp.q.push(p.t, evStep, int32(p.id), 0)
 }
 
+// startDup re-delivers this processor's latest sent message as a
+// network-made duplicate: no processor time, no capacity slot, its own
+// latency (op.Arg) measured from the original's injection into the network.
+func (rp *replayer) startDup(p *rproc, op *Op) {
+	orig := &rp.msgs[p.lastMsg]
+	arrival := orig.arrival - orig.lat + op.Arg
+	if arrival <= orig.arrival && !rp.cfg.UseRecordedLatency {
+		arrival = orig.arrival + 1 // the machine delivers copies strictly later
+	}
+	mi := len(rp.msgs)
+	flightStart := arrival - op.Arg
+	fs := len(rp.spans)
+	rp.spans = append(rp.spans, Span{Proc: -1, Kind: trace.Flight, Start: flightStart, End: arrival, Pred: orig.flightSpan, Msg: mi})
+	rp.msgs = append(rp.msgs, rmsg{
+		from: p.id, to: int(op.To), tag: int(op.Tag), words: int(op.Words),
+		lat: op.Arg, arrival: arrival, flightSpan: fs,
+		settled: true, dup: true, // capacity-exempt: nothing to settle
+	})
+	rp.minfo = append(rp.minfo, MsgInfo{
+		From: p.id, To: int(op.To), Tag: int(op.Tag), Words: int(op.Words),
+		Injected: flightStart, Arrived: arrival, FlightSpan: fs, RecvSpan: -1,
+		Dup: true,
+	})
+	rp.q.push(arrival, evDelivery, 0, int32(mi))
+}
+
 // deliver completes a message's flight: settle capacity (unless held until
-// reception), enqueue at the destination, and wake a blocked receiver.
+// reception), enqueue at the destination, and wake a blocked receiver. A
+// message the fault layer dropped — or one addressed to a fail-stopped
+// processor — is discarded here, settling its capacity unconditionally (the
+// network freed its buffer), exactly as the machine does.
 func (rp *replayer) deliver(mi int, now int64) {
 	m := &rp.msgs[mi]
+	dst := rp.procs[m.to]
+	// A fail-stopped destination discards arrivals once past its last
+	// recorded op (its death point); earlier arrivals must still queue so
+	// the receives it did complete before dying find their messages.
+	if m.dropped || (dst.failed && dst.pc >= len(dst.ops) && dst.waiting == wNone) {
+		rp.settle(mi, now)
+		return
+	}
 	if !rp.cfg.HoldCapacityUntilReceive {
 		rp.settle(mi, now)
 	}
-	dst := rp.procs[m.to]
 	if dst.waiting == wRecv {
 		op := &dst.ops[dst.pc]
 		if op.AnyTag || int(op.Tag) == m.tag {

@@ -1,0 +1,97 @@
+package reliable
+
+import "fmt"
+
+// Collectives over the reliable layer: the binomial-tree broadcast and
+// reduction of internal/collective, re-built on Endpoint.Send/RecvTagUntil
+// so they survive message loss and degrade gracefully around dead peers
+// instead of deadlocking. The price is visible in the model's terms: every
+// hop now costs a data frame plus an ack, and a lossy link adds whole
+// retransmission timeouts to the affected subtree.
+
+// Broadcast delivers data from root to every reachable processor down a
+// binomial tree. Every processor calls it; deadline is the absolute time at
+// which a processor gives up waiting for the value (its parent — or the
+// parent's whole path to the root — is then presumed dead and the processor
+// returns an ErrNoData-wrapping error). A processor that cannot deliver to a
+// child (ErrPeerDead) keeps forwarding to its remaining children and
+// reports the first such failure; the orphaned subtree simply never gets
+// the value.
+func Broadcast(e *Endpoint, root, tag int, data any, deadline int64) (any, error) {
+	P := e.p.P()
+	r := (e.p.ID() - root + P) % P // rank relative to the root
+	mask := 1
+	for mask < P {
+		if r&mask != 0 {
+			m, ok := e.RecvTagUntil(tag, deadline)
+			if !ok {
+				return nil, fmt.Errorf("reliable: broadcast value never reached proc %d: %w", e.p.ID(), ErrNoData)
+			}
+			data = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to the subtree below the bit we joined on, largest first.
+	var firstErr error
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if dst := r + mask; dst < P {
+			if err := e.Send((dst+root)%P, tag, data); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return data, firstErr
+}
+
+// Contribution is a (possibly partial) reduction result: Value aggregated
+// over N contributing processors. Reduce reports partial sums rather than
+// failing when part of the tree is unreachable — the caller sees from N how
+// much of the machine answered.
+type Contribution struct {
+	Value float64
+	N     int
+}
+
+// Reduce folds each processor's value up a binomial tree to root. Every
+// processor calls it; on the root it returns ok=true and the contribution
+// accumulated from every subtree that answered. A non-root processor
+// returns its own subtree's contribution and ok=false; its error is
+// non-nil if the parent was unreachable (that subtree's values are then
+// lost to the root).
+//
+// patience is the per-hop waiting budget. The wait for the child at
+// distance mask lasts 2*mask*patience cycles: geometric in the child's
+// subtree size, so a parent that must first wait out dead descendants
+// still delivers its partial sum inside its own parent's window — a flat
+// deadline would cascade (the late partial arrives just after everyone
+// upstream gave up). patience should comfortably exceed one hop including
+// a full retransmission tail.
+func Reduce(e *Endpoint, root, tag int, value float64, patience int64) (Contribution, bool, error) {
+	P := e.p.P()
+	r := (e.p.ID() - root + P) % P
+	c := Contribution{Value: value, N: 1}
+	for mask := 1; mask < P; mask <<= 1 {
+		if r&mask != 0 {
+			parent := (r - mask + root) % P
+			if err := e.Send(parent, tag, c); err != nil {
+				return c, false, err
+			}
+			return c, false, nil
+		}
+		if src := r + mask; src < P {
+			// Contributions are matched by tag, not source: children finish
+			// in data-dependent order and addition commutes, exactly as in
+			// collective.BinomialReduce. A timeout means one child (and its
+			// whole subtree) is presumed dead; the fold continues without it.
+			deadline := e.p.Now() + 2*int64(mask)*patience
+			if m, ok := e.RecvTagUntil(tag, deadline); ok {
+				child := m.Data.(Contribution)
+				c.Value += child.Value
+				c.N += child.N
+				e.p.Compute(1)
+			}
+		}
+	}
+	return c, true, nil
+}

@@ -1,0 +1,282 @@
+// Package reliable layers a retransmission protocol over the LogP machine,
+// recovering the paper's "all messages are delivered reliably" assumption on
+// top of a network that drops, duplicates and delays (logp.FaultPlan). The
+// protocol is deliberately textbook: per-peer sequence numbers with
+// duplicate suppression at the receiver, positive acknowledgements, and
+// stop-and-wait retransmission with exponential backoff and a bounded retry
+// budget. A peer that exhausts the budget is declared dead and every later
+// send to it fails fast, letting collectives degrade gracefully (Broadcast
+// skips the orphaned subtree, Reduce reports how many processors actually
+// contributed).
+//
+// Every protocol action is an ordinary machine operation — acks pay o and
+// the gap like any other message, retransmissions count against the
+// capacity constraint — so the cost of reliability shows up in the model's
+// own currency, and in the critical-path attribution of internal/prof.
+package reliable
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// Machine tags the protocol multiplexes its frames onto. Application tags
+// travel inside the data frame, so programs may use any tag values they
+// like; only these two machine-level tags are reserved.
+const (
+	TagData = 1 << 20
+	TagAck  = 1<<20 + 1
+)
+
+// ErrPeerDead reports that a peer exhausted the retry budget (or was already
+// declared dead by an earlier send). Match with errors.Is.
+var ErrPeerDead = errors.New("reliable: peer presumed dead")
+
+// ErrNoData reports that a collective's value never arrived by its deadline.
+var ErrNoData = errors.New("reliable: no data before deadline")
+
+// frame is the payload of a TagData machine message.
+type frame struct {
+	Seq  int64
+	Tag  int // application tag
+	Data any
+}
+
+// Message is an application-level delivery: exactly-once, in send order per
+// peer.
+type Message struct {
+	From int
+	Tag  int
+	Data any
+}
+
+// Config tunes the protocol. The zero value takes defaults derived from the
+// machine's own parameters (see DefaultConfig).
+type Config struct {
+	// Timeout is the initial ack wait in cycles; each retransmission doubles
+	// it up to BackoffCap.
+	Timeout int64
+	// BackoffCap bounds the doubled timeout.
+	BackoffCap int64
+	// Retries is the retransmission budget per message; when it is exhausted
+	// without an ack the peer is declared dead.
+	Retries int
+}
+
+// DefaultConfig derives protocol parameters from the machine's: the initial
+// timeout covers a full data+ack round trip (two flights, two receptions,
+// the ack's send overhead) with gap slack, the backoff cap is eight times
+// that, and the retry budget is 10.
+func DefaultConfig(p *logp.Proc) Config {
+	prm := p.Params()
+	rtt := 2*prm.L + 4*prm.O + 4*prm.G
+	return Config{Timeout: rtt, BackoffCap: 8 * rtt, Retries: 10}
+}
+
+// Endpoint is one processor's protocol state. Create one per processor at
+// the start of the program body; all reliable traffic of that processor must
+// flow through it (it owns the machine inbox: raw Recv calls would steal
+// protocol frames).
+type Endpoint struct {
+	p   *logp.Proc
+	cfg Config
+
+	nextSeq []int64 // per peer: last sequence number assigned to a send
+	acked   []int64 // per peer: highest sequence number they acked
+	lastSeq []int64 // per peer: highest sequence number received from them
+	dead    []bool  // per peer: declared dead (retry budget exhausted)
+
+	// queue holds application messages delivered but not yet consumed,
+	// head-indexed like the machine inbox.
+	queue     []Message
+	queueHead int
+
+	retransmits int
+	duplicates  int
+}
+
+// New builds an endpoint for processor p. Zero fields of cfg take the
+// DefaultConfig values.
+func New(p *logp.Proc, cfg Config) *Endpoint {
+	def := DefaultConfig(p)
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = def.Timeout
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = def.BackoffCap
+	}
+	if cfg.BackoffCap < cfg.Timeout {
+		cfg.BackoffCap = cfg.Timeout
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = def.Retries
+	}
+	P := p.P()
+	return &Endpoint{
+		p: p, cfg: cfg,
+		nextSeq: make([]int64, P),
+		acked:   make([]int64, P),
+		lastSeq: make([]int64, P),
+		dead:    make([]bool, P),
+	}
+}
+
+// Proc returns the underlying machine processor.
+func (e *Endpoint) Proc() *logp.Proc { return e.p }
+
+// Retransmits reports how many retransmissions this endpoint has sent.
+func (e *Endpoint) Retransmits() int { return e.retransmits }
+
+// Duplicates reports how many duplicate data frames this endpoint has
+// suppressed (each was still re-acked, in case the original ack was lost).
+func (e *Endpoint) Duplicates() int { return e.duplicates }
+
+// Dead reports whether peer has been declared dead by this endpoint.
+func (e *Endpoint) Dead(peer int) bool { return e.dead[peer] }
+
+// Send delivers data to peer to exactly once, retransmitting on ack timeout
+// with exponential backoff. It returns nil once the peer acknowledged, or an
+// ErrPeerDead-wrapping error once the retry budget is exhausted (the peer is
+// then marked dead and later sends fail immediately). Incoming traffic from
+// other peers is serviced while waiting, so concurrent conversations cannot
+// deadlock each other.
+func (e *Endpoint) Send(to, tag int, data any) error {
+	if e.dead[to] {
+		return fmt.Errorf("reliable: send to proc %d: %w", to, ErrPeerDead)
+	}
+	e.nextSeq[to]++
+	seq := e.nextSeq[to]
+	f := frame{Seq: seq, Tag: tag, Data: data}
+	timeout := e.cfg.Timeout
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			e.retransmits++
+		}
+		e.p.Send(to, TagData, f)
+		deadline := e.p.Now() + timeout
+		for e.acked[to] < seq {
+			m, ok := e.p.RecvTimeout(deadline)
+			if !ok {
+				break
+			}
+			e.handle(m)
+		}
+		if e.acked[to] >= seq {
+			return nil
+		}
+		if attempt == e.cfg.Retries {
+			break
+		}
+		timeout *= 2
+		if timeout > e.cfg.BackoffCap {
+			timeout = e.cfg.BackoffCap
+		}
+	}
+	e.dead[to] = true
+	return fmt.Errorf("reliable: send to proc %d: no ack after %d retries: %w", to, e.cfg.Retries, ErrPeerDead)
+}
+
+// handle processes one raw machine message: data frames are deduplicated,
+// acked and queued for the application; ack frames advance the acked
+// watermark of their sender.
+func (e *Endpoint) handle(m logp.Message) {
+	switch m.Tag {
+	case TagData:
+		f := m.Data.(frame)
+		if f.Seq <= e.lastSeq[m.From] {
+			// A retransmission (our ack was lost) or a network-made copy:
+			// suppress it, but re-ack so the sender can make progress.
+			e.duplicates++
+			e.p.Send(m.From, TagAck, f.Seq)
+			return
+		}
+		e.lastSeq[m.From] = f.Seq
+		e.p.Send(m.From, TagAck, f.Seq)
+		e.pushQueue(Message{From: m.From, Tag: f.Tag, Data: f.Data})
+	case TagAck:
+		if seq := m.Data.(int64); seq > e.acked[m.From] {
+			e.acked[m.From] = seq
+		}
+	default:
+		panic(fmt.Sprintf("reliable: proc %d received raw message with tag %d: all traffic must use the endpoint", e.p.ID(), m.Tag))
+	}
+}
+
+func (e *Endpoint) pushQueue(m Message) {
+	if e.queueHead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.queueHead = 0
+	}
+	e.queue = append(e.queue, m)
+}
+
+// Recv returns the next application message, blocking until one arrives.
+// Use RecvUntil when the sender might be dead.
+func (e *Endpoint) Recv() Message {
+	for e.queueHead == len(e.queue) {
+		e.handle(e.p.Recv())
+	}
+	m := e.queue[e.queueHead]
+	e.queue[e.queueHead] = Message{}
+	e.queueHead++
+	return m
+}
+
+// RecvUntil returns the next application message, or ok=false if none has
+// arrived by absolute time deadline (the processor idles until then).
+func (e *Endpoint) RecvUntil(deadline int64) (Message, bool) {
+	for e.queueHead == len(e.queue) {
+		m, ok := e.p.RecvTimeout(deadline)
+		if !ok {
+			return Message{}, false
+		}
+		e.handle(m)
+	}
+	m := e.queue[e.queueHead]
+	e.queue[e.queueHead] = Message{}
+	e.queueHead++
+	return m, true
+}
+
+// RecvTagUntil returns the earliest queued application message with the
+// given tag, or ok=false at the deadline. Messages with other tags stay
+// queued in arrival order.
+func (e *Endpoint) RecvTagUntil(tag int, deadline int64) (Message, bool) {
+	for {
+		for i := e.queueHead; i < len(e.queue); i++ {
+			if e.queue[i].Tag == tag {
+				m := e.queue[i]
+				copy(e.queue[i:], e.queue[i+1:])
+				e.queue[len(e.queue)-1] = Message{}
+				e.queue = e.queue[:len(e.queue)-1]
+				if e.queueHead == len(e.queue) {
+					e.queue = e.queue[:0]
+					e.queueHead = 0
+				}
+				return m, true
+			}
+		}
+		m, ok := e.p.RecvTimeout(deadline)
+		if !ok {
+			return Message{}, false
+		}
+		e.handle(m)
+	}
+}
+
+// Drain services protocol traffic until absolute time t: retransmissions
+// get re-acked and late acks are recorded. Processors call it after their
+// last reliable operation, because a peer whose ack was lost keeps
+// retransmitting — if nobody answers, it burns its whole retry budget and
+// wrongly declares this processor dead.
+func (e *Endpoint) Drain(t int64) {
+	for {
+		m, ok := e.p.RecvTimeout(t)
+		if !ok {
+			return
+		}
+		e.handle(m)
+	}
+}

@@ -1,0 +1,320 @@
+package reliable
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+func cfg(p int, faults *logp.FaultPlan) logp.Config {
+	return logp.Config{
+		Params: core.Params{P: p, L: 6, O: 2, G: 4},
+		Faults: faults,
+	}
+}
+
+func TestReliableDeliveryNoFaults(t *testing.T) {
+	// On a perfect network the protocol is just data+ack: every message
+	// arrives exactly once, in order, with no retransmissions.
+	var got []Message
+	var retrans int
+	_, err := logp.Run(cfg(2, nil), func(p *logp.Proc) {
+		e := New(p, Config{})
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 5; i++ {
+				if err := e.Send(1, 7, i); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			}
+			retrans = e.Retransmits()
+		case 1:
+			for i := 0; i < 5; i++ {
+				got = append(got, e.Recv())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d messages, want 5", len(got))
+	}
+	for i, m := range got {
+		if m.From != 0 || m.Tag != 7 || m.Data.(int) != i {
+			t.Errorf("message %d = %+v, want {0 7 %d}", i, m, i)
+		}
+	}
+	if retrans != 0 {
+		t.Errorf("%d retransmissions on a perfect network", retrans)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// The network duplicates every data frame on 0->1; the receiver must
+	// deliver each message exactly once and re-ack every suppressed copy.
+	plan := &logp.FaultPlan{
+		Seed:  1,
+		Links: map[logp.Link]logp.LinkFault{{From: 0, To: 1}: {Dup: 1}},
+	}
+	var got []Message
+	var suppressed int
+	res, err := logp.Run(cfg(2, plan), func(p *logp.Proc) {
+		e := New(p, Config{})
+		switch p.ID() {
+		case 0:
+			for i := 0; i < 4; i++ {
+				if err := e.Send(1, 0, i); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			}
+			e.Drain(p.Now() + 100)
+		case 1:
+			for i := 0; i < 4; i++ {
+				got = append(got, e.Recv())
+			}
+			e.Drain(p.Now() + 100) // keep re-acking late copies
+			suppressed = e.Duplicates()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d messages, want 4", len(got))
+	}
+	for i, m := range got {
+		if m.Data.(int) != i {
+			t.Errorf("message %d carried %v, want %d: duplicate slipped through", i, m.Data, i)
+		}
+	}
+	if suppressed == 0 {
+		t.Error("no duplicates suppressed although every frame was copied")
+	}
+	if res.Duplicated == 0 {
+		t.Error("machine reported no duplicated messages")
+	}
+}
+
+// lossyOneRetransmit finds a seed where the first data frame is dropped and
+// the retransmission survives: the canonical single-timeout recovery.
+func TestRetransmitAfterOneTimeout(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		plan := &logp.FaultPlan{
+			Seed: seed,
+			// Only the data direction is lossy; acks always get through.
+			Links: map[logp.Link]logp.LinkFault{{From: 0, To: 1}: {Drop: 0.5}},
+		}
+		var sendErr error
+		var retrans int
+		var sendDone int64
+		var got []Message
+		_, err := logp.Run(cfg(2, plan), func(p *logp.Proc) {
+			e := New(p, Config{Timeout: 40})
+			switch p.ID() {
+			case 0:
+				sendErr = e.Send(1, 0, "v")
+				retrans = e.Retransmits()
+				sendDone = p.Now()
+			case 1:
+				if m, ok := e.RecvUntil(2000); ok {
+					got = append(got, m)
+				}
+				e.Drain(p.Now() + 100)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retrans != 1 {
+			continue // wrong drop pattern for this seed, try the next
+		}
+		if sendErr != nil {
+			t.Fatalf("seed %d: send failed despite successful retransmission: %v", seed, sendErr)
+		}
+		if len(got) != 1 || got[0].Data.(string) != "v" {
+			t.Fatalf("seed %d: delivered %v, want the one message", seed, got)
+		}
+		// The sender sat out one full timeout before retransmitting: the
+		// round trip finished after Timeout but within two timeouts.
+		if sendDone <= 40 || sendDone > 2*40+40 {
+			t.Errorf("seed %d: send completed at %d; want after one 40-cycle timeout", seed, sendDone)
+		}
+		return
+	}
+	t.Fatal("no seed in [0,64) produced exactly one retransmission")
+}
+
+func TestBackoffCapAndDeadPeerVerdict(t *testing.T) {
+	// Every data frame to 1 is lost: the sender must time out Retries+1
+	// times with capped exponential backoff, then declare the peer dead.
+	plan := &logp.FaultPlan{
+		Links: map[logp.Link]logp.LinkFault{{From: 0, To: 1}: {Drop: 1}},
+	}
+	var firstErr, secondErr error
+	var retrans int
+	var gaveUpAt, secondFailAt int64
+	var dead bool
+	_, err := logp.Run(cfg(2, plan), func(p *logp.Proc) {
+		e := New(p, Config{Timeout: 10, BackoffCap: 20, Retries: 4})
+		if p.ID() != 0 {
+			return
+		}
+		firstErr = e.Send(1, 0, "x")
+		retrans = e.Retransmits()
+		gaveUpAt = p.Now()
+		dead = e.Dead(1)
+		secondErr = e.Send(1, 0, "y")
+		secondFailAt = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(firstErr, ErrPeerDead) {
+		t.Fatalf("send error = %v, want ErrPeerDead", firstErr)
+	}
+	if retrans != 4 {
+		t.Errorf("retransmissions = %d, want the full budget of 4", retrans)
+	}
+	if !dead {
+		t.Error("peer not marked dead after budget exhaustion")
+	}
+	// Attempts at 0, 12, 34, 56, 78 (o=2 each); timeouts 10, 20, 20, 20, 20
+	// — the third and later are capped at BackoffCap, not 40/80/160.
+	if gaveUpAt != 100 {
+		t.Errorf("gave up at %d, want exactly 100 (capped backoff schedule)", gaveUpAt)
+	}
+	if !errors.Is(secondErr, ErrPeerDead) {
+		t.Errorf("second send error = %v, want immediate ErrPeerDead", secondErr)
+	}
+	if secondFailAt != gaveUpAt {
+		t.Errorf("second send burned %d cycles, want an immediate failure", secondFailAt-gaveUpAt)
+	}
+}
+
+func TestReliableBroadcastUnderDrop(t *testing.T) {
+	// Acceptance criterion: with a seeded 1% drop plan, reliable broadcast
+	// on P=8 delivers the value to every processor.
+	plan := &logp.FaultPlan{Seed: 11, Default: logp.LinkFault{Drop: 0.01}}
+	const P = 8
+	var got [P]any
+	var errs [P]error
+	_, err := logp.Run(cfg(P, plan), func(p *logp.Proc) {
+		e := New(p, Config{})
+		v, berr := Broadcast(e, 0, 1, "payload", p.Now()+100000)
+		got[p.ID()], errs[p.ID()] = v, berr
+		e.Drain(p.Now() + 5000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < P; i++ {
+		if errs[i] != nil {
+			t.Errorf("proc %d: %v", i, errs[i])
+		}
+		if got[i] != "payload" {
+			t.Errorf("proc %d got %v, want the payload", i, got[i])
+		}
+	}
+}
+
+func TestReliableDeterminism(t *testing.T) {
+	// Same seed => identical makespan and identical retransmit count.
+	run := func() (int64, int) {
+		plan := &logp.FaultPlan{Seed: 5, Default: logp.LinkFault{Drop: 0.2}}
+		const P = 8
+		var retrans [P]int
+		res, err := logp.Run(cfg(P, plan), func(p *logp.Proc) {
+			e := New(p, Config{Timeout: 50})
+			if _, berr := Broadcast(e, 0, 1, 42, p.Now()+100000); berr != nil {
+				t.Errorf("proc %d: %v", p.ID(), berr)
+			}
+			e.Drain(p.Now() + 2000)
+			retrans[p.ID()] = e.Retransmits()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, r := range retrans {
+			total += r
+		}
+		return res.Time, total
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if t1 != t2 || r1 != r2 {
+		t.Errorf("identically seeded runs diverged: makespan %d/%d, retransmits %d/%d", t1, t2, r1, r2)
+	}
+	if r1 == 0 {
+		t.Error("20%% drop produced no retransmissions; the scenario is vacuous")
+	}
+}
+
+func TestReducePartialResultAroundDeadPeer(t *testing.T) {
+	// Proc 5 dies before contributing; its parent times out and the root
+	// still gets a partial sum counting the 7 survivors.
+	plan := &logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 5, At: 0}}}
+	const P = 8
+	var rootGot Contribution
+	var rootOK bool
+	_, err := logp.Run(cfg(P, plan), func(p *logp.Proc) {
+		e := New(p, Config{Timeout: 30, Retries: 3})
+		c, ok, rerr := Reduce(e, 0, 2, float64(p.ID()), 500)
+		if ok {
+			rootGot, rootOK = c, true
+		}
+		_ = rerr // proc 5's parent reports the dead child; others are clean
+		e.Drain(p.Now() + 5000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rootOK {
+		t.Fatal("no processor reported the root result")
+	}
+	if rootGot.N != P-1 {
+		t.Errorf("root summed %d contributions, want %d (everyone but the corpse)", rootGot.N, P-1)
+	}
+	want := float64(0 + 1 + 2 + 3 + 4 + 6 + 7) // everyone except proc 5
+	if rootGot.Value != want {
+		t.Errorf("root sum = %v, want %v", rootGot.Value, want)
+	}
+}
+
+func TestBroadcastSkipsDeadSubtree(t *testing.T) {
+	// Proc 1 (an internal node of the binomial tree from root 0: children
+	// ranks 1,2,4) is dead: its parent reports ErrPeerDead, procs below it
+	// time out with ErrNoData, and the rest still get the value.
+	plan := &logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 4, At: 0}}}
+	const P = 8
+	var errs [P]error
+	var got [P]any
+	_, err := logp.Run(cfg(P, plan), func(p *logp.Proc) {
+		e := New(p, Config{Timeout: 20, Retries: 2})
+		got[p.ID()], errs[p.ID()] = Broadcast(e, 0, 3, "v", p.Now()+4000)
+		e.Drain(p.Now() + 6000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 4's subtree is {4, 5, 6, 7}: 4 is dead, 5..7 never hear anything.
+	if !errors.Is(errs[0], ErrPeerDead) {
+		t.Errorf("root error = %v, want ErrPeerDead for its dead child", errs[0])
+	}
+	for _, i := range []int{5, 6, 7} {
+		if !errors.Is(errs[i], ErrNoData) {
+			t.Errorf("orphan %d error = %v, want ErrNoData", i, errs[i])
+		}
+	}
+	for _, i := range []int{1, 2, 3} {
+		if errs[i] != nil {
+			t.Errorf("live proc %d: %v", i, errs[i])
+		}
+		if got[i] != "v" {
+			t.Errorf("live proc %d got %v, want the value", i, got[i])
+		}
+	}
+}
