@@ -22,6 +22,7 @@ import (
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/experiments"
 	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/network"
 	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/sim"
@@ -56,7 +57,8 @@ func BenchmarkTableAvgDistance(b *testing.B) {
 	runExperiment(b, fixed(experiments.TableAvgDistance))
 }
 func BenchmarkTable1UnloadedTime(b *testing.B)  { runExperiment(b, fixed(experiments.Table1)) }
-func BenchmarkSaturation(b *testing.B)          { runExperiment(b, experiments.Saturation) }
+func BenchmarkNetworkSaturation(b *testing.B)   { runExperiment(b, experiments.NetworkSaturation) }
+func BenchmarkCapacitySaturation(b *testing.B)  { runExperiment(b, experiments.CapacitySaturation) }
 func BenchmarkLULayouts(b *testing.B)           { runExperiment(b, experiments.LULayouts) }
 func BenchmarkSortAlgorithms(b *testing.B)      { runExperiment(b, experiments.SortComparison) }
 func BenchmarkConnectedComponents(b *testing.B) { runExperiment(b, experiments.CCStudy) }
@@ -334,6 +336,30 @@ func BenchmarkSendRecvRecorderOff(b *testing.B) { benchSendRecv(b, nil) }
 // storage reaches a steady state too).
 func BenchmarkSendRecvRecorderOn(b *testing.B) { benchSendRecv(b, prof.NewRecorder()) }
 
+// --- Metrics hook overhead (the registry must be free when off).
+
+func benchSendRecvMetrics(b *testing.B, reg *metrics.Registry) {
+	const msgs = 2000
+	cfg := logp.Config{Params: core.Params{P: 8, L: 20, O: 2, G: 4}, Metrics: reg}
+	body := ringExchange(msgs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := logp.Run(cfg, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgs*8*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkSendRecvMetricsOff measures Send/Recv with metrics off: the
+// nil-checked hooks must leave the zero-allocation hot path untouched.
+func BenchmarkSendRecvMetricsOff(b *testing.B) { benchSendRecvMetrics(b, nil) }
+
+// BenchmarkSendRecvMetricsOn measures the same workload with the metrics
+// registry attached and sampling at the default interval (the registry is
+// reused across runs, so its sample storage reaches a steady state too).
+func BenchmarkSendRecvMetricsOn(b *testing.B) { benchSendRecvMetrics(b, metrics.NewRegistry()) }
+
 // TestSendRecvZeroAllocPerMessage pins the zero-allocation claim: with the
 // recorder disabled, the steady-state cost of a message is zero heap
 // allocations. Per-run setup (machine, processes, freelist warm-up) is
@@ -354,5 +380,27 @@ func TestSendRecvZeroAllocPerMessage(t *testing.T) {
 	perMsg := (grown - base) / float64((large-small)*cfg.P)
 	if perMsg > 0.01 {
 		t.Errorf("steady-state messaging allocates %.4f allocs/message with the recorder off, want 0", perMsg)
+	}
+}
+
+// TestMetricsOffZeroAllocPerMessage is the same differencing argument for the
+// metrics subsystem: with Config.Metrics nil, the per-message cost of the
+// counter and sampler hooks must be zero heap allocations.
+func TestMetricsOffZeroAllocPerMessage(t *testing.T) {
+	cfg := logp.Config{Params: core.Params{P: 4, L: 20, O: 2, G: 4}, Metrics: nil}
+	run := func(msgs int) func() {
+		body := ringExchange(msgs)
+		return func() {
+			if _, err := logp.Run(cfg, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const small, large = 500, 2500
+	base := testing.AllocsPerRun(10, run(small))
+	grown := testing.AllocsPerRun(10, run(large))
+	perMsg := (grown - base) / float64((large-small)*cfg.P)
+	if perMsg > 0.01 {
+		t.Errorf("steady-state messaging allocates %.4f allocs/message with metrics off, want 0", perMsg)
 	}
 }

@@ -27,9 +27,9 @@ import (
 )
 
 // defaultBench selects the substrate microbenchmarks: the two throughput
-// targets, the heap, handoff, and wait-elision paths, and the profiler
-// overhead pair (recorder detached vs attached).
-const defaultBench = "BenchmarkKernelEventThroughput|BenchmarkMachineMessageThroughput|BenchmarkHeapPushPop|BenchmarkContextSwitch|BenchmarkProcessWait|BenchmarkSendRecvRecorderOff|BenchmarkSendRecvRecorderOn"
+// targets, the heap, handoff, and wait-elision paths, and the hook-overhead
+// pairs (profiler recorder and metrics registry, each detached vs attached).
+const defaultBench = "BenchmarkKernelEventThroughput|BenchmarkMachineMessageThroughput|BenchmarkHeapPushPop|BenchmarkContextSwitch|BenchmarkProcessWait|BenchmarkSendRecvRecorderOff|BenchmarkSendRecvRecorderOn|BenchmarkSendRecvMetricsOff|BenchmarkSendRecvMetricsOn"
 
 type benchmark struct {
 	Name    string             `json:"name"`

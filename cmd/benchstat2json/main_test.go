@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSmoke runs the tool as a subprocess against one cheap benchmark and
+// checks that the output file is valid JSON with the expected shape.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test (runs go test -bench)")
+	}
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	cmd := exec.Command("go", "run", "./cmd/benchstat2json",
+		"-bench", "BenchmarkHeapPushPop", "-benchtime", "1x", "-out", outFile)
+	cmd.Dir = "../.." // the benchmarks live in the repository root package
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("benchstat2json exited with error: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res output
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	if res.GoVersion == "" || res.GOOS == "" {
+		t.Errorf("missing environment fields: %+v", res)
+	}
+	if len(res.Benchmarks) != 1 || res.Benchmarks[0].Name != "HeapPushPop" {
+		t.Fatalf("benchmarks = %+v, want exactly HeapPushPop", res.Benchmarks)
+	}
+	b := res.Benchmarks[0]
+	if b.Iters < 1 || b.NsPerOp <= 0 {
+		t.Errorf("implausible benchmark numbers: %+v", b)
+	}
+	if _, ok := b.Metrics["events/s"]; !ok {
+		t.Errorf("custom events/s metric missing: %+v", b.Metrics)
+	}
+}
+
+// TestParseAveragesRepeatedRuns covers the -count>1 averaging path without a
+// subprocess.
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	text := `
+goos: linux
+BenchmarkHeapPushPop-8   10   100.0 ns/op   50 events/s
+BenchmarkHeapPushPop-8   10   300.0 ns/op   70 events/s
+PASS
+`
+	got, err := parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(got))
+	}
+	b := got[0]
+	if b.Name != "HeapPushPop" || b.Iters != 20 || b.NsPerOp != 200 || b.Metrics["events/s"] != 60 {
+		t.Errorf("averaged benchmark %+v", b)
+	}
+}

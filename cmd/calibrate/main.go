@@ -30,10 +30,15 @@ func main() {
 		g = flag.Int64("g", 132, "true gap (cycles)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageError(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
 	params := core.Params{P: *p, L: *l, O: *o, G: *g}
 	if err := params.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
+		usageError(err)
+	}
+	if *p < 2 {
+		usageError(fmt.Errorf("the microbenchmarks send between processors 0 and 1, need -P >= 2 (got %d)", *p))
 	}
 
 	measuredO := measureOverhead(params)
@@ -126,4 +131,13 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
+}
+
+// usageError reports a bad invocation with the full usage text and the
+// conventional flag-error exit status 2.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	fmt.Fprintln(os.Stderr)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the command under test into a temp dir and returns
+// the path. Exit-code assertions need the real binary: `go run` reports the
+// child's failure as its own exit status 1, losing the code.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "calibrate")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmoke runs the binary as a subprocess on a small machine: it must exit
+// 0 and print a calibration table whose measured o equals the configured o
+// exactly (a single simulated send is deterministic).
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out, err := exec.Command(buildBinary(t), "-P", "4", "-L", "20", "-o", "3", "-g", "5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("calibrate exited with error: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"parameter", "configured", "measured", "o", "g", "L", "capacity"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The o row: configured 3, measured 3.
+	oRow := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "o ") {
+			oRow = line
+		}
+	}
+	if oRow == "" {
+		t.Fatalf("no o row in output:\n%s", text)
+	}
+	fields := strings.Fields(oRow)
+	if len(fields) < 3 || fields[1] != "3" || fields[2] != "3" {
+		t.Errorf("o row %q: measured overhead should equal the configured 3", oRow)
+	}
+}
+
+// TestBadFlagsExit2 checks the flag-error convention: invalid parameters and
+// stray positional arguments print the usage text and exit 2.
+func TestBadFlagsExit2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	bin := buildBinary(t)
+	cases := [][]string{
+		{"-P", "1"},               // P < 2 fails validation
+		{"-g", "0"},               // gap must be positive
+		{"stray-positional-arg"},  // arguments are flags only
+		{"-no-such-flag", "true"}, // unknown flag (exit 2 via package flag)
+	}
+	for _, args := range cases {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Errorf("calibrate %v: expected a flag-error exit, got err=%v\n%s", args, err, out)
+			continue
+		}
+		// Package flag and our usageError both exit 2.
+		if ee.ExitCode() != 2 {
+			t.Errorf("calibrate %v: exit code %d, want 2\n%s", args, ee.ExitCode(), out)
+		}
+		if !strings.Contains(string(out), "Usage") && !strings.Contains(string(out), "-P int") {
+			t.Errorf("calibrate %v: no usage text in output:\n%s", args, out)
+		}
+	}
+}

@@ -14,10 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"time"
 
 	"github.com/logp-model/logp/internal/experiments"
+	"github.com/logp-model/logp/internal/metrics"
 )
 
 func main() {
@@ -27,6 +32,8 @@ func main() {
 	out := flag.String("out", "", "also write each report to <dir>/<id>.txt")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS; results are identical at any setting)")
 	profDir := flag.String("prof", "", "also write Chrome trace_event JSON of the Figure 3/4 schedule runs to this directory")
+	metOut := flag.String("metrics", "", "write harness telemetry (per-experiment wall time) to this file, \"-\" = stdout; also prints progress to stderr")
+	metFmt := flag.String("metrics-format", "prom", "telemetry output format: prom | json | csv")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "figures: unexpected argument %q (all options are flags)\n\n", flag.Arg(0))
@@ -59,15 +66,40 @@ func main() {
 		}
 	}
 
+	var obs []experiments.Observation
+	var obsMu sync.Mutex
+	if *metOut != "" {
+		switch *metFmt {
+		case "prom", "json", "csv":
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown metrics format %q (want prom, json or csv)\n\n", *metFmt)
+			flag.Usage()
+			os.Exit(2)
+		}
+		// The observer runs on the harness worker goroutines as experiments
+		// finish (completion order, not catalog order).
+		experiments.SetObserver(func(o experiments.Observation) {
+			obsMu.Lock()
+			obs = append(obs, o)
+			done := len(obs)
+			obsMu.Unlock()
+			fmt.Fprintf(os.Stderr, "figures: [%d/%d] %s done in %v\n", done, o.Total, o.ID, o.Wall.Round(time.Millisecond))
+		})
+	}
+
 	var reports []experiments.Report
 	if *id == "" {
 		reports = experiments.RunAll(experiments.Scale(*scale))
 	} else {
 		found := false
-		for _, e := range cat {
+		for i, e := range cat {
 			if e.ID == *id {
+				start := time.Now()
 				reports = append(reports, e.Run(experiments.Scale(*scale)))
 				found = true
+				if *metOut != "" {
+					obs = append(obs, experiments.Observation{ID: e.ID, Index: i, Total: 1, Wall: time.Since(start)})
+				}
 			}
 		}
 		if !found {
@@ -90,8 +122,66 @@ func main() {
 		}
 		failures += len(rep.Failed())
 	}
+	if *metOut != "" {
+		if err := writeTelemetry(obs, reports, *metOut, *metFmt); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d check(s) failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// writeTelemetry exports the harness's own metrics — per-experiment wall
+// time, counts of experiments and failed checks — as a hand-built metrics
+// snapshot in the chosen format.
+func writeTelemetry(obs []experiments.Observation, reports []experiments.Report, path, format string) error {
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Index < obs[j].Index })
+	wall := metrics.Family{
+		Name: "figures_experiment_wall_seconds",
+		Help: "Wall-clock time each experiment generator took.",
+		Kind: "gauge",
+	}
+	var total float64
+	for _, o := range obs {
+		secs := o.Wall.Seconds()
+		total += secs
+		wall.Points = append(wall.Points, metrics.Point{
+			Labels: []metrics.Label{{Name: "id", Value: o.ID}},
+			Value:  secs,
+		})
+	}
+	failed := 0
+	for _, rep := range reports {
+		failed += len(rep.Failed())
+	}
+	snap := metrics.Snapshot{Families: []metrics.Family{
+		{Name: "figures_experiments_total", Help: "Experiments executed.", Kind: "gauge",
+			Points: []metrics.Point{{Value: float64(len(reports))}}},
+		{Name: "figures_failed_checks_total", Help: "Qualitative checks that failed.", Kind: "gauge",
+			Points: []metrics.Point{{Value: float64(failed)}}},
+		{Name: "figures_wall_seconds_total", Help: "Summed generator wall time (not elapsed time: experiments run concurrently).", Kind: "gauge",
+			Points: []metrics.Point{{Value: total}}},
+		wall,
+	}}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "prom":
+		return metrics.WritePrometheus(w, snap)
+	case "json":
+		return metrics.WriteJSON(w, snap)
+	case "csv":
+		return metrics.WriteCSV(w, snap)
+	}
+	return fmt.Errorf("unknown metrics format %q", format)
 }

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -32,6 +33,7 @@ import (
 	"github.com/logp-model/logp/internal/collective"
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/reliable"
 )
@@ -54,6 +56,9 @@ func main() {
 		jitter   = flag.Int64("jitter", 0, "fault injection: max extra latency cycles per message (uniform)")
 		failAt   = flag.String("fail", "", "fault injection: comma-separated fail-stop list, proc@cycle (e.g. 2@100,5@0)")
 		fseed    = flag.Int64("faultseed", 1, "seed for the fault plan's random draws")
+		metOut   = flag.String("metrics", "", "write run metrics (of the last machine run) to this file, \"-\" = stdout")
+		metFmt   = flag.String("metrics-format", "prom", "metrics output format: prom | json | csv")
+		metEvery = flag.Int64("metrics-every", 0, "metrics sampling interval in simulated cycles (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -81,6 +86,17 @@ func main() {
 	if *profOut != "" {
 		rec = prof.NewRecorder()
 		cfg.Profiler = rec
+	}
+	var reg *metrics.Registry
+	if *metOut != "" {
+		switch *metFmt {
+		case "prom", "json", "csv":
+		default:
+			usageError(fmt.Errorf("unknown metrics format %q (want prom, json or csv)", *metFmt))
+		}
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+		cfg.MetricsEvery = *metEvery
 	}
 
 	var res logp.Result
@@ -265,6 +281,36 @@ func main() {
 			fatal(err)
 		}
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metOut, *metFmt); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics exports the registry snapshot in the requested format to path
+// ("-" = stdout). Multi-machine algorithms reset the registry per run, so the
+// snapshot describes the last machine executed.
+func writeMetrics(reg *metrics.Registry, path, format string) error {
+	snap := reg.Snapshot()
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "prom":
+		return metrics.WritePrometheus(w, snap)
+	case "json":
+		return metrics.WriteJSON(w, snap)
+	case "csv":
+		return metrics.WriteCSV(w, snap)
+	}
+	return fmt.Errorf("unknown metrics format %q", format)
 }
 
 // writeProfile analyzes the recorded run (the last machine run, for

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/logp-model/logp/internal/metrics"
+)
+
+// buildBinary compiles the command under test into a temp dir and returns
+// the path. Exit-code assertions need the real binary: `go run` reports the
+// child's failure as its own exit status 1, losing the code.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "logpsim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestMetricsFormatsSmoke runs the binary once per export format and checks
+// each output parses: the Prometheus text has HELP/TYPE lines and the run's
+// counters, the JSON round-trips into a metrics.Snapshot, and the CSV leads
+// with its header row.
+func TestMetricsFormatsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	bin := buildBinary(t)
+	run := func(format string) string {
+		out, err := exec.Command(bin,
+			"-algo", "broadcast", "-P", "8", "-metrics", "-", "-metrics-format", format).CombinedOutput()
+		if err != nil {
+			t.Fatalf("logpsim -metrics-format %s: %v\n%s", format, err, out)
+		}
+		// The metrics block follows the human-readable run summary.
+		return string(out)
+	}
+
+	prom := run("prom")
+	for _, want := range []string{
+		"# TYPE logp_sends_total counter",
+		"# HELP logp_sim_time_cycles",
+		`logp_delivered_total{proc="1"} 1`,
+		"logp_flight_cycles_count 7",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom output missing %q:\n%s", want, prom)
+		}
+	}
+
+	jsonOut := run("json")
+	start := strings.Index(jsonOut, "{")
+	if start < 0 {
+		t.Fatalf("no JSON object in output:\n%s", jsonOut)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(jsonOut[start:]), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jsonOut)
+	}
+	if len(snap.Families) == 0 || len(snap.Samples) == 0 {
+		t.Errorf("JSON snapshot empty: %d families, %d samples", len(snap.Families), len(snap.Samples))
+	}
+
+	csvOut := run("csv")
+	if !strings.Contains(csvOut, "metric,labels,value\n") {
+		t.Errorf("csv output missing header:\n%s", csvOut)
+	}
+	if !strings.Contains(csvOut, "logp_sends_total,proc=0,") {
+		t.Errorf("csv output missing counter rows:\n%s", csvOut)
+	}
+}
+
+// TestBadMetricsFormatExit2 checks that an unknown format is a usage error.
+func TestBadMetricsFormatExit2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-metrics", "-", "-metrics-format", "xml").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("expected exit 2 for bad format, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unknown metrics format") {
+		t.Errorf("no format diagnostic in output:\n%s", out)
+	}
+}

@@ -1,5 +1,7 @@
 package experiments
 
+import "time"
+
 // Entry is one runnable experiment in the catalog. Experiments whose
 // problem sizes do not scale ignore the Scale argument.
 type Entry struct {
@@ -22,7 +24,8 @@ func Catalog() []Entry {
 		{"fig8", Fig8},
 		{"table-dist", fixed(TableAvgDistance)},
 		{"table1", fixed(Table1)},
-		{"saturation", Saturation},
+		{"netsat", NetworkSaturation},
+		{"saturation", CapacitySaturation},
 		{"lu", LULayouts},
 		{"sort", SortComparison},
 		{"cc", CCStudy},
@@ -47,8 +50,17 @@ func Catalog() []Entry {
 // RunAll regenerates every experiment at the given scale, running them
 // concurrently on the parallel runner (experiments with internal sweeps
 // additionally parallelize their own items). The reports come back in
-// catalog order and are identical to running each entry sequentially.
+// catalog order and are identical to running each entry sequentially. An
+// observer registered with SetObserver is notified as each entry finishes.
 func RunAll(scale Scale) []Report {
 	cat := Catalog()
-	return mapIndexed(len(cat), func(i int) Report { return cat[i].Run(scale) })
+	obs := loadObserver()
+	return mapIndexed(len(cat), func(i int) Report {
+		start := time.Now()
+		rep := cat[i].Run(scale)
+		if obs != nil {
+			obs(Observation{ID: cat[i].ID, Index: i, Total: len(cat), Wall: time.Since(start)})
+		}
+		return rep
+	})
 }

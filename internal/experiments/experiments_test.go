@@ -57,12 +57,20 @@ func TestTableAvgDistance(t *testing.T) {
 
 func TestTable1(t *testing.T) { assertReport(t, Table1(), "table1") }
 
-func TestSaturation(t *testing.T) {
+func TestNetworkSaturation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("packet sweep")
 	}
 	t.Parallel()
-	assertReport(t, Saturation(1), "saturation")
+	assertReport(t, NetworkSaturation(1), "netsat")
+}
+
+func TestCapacitySaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-seed load sweep")
+	}
+	t.Parallel()
+	assertReport(t, CapacitySaturation(1), "saturation")
 }
 
 func TestLULayouts(t *testing.T) {

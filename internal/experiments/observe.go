@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observation reports one experiment finishing inside RunAll: which entry,
+// its catalog position, and the wall-clock time its generator took. Wall time
+// is host time (the telemetry of the harness itself), not simulated cycles —
+// simulated results stay bit-identical regardless of the observer.
+type Observation struct {
+	ID    string
+	Index int // position in Catalog order
+	Total int // catalog size
+	Wall  time.Duration
+}
+
+// observer holds the registered callback; the indirection through a struct
+// keeps the atomic.Value type consistent when clearing.
+type observerBox struct{ fn func(Observation) }
+
+var observer atomic.Value // observerBox
+
+// SetObserver registers fn to be called once per experiment as RunAll
+// completes it. The callback runs on the harness worker goroutines, so it
+// must be safe for concurrent use; nil removes the observer. Reports are
+// unaffected — the observer is a side channel for progress display and
+// wall-time metrics.
+func SetObserver(fn func(Observation)) {
+	observer.Store(observerBox{fn: fn})
+}
+
+func loadObserver() func(Observation) {
+	if b, ok := observer.Load().(observerBox); ok {
+		return b.fn
+	}
+	return nil
+}

@@ -81,7 +81,8 @@ func TestParallelDeterminism(t *testing.T) {
 		{"Fig7", Fig7, []Scale{1, 2, 4}},
 		{"Fig8", Fig8, []Scale{1, 2, 3}}, // 3: non-power-of-two error path
 		{"BSPComparison", BSPComparison, []Scale{1, 2, 4}},
-		{"Saturation", Saturation, []Scale{1, 2, 3}},
+		{"NetworkSaturation", NetworkSaturation, []Scale{1, 2, 3}},
+		{"CapacitySaturation", CapacitySaturation, []Scale{1, 2}},
 		{"PatternGaps", PatternGaps, []Scale{1, 2, 3}},
 		{"SurfaceToVolume", SurfaceToVolume, []Scale{1, 2, 3}},
 		{"TableAvgDistance", fixed(TableAvgDistance), []Scale{1, 2, 3}},

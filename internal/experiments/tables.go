@@ -119,10 +119,12 @@ func Table1() Report {
 	}
 }
 
-// Saturation regenerates the Section 5.3 behaviour: mean packet latency
-// versus offered load on a mesh and a fat tree, flat below the knee and
-// exploding past it; hotspot traffic saturates far earlier than uniform.
-func Saturation(scale Scale) Report {
+// NetworkSaturation regenerates the Section 5.3 behaviour: mean packet
+// latency versus offered load on a mesh and a fat tree, flat below the knee
+// and exploding past it; hotspot traffic saturates far earlier than uniform.
+// (The machine-level capacity knee is the separate "saturation" experiment
+// in saturation.go.)
+func NetworkSaturation(scale Scale) Report {
 	s := scale.clamp()
 	horizon := int64(3000 * s)
 	loads := []float64{0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9}
@@ -152,7 +154,7 @@ func Saturation(scale Scale) Report {
 		s := sweeps[i]
 		res, err := network.SaturationSweep(s.top, s.loads, s.cfg)
 		if err != nil {
-			return sweepOut{fail: fail("saturation", check(s.name, false, "%v", err))}
+			return sweepOut{fail: fail("netsat", check(s.name, false, "%v", err))}
 		}
 		return sweepOut{res: res}
 	})
@@ -187,7 +189,7 @@ func Saturation(scale Scale) Report {
 	blowup := meshRes[len(meshRes)-1].MeanLatency > meshRes[0].MeanLatency*4
 	hotWorse := hotRes[len(hotRes)-1].MeanLatency > meshRes[4].MeanLatency
 	return Report{
-		ID:    "saturation",
+		ID:    "netsat",
 		Title: "Packet latency vs offered load (Section 5.3)",
 		Text:  text,
 		Checks: []Check{

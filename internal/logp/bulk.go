@@ -76,6 +76,9 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 		p.record(trace.Idle, start, initiation)
 	}
 	p.record(trace.SendOverhead, initiation, p.Now())
+	if p.m.met != nil {
+		p.m.met.OnSend(p.id, to)
+	}
 	p.nextSend = initiation + portBusy
 
 	// Capacity: the train takes one in-transit unit from injection of its
@@ -87,6 +90,9 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 		if d := p.Now() - start; d > 0 {
 			p.stats.Stall += d
 			p.record(trace.Stall, start, p.Now())
+			if p.m.met != nil {
+				p.m.met.OnStall(p.id, d)
+			}
 		}
 	}
 	p.m.inTransitFrom[p.id]++
@@ -128,6 +134,7 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	d := p.m.newDelivery()
 	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation}
 	d.drop = drop
+	d.flight = lat
 	p.m.kernel.AfterRun(sim.Time(delay), d)
 	if dup {
 		if p.m.rec != nil {
@@ -140,6 +147,7 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 		d2 := p.m.newDelivery()
 		d2.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: words, SentAt: initiation, dup: true}
 		d2.dup = true
+		d2.flight = dupLat
 		p.m.kernel.AfterRun(sim.Time(dupDelay), d2)
 	}
 }

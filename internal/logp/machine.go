@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/sim"
 	"github.com/logp-model/logp/internal/trace"
@@ -88,6 +89,20 @@ type Config struct {
 	// for the exact semantics and determinism contract. Every fault check
 	// sits behind a nil test, so the fault-free hot paths are untouched.
 	Faults *FaultPlan
+
+	// Metrics, when non-nil, attaches the live telemetry registry of
+	// internal/metrics: per-processor and per-link counters, flight-time
+	// and stall histograms, and a sim-time sampler that snapshots in-flight
+	// counts against the ceil(L/g) ceiling, inbox depths and utilization
+	// every MetricsEvery cycles. Every hook sits behind a nil check (the
+	// same pattern as Profiler), so the metrics-off hot path stays
+	// allocation-free per message.
+	Metrics *metrics.Registry
+
+	// MetricsEvery is the sampling interval of the metrics time series in
+	// simulated cycles; <= 0 takes metrics.DefaultEvery. Ignored without
+	// Metrics.
+	MetricsEvery int64
 }
 
 // ProcStats aggregates one processor's activity over a run.
@@ -173,9 +188,18 @@ type Machine struct {
 	inCap   []*sim.Semaphore
 	barrier *sim.Barrier
 	tr      *trace.Log
-	rec     *prof.Recorder // nil unless Config.Profiler
-	faults  *faultState    // nil unless Config.Faults
-	skew    []float64      // per-processor systematic speed factor
+	rec     *prof.Recorder    // nil unless Config.Profiler
+	met     *metrics.Registry // nil unless Config.Metrics
+	faults  *faultState       // nil unless Config.Faults
+	skew    []float64         // per-processor systematic speed factor
+	// sampler state (metrics only): live processors gate rescheduling so
+	// the recurring sample event cannot keep the kernel alive forever, and
+	// the lastBusy/lastSample pair turns cumulative busy-cycle counts into
+	// per-interval utilization.
+	smp        sampleEvent
+	live       int
+	lastBusy   []int64
+	lastSample int64
 	// fault counters (see Result)
 	dropped    int
 	duplicated int
@@ -197,10 +221,11 @@ type Machine struct {
 // drop marks a message the fault layer loses at arrival; dup marks a
 // network-made duplicate copy, which is exempt from capacity accounting.
 type delivery struct {
-	m    *Machine
-	msg  Message
-	drop bool
-	dup  bool
+	m      *Machine
+	msg    Message
+	drop   bool
+	dup    bool
+	flight int64 // actual network latency drawn for this copy (metrics)
 }
 
 // RunEvent completes the message's flight: stamp the arrival, enqueue at
@@ -212,7 +237,7 @@ type delivery struct {
 func (d *delivery) RunEvent() {
 	m := d.m
 	msg := d.msg
-	drop, dup := d.drop, d.dup
+	drop, dup, flight := d.drop, d.dup, d.flight
 	d.msg = Message{}
 	d.drop, d.dup = false, false
 	m.freeDeliveries = append(m.freeDeliveries, d)
@@ -220,6 +245,9 @@ func (d *delivery) RunEvent() {
 	dst := m.procs[msg.To]
 	if drop || dst.failed {
 		m.dropped++
+		if m.met != nil {
+			m.met.OnDrop(msg.To)
+		}
 		if !dup {
 			m.settle(msg)
 		}
@@ -228,10 +256,70 @@ func (d *delivery) RunEvent() {
 	dst.inbox = append(dst.inbox, msg)
 	if dup {
 		m.duplicated++
-	} else if !m.cfg.HoldCapacityUntilReceive {
-		m.settle(msg)
+		if m.met != nil {
+			m.met.OnDup(msg.To)
+		}
+	} else {
+		if m.met != nil {
+			m.met.OnDeliver(msg.To, flight)
+		}
+		if !m.cfg.HoldCapacityUntilReceive {
+			m.settle(msg)
+		}
 	}
 	dst.inboxSig.Notify()
+}
+
+// sampleEvent is the recurring metrics sampler. It implements sim.Runner so
+// each firing schedules without allocating, and it stops rescheduling once
+// every processor has finished (m.live == 0) — otherwise the recurring event
+// would keep the kernel's queue non-empty and Run would never return.
+type sampleEvent struct{ m *Machine }
+
+// RunEvent snapshots the machine and re-arms the sampler.
+func (s *sampleEvent) RunEvent() {
+	m := s.m
+	m.takeSample()
+	if m.live > 0 {
+		m.kernel.AfterRun(sim.Time(m.met.Every()), s)
+	}
+}
+
+// takeSample appends one time-series point to the metrics registry:
+// in-flight counts from/to each processor (to be read against the ceil(L/g)
+// ceiling), inbox depths, cumulative capacity-stall cycles, total delivered
+// messages, and per-interval utilization derived by differencing each
+// processor's cumulative busy cycles since the previous sample.
+func (m *Machine) takeSample() {
+	now := int64(m.kernel.Now())
+	n := m.cfg.P
+	s := metrics.Sample{
+		Time:         now,
+		Delivered:    m.met.DeliveredTotal(),
+		InFlightFrom: make([]int32, n),
+		InFlightTo:   make([]int32, n),
+		InboxDepth:   make([]int32, n),
+		StallCycles:  make([]int64, n),
+		Utilization:  make([]float64, n),
+	}
+	interval := now - m.lastSample
+	for i, pr := range m.procs {
+		s.InFlightFrom[i] = int32(m.inTransitFrom[i])
+		s.InFlightTo[i] = int32(m.inTransitTo[i])
+		s.InboxDepth[i] = int32(pr.Pending())
+		s.StallCycles[i] = pr.stats.Stall
+		busy := pr.stats.Compute + pr.stats.SendOverhead + pr.stats.RecvOverhead + pr.stats.Stall
+		if interval > 0 {
+			u := float64(busy-m.lastBusy[i]) / float64(interval)
+			if u > 1 {
+				u = 1 // busy cycles granted mid-operation can overshoot the interval
+			}
+			s.Utilization[i] = u
+		}
+		m.lastBusy[i] = busy
+	}
+	m.lastSample = now
+	m.met.AddSample(s)
 }
 
 // newDelivery takes an arrival record from the freelist, or allocates one.
@@ -301,6 +389,16 @@ func New(cfg Config) (*Machine, error) {
 			m.inCap[i] = sim.NewSemaphore(capUnits)
 		}
 	}
+	if cfg.Metrics != nil {
+		m.met = cfg.Metrics
+		capUnits := 0
+		if !cfg.DisableCapacity {
+			capUnits = cfg.Params.Capacity()
+		}
+		m.met.Begin(cfg.P, capUnits, cfg.MetricsEvery)
+		m.lastBusy = make([]int64, cfg.P)
+		m.smp = sampleEvent{m: m}
+	}
 	return m, nil
 }
 
@@ -338,6 +436,10 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 			m.kernel.At(sim.Time(pr.At), func() { m.kill(pr.Proc) })
 		}
 	}
+	if m.met != nil {
+		m.live = m.cfg.P
+		m.kernel.AfterRun(sim.Time(m.met.Every()), &m.smp)
+	}
 	for i := 0; i < m.cfg.P; i++ {
 		pr := &Proc{id: i, m: m}
 		pr.wake.p = pr
@@ -345,6 +447,7 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 		m.kernel.Spawn(fmt.Sprintf("proc%d", i), func(ps *sim.Process) {
 			pr.ps = ps
 			defer func() {
+				m.live--
 				pr.stats.Finish = int64(ps.Now())
 				if r := recover(); r != nil {
 					if _, ok := r.(procFailure); ok && pr.failed {
@@ -386,6 +489,14 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 				return res, fmt.Errorf("logp: proc %d finished with %d undelivered messages", i, n)
 			}
 		}
+	}
+	if m.met != nil {
+		// Close the time series with a final point at the end of the run
+		// (unless the sampler already fired at this instant).
+		if int64(m.kernel.Now()) > m.lastSample || len(m.met.Samples) == 0 {
+			m.takeSample()
+		}
+		m.met.SetSimTime(res.Time)
 	}
 	return res, nil
 }

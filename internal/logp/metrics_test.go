@@ -1,0 +1,178 @@
+package logp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/logp-model/logp/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// metricsRing runs a ring exchange (each processor streams msgs messages to
+// its successor, then drains its own receptions) with the given registry
+// attached, returning the run result.
+func metricsRing(t *testing.T, c Config, msgs int) Result {
+	t.Helper()
+	res, err := Run(c, func(p *Proc) {
+		next := (p.ID() + 1) % p.P()
+		for m := 0; m < msgs; m++ {
+			p.Send(next, 0, nil)
+		}
+		for m := 0; m < msgs; m++ {
+			p.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMetricsCountersMatchResult pins the counters to the machine's own
+// accounting: the registry must agree exactly with Result.
+func TestMetricsCountersMatchResult(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := cfg(4, 20, 2, 4)
+	c.LatencyJitter = 5
+	c.Seed = 3
+	c.Metrics = reg
+	c.MetricsEvery = 32
+	const msgs = 40
+	res := metricsRing(t, c, msgs)
+
+	if res.Messages != msgs*4 {
+		t.Fatalf("ring delivered %d messages, want %d", res.Messages, msgs*4)
+	}
+	if got := reg.DeliveredTotal(); got != int64(res.Messages) {
+		t.Errorf("delivered counter %d, want %d", got, res.Messages)
+	}
+	if got := reg.TotalStallCycles(); got != res.TotalStall() {
+		t.Errorf("stall cycles %d, want %d", got, res.TotalStall())
+	}
+	for i, s := range res.Procs {
+		if reg.Procs[i].Sends.Value() != int64(s.MsgsSent) {
+			t.Errorf("proc %d sends %d, want %d", i, reg.Procs[i].Sends.Value(), s.MsgsSent)
+		}
+		if reg.Procs[i].Recvs.Value() != int64(s.MsgsReceived) {
+			t.Errorf("proc %d recvs %d, want %d", i, reg.Procs[i].Recvs.Value(), s.MsgsReceived)
+		}
+		next := (i + 1) % 4
+		if reg.Link(i, next).Value() != msgs {
+			t.Errorf("link %d->%d %d, want %d", i, next, reg.Link(i, next).Value(), msgs)
+		}
+		if reg.Link(next, i).Value() != 0 {
+			t.Errorf("link %d->%d %d, want 0", next, i, reg.Link(next, i).Value())
+		}
+	}
+	if reg.SimTime() != res.Time {
+		t.Errorf("sim time %d, want %d", reg.SimTime(), res.Time)
+	}
+	// Every flight took between L-jitter and L cycles.
+	h := reg.FlightCycles
+	if h.Count() != int64(res.Messages) {
+		t.Errorf("flight histogram %d observations, want %d", h.Count(), res.Messages)
+	}
+	if h.Min() < c.L-c.LatencyJitter || h.Max() > c.L {
+		t.Errorf("flight range [%d, %d] outside [L-jitter=%d, L=%d]", h.Min(), h.Max(), c.L-c.LatencyJitter, c.L)
+	}
+}
+
+// TestMetricsSampler checks the time series: samples land on the configured
+// interval, in-flight counts never exceed the capacity ceiling, delivered is
+// monotone, and the series is closed out at the end of the run.
+func TestMetricsSampler(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := cfg(4, 20, 2, 4)
+	c.Metrics = reg
+	c.MetricsEvery = 64
+	res := metricsRing(t, c, 60)
+
+	if len(reg.Samples) < 3 {
+		t.Fatalf("only %d samples for a %d-cycle run at interval 64", len(reg.Samples), res.Time)
+	}
+	capacity := c.Params.Capacity()
+	prevTime, prevDelivered := int64(-1), int64(-1)
+	for k, s := range reg.Samples {
+		if s.Time <= prevTime {
+			t.Fatalf("sample %d time %d not increasing past %d", k, s.Time, prevTime)
+		}
+		if k < len(reg.Samples)-1 && s.Time != int64(k+1)*c.MetricsEvery {
+			t.Errorf("sample %d at time %d, want %d", k, s.Time, int64(k+1)*c.MetricsEvery)
+		}
+		if s.Delivered < prevDelivered {
+			t.Errorf("delivered series not monotone at sample %d", k)
+		}
+		prevTime, prevDelivered = s.Time, s.Delivered
+		for i := 0; i < 4; i++ {
+			if int(s.InFlightFrom[i]) > capacity || int(s.InFlightTo[i]) > capacity {
+				t.Errorf("sample %d: in-flight (%d from, %d to) exceeds capacity %d",
+					k, s.InFlightFrom[i], s.InFlightTo[i], capacity)
+			}
+			if s.Utilization[i] < 0 || s.Utilization[i] > 1 {
+				t.Errorf("sample %d: utilization %v outside [0,1]", k, s.Utilization[i])
+			}
+		}
+	}
+	last := reg.Samples[len(reg.Samples)-1]
+	if last.Time < res.Time {
+		t.Errorf("series ends at %d before completion time %d", last.Time, res.Time)
+	}
+	if last.Delivered != reg.DeliveredTotal() {
+		t.Errorf("final sample delivered %d, want %d", last.Delivered, reg.DeliveredTotal())
+	}
+}
+
+// TestMetricsRegistryReuse runs two machines against one registry: Begin must
+// wipe the first run completely.
+func TestMetricsRegistryReuse(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := cfg(4, 20, 2, 4)
+	c.Metrics = reg
+	metricsRing(t, c, 50)
+	first := reg.DeliveredTotal()
+	metricsRing(t, c, 10)
+	if got := reg.DeliveredTotal(); got >= first {
+		t.Errorf("second run delivered %d, want fewer than %d (stale counters?)", got, first)
+	}
+	if got := reg.DeliveredTotal(); got != 40 {
+		t.Errorf("second run delivered %d, want 40", got)
+	}
+}
+
+// TestMetricsGoldenPrometheus locks the exported Prometheus text for a fixed
+// configuration and seed. Regenerate with: go test ./internal/logp -run
+// Golden -update
+func TestMetricsGoldenPrometheus(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := cfg(4, 16, 2, 4)
+	c.LatencyJitter = 4
+	c.Seed = 7
+	c.Metrics = reg
+	c.MetricsEvery = 64
+	metricsRing(t, c, 25)
+
+	var buf bytes.Buffer
+	if err := metrics.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus output drifted from golden file; rerun with -update and review the diff\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

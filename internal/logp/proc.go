@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/sim"
 	"github.com/logp-model/logp/internal/trace"
 )
@@ -101,6 +102,11 @@ func (p *Proc) Rand() *rand.Rand { return p.m.kernel.Rand() }
 // Stats returns a snapshot of the processor's activity counters.
 func (p *Proc) Stats() ProcStats { s := p.stats; s.Proc = p.id; s.Finish = p.Now(); return s }
 
+// Metrics returns the machine's metrics registry, or nil when metrics are
+// off. Layers built on top of the machine (internal/reliable) use it to
+// record their own protocol counters alongside the machine's.
+func (p *Proc) Metrics() *metrics.Registry { return p.m.met }
+
 func (p *Proc) record(kind trace.Kind, start, end int64) {
 	if p.m.tr != nil {
 		p.m.tr.Add(p.id, kind, start, end)
@@ -185,6 +191,9 @@ func (p *Proc) Send(to, tag int, data any) {
 		p.record(trace.Idle, start, initiation)
 	}
 	p.record(trace.SendOverhead, initiation, p.Now())
+	if p.m.met != nil {
+		p.m.met.OnSend(p.id, to)
+	}
 
 	// Capacity: a message is "in transit" during its L-cycle flight, from
 	// injection to arrival at the destination module. If injecting now would
@@ -198,6 +207,9 @@ func (p *Proc) Send(to, tag int, data any) {
 		if d := p.Now() - start; d > 0 {
 			p.stats.Stall += d
 			p.record(trace.Stall, start, p.Now())
+			if p.m.met != nil {
+				p.m.met.OnStall(p.id, d)
+			}
 		}
 	}
 	p.m.inTransitFrom[p.id]++
@@ -234,6 +246,7 @@ func (p *Proc) Send(to, tag int, data any) {
 	d := p.m.newDelivery()
 	d.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation}
 	d.drop = drop
+	d.flight = lat
 	p.m.kernel.AfterRun(sim.Time(lat), d)
 	if dup {
 		if p.m.rec != nil {
@@ -242,6 +255,7 @@ func (p *Proc) Send(to, tag int, data any) {
 		d2 := p.m.newDelivery()
 		d2.msg = Message{From: p.id, To: to, Tag: tag, Data: data, Size: 1, SentAt: initiation, dup: true}
 		d2.dup = true
+		d2.flight = dupLat
 		p.m.kernel.AfterRun(sim.Time(dupLat), d2)
 	}
 }
@@ -311,6 +325,9 @@ func (p *Proc) finishRecv(msg Message) Message {
 	}
 	if p.m.rec != nil {
 		p.m.rec.RecvDone(p.id)
+	}
+	if p.m.met != nil {
+		p.m.met.OnRecv(p.id)
 	}
 	return msg
 }

@@ -1,0 +1,345 @@
+// Package metrics is the live observability layer of the simulated LogP
+// machine: an always-on, allocation-free (when detached) telemetry surface
+// that exposes, while a run is in flight, exactly the quantities the paper
+// reasons about post-hoc — messages sent and delivered per processor and
+// per link, cycles lost to the ceil(L/g) capacity constraint, in-flight
+// counts against that ceiling, and inbox queue depths.
+//
+// Where internal/prof records the full causal DAG of a run (heavyweight,
+// replayable), metrics keeps only monotonic counters, gauges and
+// fixed-bucket histograms, plus a sim-time sampler that snapshots the
+// machine state every few cycles into a time series. Attachment follows the
+// profiler's pattern: every hook in the machine sits behind a nil check
+// (logp.Config.Metrics), so the metrics-off hot path stays zero-allocation
+// per message.
+//
+// All times and intervals are simulated cycles, never wall time: the
+// telemetry describes the modeled machine, and sampling on the simulated
+// clock keeps runs bit-reproducible at any host speed.
+//
+// Snapshots export as Prometheus text exposition, JSON, or CSV (export.go).
+package metrics
+
+import "github.com/logp-model/logp/internal/stats"
+
+// DefaultEvery is the sampling interval, in simulated cycles, used when a
+// registry is attached without an explicit interval.
+const DefaultEvery = 256
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use. Like the machine itself, counters assume the
+// single-threaded simulation kernel and are not safe for concurrent use.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is an instantaneous level that can move both ways.
+type Gauge struct{ v int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v += delta }
+
+// Value reports the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Histogram counts observations into fixed buckets chosen at construction.
+// Bounds are inclusive upper bounds; one implicit overflow bucket catches
+// everything above the last bound. Observing never allocates.
+type Histogram struct {
+	bounds []int64
+	counts []int64 // len(bounds)+1; trailing overflow bucket
+	sum    int64
+	n      int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min and Max report the observed extremes (0 with no observations).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max reports the largest observation (0 with no observations).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Bounds returns the bucket upper bounds (read-only).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Counts returns the per-bucket counts including the overflow bucket
+// (read-only).
+func (h *Histogram) Counts() []int64 { return h.counts }
+
+// Quantiles estimates the given quantiles by linear interpolation inside
+// the winning bucket, delegating the percentile math to internal/stats.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	bounds := make([]float64, len(h.bounds))
+	for i, b := range h.bounds {
+		bounds[i] = float64(b)
+	}
+	return stats.HistogramQuantiles(bounds, h.counts, qs)
+}
+
+// reset clears the histogram for reuse across runs.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum, h.n, h.min, h.max = 0, 0, 0, 0
+}
+
+// ProcMetrics aggregates one processor's live counters. In paper terms:
+// Sends and Recvs count o-cycle overhead events, StallCycles is time lost
+// to the ceil(L/g) capacity constraint of Section 3, Delivered counts
+// arrivals at this processor's module, and Dropped/Duplicated count the
+// fault layer's interventions on messages addressed here.
+type ProcMetrics struct {
+	Sends       Counter // message initiations (Send and SendBulk trains)
+	Recvs       Counter // completed receptions
+	Delivered   Counter // messages landed in this processor's inbox
+	Dropped     Counter // messages to this processor lost by the fault layer
+	Duplicated  Counter // network-made extra copies delivered here
+	StallEvents Counter // sends that hit the capacity constraint
+	StallCycles Counter // cycles spent stalled on the capacity constraint
+}
+
+// ReliableMetrics aggregates one processor's reliable-protocol counters
+// (internal/reliable): the cost of recovering the paper's "all messages are
+// delivered reliably" assumption, in protocol events.
+type ReliableMetrics struct {
+	DataSends   Counter // first-attempt data frames
+	Retransmits Counter // timeout-driven re-sends
+	AcksSent    Counter // positive acknowledgements transmitted
+	AcksRecv    Counter // acknowledgements received
+	DedupHits   Counter // duplicate data frames suppressed by sequence number
+	Timeouts    Counter // ack waits that expired
+	DeadPeers   Counter // peers declared dead after exhausting the retry budget
+}
+
+// Sample is one point of the sim-time series: a snapshot of the machine's
+// live state taken every SampleEvery cycles. Per-processor slices have one
+// entry per processor.
+type Sample struct {
+	// Time is the simulated cycle the sample was taken at.
+	Time int64 `json:"time"`
+	// InFlightFrom / InFlightTo are the messages currently in transit from /
+	// to each processor; both are bounded by the ceil(L/g) ceiling when the
+	// capacity constraint is enabled.
+	InFlightFrom []int32 `json:"in_flight_from"`
+	InFlightTo   []int32 `json:"in_flight_to"`
+	// InboxDepth is the number of arrived, unreceived messages per inbox.
+	InboxDepth []int32 `json:"inbox_depth"`
+	// StallCycles is the cumulative per-processor capacity-stall time.
+	StallCycles []int64 `json:"stall_cycles"`
+	// Delivered is the cumulative machine-wide delivered message count.
+	Delivered int64 `json:"delivered"`
+	// Utilization is each processor's busy fraction (compute + overheads +
+	// stall) over the interval since the previous sample.
+	Utilization []float64 `json:"utilization"`
+}
+
+// Registry is one machine run's metric set. Attach it via
+// logp.Config.Metrics; the machine calls Begin when it is built, the hook
+// methods on its hot paths, and AddSample from the cycle-interval sampler.
+// A Registry is reset by Begin, so it can be reused across sequential runs
+// (like prof.Recorder, it reflects the latest run). It is not safe for
+// concurrent use.
+type Registry struct {
+	p        int
+	capacity int
+	every    int64
+	simTime  int64
+
+	Procs []ProcMetrics
+	Rel   []ReliableMetrics
+	link  []Counter // p*p traffic matrix, message count from i to j
+
+	// FlightCycles observes each delivered message's network flight time;
+	// under faults this includes degradation jitter beyond L.
+	FlightCycles *Histogram
+	// StallCyclesHist observes the length of each capacity stall.
+	StallCyclesHist *Histogram
+
+	Samples []Sample
+}
+
+// NewRegistry returns an empty registry; Begin sizes it for a machine.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Begin resets the registry for a run on a machine with p processors, a
+// capacity ceiling of cap messages in transit (0 if the constraint is
+// disabled), and the given sampling interval in cycles (<= 0 takes
+// DefaultEvery). The machine calls it when it is built.
+func (r *Registry) Begin(p, capacity int, every int64) {
+	if every <= 0 {
+		every = DefaultEvery
+	}
+	r.p, r.capacity, r.every, r.simTime = p, capacity, every, 0
+	if cap(r.Procs) >= p {
+		r.Procs = r.Procs[:p]
+		clear(r.Procs)
+	} else {
+		r.Procs = make([]ProcMetrics, p)
+	}
+	if cap(r.Rel) >= p {
+		r.Rel = r.Rel[:p]
+		clear(r.Rel)
+	} else {
+		r.Rel = make([]ReliableMetrics, p)
+	}
+	if cap(r.link) >= p*p {
+		r.link = r.link[:p*p]
+		clear(r.link)
+	} else {
+		r.link = make([]Counter, p*p)
+	}
+	if r.FlightCycles == nil {
+		// Powers of two cover both tiny figure machines (L=6) and the
+		// calibrated CM-5 scale (L=200) without configuration.
+		r.FlightCycles = NewHistogram(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+		r.StallCyclesHist = NewHistogram(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+	} else {
+		r.FlightCycles.reset()
+		r.StallCyclesHist.reset()
+	}
+	r.Samples = r.Samples[:0]
+}
+
+// P reports the processor count the registry was sized for.
+func (r *Registry) P() int { return r.p }
+
+// Capacity reports the machine's ceil(L/g) in-transit ceiling (0 when the
+// constraint was disabled).
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Every reports the sampling interval in cycles.
+func (r *Registry) Every() int64 { return r.every }
+
+// SimTime reports the run's final simulated time (set by the machine at the
+// end of the run).
+func (r *Registry) SimTime() int64 { return r.simTime }
+
+// SetSimTime records the run's final simulated time.
+func (r *Registry) SetSimTime(t int64) { r.simTime = t }
+
+// Link returns the traffic-matrix counter for the directed from→to link.
+func (r *Registry) Link(from, to int) *Counter { return &r.link[from*r.p+to] }
+
+// OnSend records a message initiation on the from→to link.
+func (r *Registry) OnSend(from, to int) {
+	r.Procs[from].Sends.Inc()
+	r.link[from*r.p+to].Inc()
+}
+
+// OnStall records a capacity stall of d cycles at proc.
+func (r *Registry) OnStall(proc int, d int64) {
+	pm := &r.Procs[proc]
+	pm.StallEvents.Inc()
+	pm.StallCycles.Add(d)
+	r.StallCyclesHist.Observe(d)
+}
+
+// OnDeliver records a message arriving at processor to after flight cycles
+// in the network.
+func (r *Registry) OnDeliver(to int, flight int64) {
+	r.Procs[to].Delivered.Inc()
+	r.FlightCycles.Observe(flight)
+}
+
+// OnDrop records a message to processor to lost by the fault layer.
+func (r *Registry) OnDrop(to int) { r.Procs[to].Dropped.Inc() }
+
+// OnDup records a network-made duplicate delivered to processor to.
+func (r *Registry) OnDup(to int) { r.Procs[to].Duplicated.Inc() }
+
+// OnRecv records a completed reception at proc.
+func (r *Registry) OnRecv(proc int) { r.Procs[proc].Recvs.Inc() }
+
+// AddSample appends one time-series point.
+func (r *Registry) AddSample(s Sample) { r.Samples = append(r.Samples, s) }
+
+// DeliveredTotal sums delivered messages across processors.
+func (r *Registry) DeliveredTotal() int64 {
+	var n int64
+	for i := range r.Procs {
+		n += r.Procs[i].Delivered.Value()
+	}
+	return n
+}
+
+// TotalStallCycles sums capacity-stall cycles across processors.
+func (r *Registry) TotalStallCycles() int64 {
+	var n int64
+	for i := range r.Procs {
+		n += r.Procs[i].StallCycles.Value()
+	}
+	return n
+}
+
+// PinnedInFraction reports the fraction of samples in which the in-flight
+// count toward proc sat at the capacity ceiling — the signature of a
+// saturated link in the paper's Section 3 argument. It returns 0 when the
+// constraint was disabled or nothing was sampled.
+func (r *Registry) PinnedInFraction(proc int) float64 {
+	if r.capacity == 0 || len(r.Samples) == 0 {
+		return 0
+	}
+	pinned := 0
+	for _, s := range r.Samples {
+		if int(s.InFlightTo[proc]) >= r.capacity {
+			pinned++
+		}
+	}
+	return float64(pinned) / float64(len(r.Samples))
+}
+
+// MaxInFlightTo reports the largest sampled in-flight count toward proc.
+func (r *Registry) MaxInFlightTo(proc int) int {
+	m := int32(0)
+	for _, s := range r.Samples {
+		if s.InFlightTo[proc] > m {
+			m = s.InFlightTo[proc]
+		}
+	}
+	return int(m)
+}

@@ -1,0 +1,100 @@
+package reliable
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+)
+
+// TestMetricsCountersUnderLoss pins the protocol counters to the endpoint's
+// own accounting on a lossy link: data sends, retransmissions, timeouts,
+// dedup hits and ack traffic must all land in the registry.
+func TestMetricsCountersUnderLoss(t *testing.T) {
+	reg := metrics.NewRegistry()
+	plan := &logp.FaultPlan{
+		Seed:  9,
+		Links: map[logp.Link]logp.LinkFault{{From: 0, To: 1}: {Drop: 0.4, Dup: 0.3}},
+	}
+	c := cfg(2, plan)
+	c.Metrics = reg
+	const msgs = 8
+	var retrans, suppressed int
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		e := New(p, Config{Timeout: 40})
+		switch p.ID() {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				if err := e.Send(1, 0, i); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			}
+			retrans = e.Retransmits()
+			e.Drain(p.Now() + 200)
+		case 1:
+			for i := 0; i < msgs; i++ {
+				e.Recv()
+			}
+			e.Drain(p.Now() + 400)
+			suppressed = e.Duplicates()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Rel[0].DataSends.Value(); got != msgs {
+		t.Errorf("data sends %d, want %d", got, msgs)
+	}
+	if got := reg.Rel[0].Retransmits.Value(); got != int64(retrans) {
+		t.Errorf("retransmit counter %d, endpoint reports %d", got, retrans)
+	}
+	if retrans == 0 {
+		t.Error("no retransmissions on a 40% lossy link; test exercises nothing")
+	}
+	// Every retransmission was preceded by an ack timeout.
+	if got := reg.Rel[0].Timeouts.Value(); got < int64(retrans) {
+		t.Errorf("timeouts %d < retransmissions %d", got, retrans)
+	}
+	if got := reg.Rel[1].DedupHits.Value(); got != int64(suppressed) {
+		t.Errorf("dedup counter %d, endpoint reports %d", got, suppressed)
+	}
+	// The receiver acked every accepted frame and every suppressed copy.
+	if got := reg.Rel[1].AcksSent.Value(); got != int64(msgs+suppressed) {
+		t.Errorf("acks sent %d, want %d", got, msgs+suppressed)
+	}
+	if got := reg.Rel[0].AcksRecv.Value(); got < msgs {
+		t.Errorf("acks received %d, want at least %d", got, msgs)
+	}
+}
+
+// TestMetricsDeadPeerVerdict checks that a peer that never answers shows up
+// as retry-budget timeouts and one dead-peer verdict.
+func TestMetricsDeadPeerVerdict(t *testing.T) {
+	reg := metrics.NewRegistry()
+	plan := &logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 1, At: 0}}}
+	c := cfg(2, plan)
+	c.Metrics = reg
+	const retries = 3
+	_, err := logp.Run(c, func(p *logp.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		e := New(p, Config{Timeout: 20, Retries: retries})
+		if err := e.Send(1, 0, "x"); !errors.Is(err, ErrPeerDead) {
+			t.Errorf("send to dead peer: %v, want ErrPeerDead", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Rel[0].DeadPeers.Value(); got != 1 {
+		t.Errorf("dead peers %d, want 1", got)
+	}
+	if got := reg.Rel[0].Timeouts.Value(); got != retries+1 {
+		t.Errorf("timeouts %d, want %d (initial send plus %d retries)", got, retries+1, retries)
+	}
+	if got := reg.Rel[0].Retransmits.Value(); got != retries {
+		t.Errorf("retransmits %d, want %d", got, retries)
+	}
+}

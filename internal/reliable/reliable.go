@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
 )
 
 // Machine tags the protocol multiplexes its frames onto. Application tags
@@ -95,6 +96,11 @@ type Endpoint struct {
 
 	retransmits int
 	duplicates  int
+
+	// met points at this processor's protocol counters in the machine's
+	// metrics registry, nil when metrics are off (same nil-checked hook
+	// discipline as the machine's own hot paths).
+	met *metrics.ReliableMetrics
 }
 
 // New builds an endpoint for processor p. Zero fields of cfg take the
@@ -114,13 +120,17 @@ func New(p *logp.Proc, cfg Config) *Endpoint {
 		cfg.Retries = def.Retries
 	}
 	P := p.P()
-	return &Endpoint{
+	e := &Endpoint{
 		p: p, cfg: cfg,
 		nextSeq: make([]int64, P),
 		acked:   make([]int64, P),
 		lastSeq: make([]int64, P),
 		dead:    make([]bool, P),
 	}
+	if reg := p.Metrics(); reg != nil {
+		e.met = &reg.Rel[p.ID()]
+	}
+	return e
 }
 
 // Proc returns the underlying machine processor.
@@ -153,12 +163,20 @@ func (e *Endpoint) Send(to, tag int, data any) error {
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			e.retransmits++
+			if e.met != nil {
+				e.met.Retransmits.Inc()
+			}
+		} else if e.met != nil {
+			e.met.DataSends.Inc()
 		}
 		e.p.Send(to, TagData, f)
 		deadline := e.p.Now() + timeout
 		for e.acked[to] < seq {
 			m, ok := e.p.RecvTimeout(deadline)
 			if !ok {
+				if e.met != nil {
+					e.met.Timeouts.Inc()
+				}
 				break
 			}
 			e.handle(m)
@@ -175,6 +193,9 @@ func (e *Endpoint) Send(to, tag int, data any) error {
 		}
 	}
 	e.dead[to] = true
+	if e.met != nil {
+		e.met.DeadPeers.Inc()
+	}
 	return fmt.Errorf("reliable: send to proc %d: no ack after %d retries: %w", to, e.cfg.Retries, ErrPeerDead)
 }
 
@@ -189,13 +210,23 @@ func (e *Endpoint) handle(m logp.Message) {
 			// A retransmission (our ack was lost) or a network-made copy:
 			// suppress it, but re-ack so the sender can make progress.
 			e.duplicates++
+			if e.met != nil {
+				e.met.DedupHits.Inc()
+				e.met.AcksSent.Inc()
+			}
 			e.p.Send(m.From, TagAck, f.Seq)
 			return
 		}
 		e.lastSeq[m.From] = f.Seq
+		if e.met != nil {
+			e.met.AcksSent.Inc()
+		}
 		e.p.Send(m.From, TagAck, f.Seq)
 		e.pushQueue(Message{From: m.From, Tag: f.Tag, Data: f.Data})
 	case TagAck:
+		if e.met != nil {
+			e.met.AcksRecv.Inc()
+		}
 		if seq := m.Data.(int64); seq > e.acked[m.From] {
 			e.acked[m.From] = seq
 		}

@@ -43,6 +43,80 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Quantile returns the q-quantile (0 <= q <= 1) of the ascending-sorted
+// sample xs, interpolating linearly between order statistics (the same
+// estimator as numpy's default). An empty sample yields NaN.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// HistogramQuantiles estimates quantiles from bucketed counts, interpolating
+// linearly inside the winning bucket (the histogram_quantile estimator).
+// bounds are the ascending inclusive upper bounds of the first len(bounds)
+// buckets; counts has one extra trailing bucket for observations above the
+// last bound, whose estimate is clamped to that bound. With no observations
+// every quantile is NaN.
+func HistogramQuantiles(bounds []float64, counts []int64, qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	for k, q := range qs {
+		if total == 0 {
+			out[k] = math.NaN()
+			continue
+		}
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := q * float64(total)
+		var cum int64
+		out[k] = bounds[len(bounds)-1]
+		for i, c := range counts {
+			if float64(cum+c) >= rank {
+				if i >= len(bounds) {
+					// Overflow bucket: no upper bound to interpolate toward.
+					out[k] = bounds[len(bounds)-1]
+					break
+				}
+				lo := 0.0
+				if i > 0 {
+					lo = bounds[i-1]
+				}
+				hi := bounds[i]
+				if c > 0 {
+					out[k] = lo + (hi-lo)*(rank-float64(cum))/float64(c)
+				} else {
+					out[k] = hi
+				}
+				break
+			}
+			cum += c
+		}
+	}
+	return out
+}
+
 // LinearFit returns the least-squares slope and intercept of y on x.
 func LinearFit(x, y []float64) (slope, intercept float64, err error) {
 	if len(x) != len(y) || len(x) < 2 {

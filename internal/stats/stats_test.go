@@ -57,6 +57,46 @@ func TestLinearFitProperty(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("singleton quantile %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 10 observations uniform in (0,10]: bounds 5 and 10, no overflow.
+	bounds := []float64{5, 10}
+	counts := []int64{5, 5, 0}
+	got := HistogramQuantiles(bounds, counts, []float64{0.5, 0.9, 1})
+	want := []float64{5, 9, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("q[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Overflow bucket clamps to the last bound.
+	over := HistogramQuantiles(bounds, []int64{0, 0, 4}, []float64{0.5})
+	if over[0] != 10 {
+		t.Errorf("overflow quantile %v, want 10", over[0])
+	}
+	// No observations: NaN.
+	if !math.IsNaN(HistogramQuantiles(bounds, []int64{0, 0, 0}, []float64{0.5})[0]) {
+		t.Error("empty histogram should be NaN")
+	}
+}
+
 func TestGrowthRate(t *testing.T) {
 	years := []float64{1987, 1988, 1989, 1990}
 	perf := []float64{10, 20, 40, 80} // doubling: 100%/yr
