@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -166,15 +167,20 @@ func writeTelemetry(obs []experiments.Observation, reports []experiments.Report,
 			Points: []metrics.Point{{Value: total}}},
 		wall,
 	}}
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if path == "-" {
+		return emitTelemetry(os.Stdout, snap, format)
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// Close explicitly: a failed flush must not be silently discarded,
+	// or a truncated metrics file would be reported as success.
+	return errors.Join(emitTelemetry(f, snap, format), f.Close())
+}
+
+// emitTelemetry writes the snapshot in the requested format.
+func emitTelemetry(w io.Writer, snap metrics.Snapshot, format string) error {
 	switch format {
 	case "prom":
 		return metrics.WritePrometheus(w, snap)

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -293,15 +294,20 @@ func main() {
 // snapshot describes the last machine executed.
 func writeMetrics(reg *metrics.Registry, path, format string) error {
 	snap := reg.Snapshot()
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if path == "-" {
+		return emitMetrics(os.Stdout, snap, format)
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// Close explicitly: a failed flush must not be silently discarded,
+	// or a truncated metrics file would be reported as success.
+	return errors.Join(emitMetrics(f, snap, format), f.Close())
+}
+
+// emitMetrics writes the snapshot in the requested format.
+func emitMetrics(w io.Writer, snap metrics.Snapshot, format string) error {
 	switch format {
 	case "prom":
 		return metrics.WritePrometheus(w, snap)

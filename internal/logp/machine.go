@@ -272,26 +272,36 @@ func (d *delivery) RunEvent() {
 
 // sampleEvent is the recurring metrics sampler. It implements sim.Runner so
 // each firing schedules without allocating, and it stops rescheduling once
-// every processor has finished (m.live == 0) — otherwise the recurring event
-// would keep the kernel's queue non-empty and Run would never return.
+// every processor has finished (m.live == 0) or the kernel is otherwise
+// quiescent — in either case re-arming would keep the queue non-empty
+// forever, so Run would never return (and never report a deadlock).
 type sampleEvent struct{ m *Machine }
 
 // RunEvent snapshots the machine and re-arms the sampler.
 func (s *sampleEvent) RunEvent() {
 	m := s.m
-	m.takeSample()
-	if m.live > 0 {
-		m.kernel.AfterRun(sim.Time(m.met.Every()), s)
+	if m.live == 0 {
+		// All processors already finished; skip the sample so the series
+		// never contains a point stamped past the run's final SimTime
+		// (Machine.Run closes the series at the true finish time).
+		return
 	}
+	m.takeSample(int64(m.kernel.Now()))
+	if m.kernel.Quiescent() {
+		// Live processors remain but nothing is scheduled to wake them:
+		// the program is deadlocked. Let the queue drain so kernel.Run
+		// returns its DeadlockError instead of sampling forever.
+		return
+	}
+	m.kernel.AfterRun(sim.Time(m.met.Every()), s)
 }
 
-// takeSample appends one time-series point to the metrics registry:
-// in-flight counts from/to each processor (to be read against the ceil(L/g)
-// ceiling), inbox depths, cumulative capacity-stall cycles, total delivered
-// messages, and per-interval utilization derived by differencing each
-// processor's cumulative busy cycles since the previous sample.
-func (m *Machine) takeSample() {
-	now := int64(m.kernel.Now())
+// takeSample appends one time-series point stamped now to the metrics
+// registry: in-flight counts from/to each processor (to be read against the
+// ceil(L/g) ceiling), inbox depths, cumulative capacity-stall cycles, total
+// delivered messages, and per-interval utilization derived by differencing
+// each processor's cumulative busy cycles since the previous sample.
+func (m *Machine) takeSample(now int64) {
 	n := m.cfg.P
 	s := metrics.Sample{
 		Time:         now,
@@ -492,9 +502,11 @@ func (m *Machine) Run(body func(p *Proc)) (Result, error) {
 	}
 	if m.met != nil {
 		// Close the time series with a final point at the end of the run
-		// (unless the sampler already fired at this instant).
-		if int64(m.kernel.Now()) > m.lastSample || len(m.met.Samples) == 0 {
-			m.takeSample()
+		// (unless the sampler already fired at this instant). Stamped with
+		// res.Time, not kernel.Now(): a last sampler firing after every
+		// processor finished can leave the clock past the true finish time.
+		if res.Time > m.lastSample || len(m.met.Samples) == 0 {
+			m.takeSample(res.Time)
 		}
 		m.met.SetSimTime(res.Time)
 	}

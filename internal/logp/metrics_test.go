@@ -2,12 +2,14 @@ package logp
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/sim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -123,6 +125,41 @@ func TestMetricsSampler(t *testing.T) {
 	}
 	if last.Delivered != reg.DeliveredTotal() {
 		t.Errorf("final sample delivered %d, want %d", last.Delivered, reg.DeliveredTotal())
+	}
+}
+
+// TestMetricsDeadlockStillDetected guards against the sampler masking the
+// kernel's deadlock detection: a recurring sample event must not keep the
+// queue non-empty forever when every live processor is blocked with nothing
+// scheduled to wake it, or Run would spin instead of returning the error.
+func TestMetricsDeadlockStillDetected(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := cfg(2, 20, 2, 4)
+	c.Metrics = reg
+	c.MetricsEvery = 16
+	_, err := Run(c, func(p *Proc) {
+		p.Recv() // nobody ever sends
+	})
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+// TestMetricsNoSamplePastFinish pins the series to the run: with a sampling
+// interval longer than the whole run, the only sample is the closing one at
+// the final completion time, never a later interval boundary.
+func TestMetricsNoSamplePastFinish(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := cfg(2, 20, 2, 4)
+	c.Metrics = reg
+	c.MetricsEvery = 1 << 20
+	res := metricsRing(t, c, 2)
+	if len(reg.Samples) != 1 {
+		t.Fatalf("%d samples, want exactly the closing one", len(reg.Samples))
+	}
+	if got := reg.Samples[0].Time; got != res.Time {
+		t.Errorf("sample at %d, want completion time %d", got, res.Time)
 	}
 }
 

@@ -41,6 +41,13 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if qs[0] < 5 || qs[0] > 20 {
 		t.Errorf("p50 estimate %v outside sane range", qs[0])
 	}
+	// A boundless histogram (overflow bucket only) still counts but has no
+	// bound to interpolate toward: quantiles are NaN, not a panic.
+	b := NewHistogram()
+	b.Observe(3)
+	if q := b.Quantiles(0.5); !math.IsNaN(q[0]) {
+		t.Errorf("boundless histogram p50 = %v, want NaN", q[0])
+	}
 }
 
 func TestHistogramBadBoundsPanic(t *testing.T) {

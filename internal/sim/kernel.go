@@ -214,6 +214,13 @@ func (k *Kernel) pendingEvents() int {
 	return len(k.events) + len(k.fifo) - k.fifoHead
 }
 
+// Quiescent reports whether no further events are queued. Every live,
+// non-blocked process has a wake event scheduled, so a recurring event
+// (e.g. a metrics sampler) that observes Quiescent from inside its own
+// RunEvent knows it is the only thing keeping the simulation alive:
+// rescheduling itself would spin forever and mask deadlock detection.
+func (k *Kernel) Quiescent() bool { return k.pendingEvents() == 0 }
+
 // Stop makes Run return after the current event completes. Pending events
 // remain queued.
 func (k *Kernel) Stop() { k.stopped = true }

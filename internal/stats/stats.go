@@ -71,9 +71,15 @@ func Quantile(sorted []float64, q float64) float64 {
 // bounds are the ascending inclusive upper bounds of the first len(bounds)
 // buckets; counts has one extra trailing bucket for observations above the
 // last bound, whose estimate is clamped to that bound. With no observations
-// every quantile is NaN.
+// or no bounds (only the overflow bucket) every quantile is NaN.
 func HistogramQuantiles(bounds []float64, counts []int64, qs []float64) []float64 {
 	out := make([]float64, len(qs))
+	if len(bounds) == 0 {
+		for k := range out {
+			out[k] = math.NaN()
+		}
+		return out
+	}
 	var total int64
 	for _, c := range counts {
 		total += c

@@ -95,6 +95,11 @@ func TestHistogramQuantiles(t *testing.T) {
 	if !math.IsNaN(HistogramQuantiles(bounds, []int64{0, 0, 0}, []float64{0.5})[0]) {
 		t.Error("empty histogram should be NaN")
 	}
+	// No bounds (overflow bucket only): NaN, not an index panic, even with
+	// observations present.
+	if !math.IsNaN(HistogramQuantiles(nil, []int64{7}, []float64{0.5})[0]) {
+		t.Error("boundless histogram should be NaN")
+	}
 }
 
 func TestGrowthRate(t *testing.T) {
