@@ -21,10 +21,12 @@ import (
 	"github.com/logp-model/logp/internal/collective"
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/experiments"
+	"github.com/logp-model/logp/internal/flat"
 	"github.com/logp-model/logp/internal/logp"
 	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/network"
 	"github.com/logp-model/logp/internal/prof"
+	"github.com/logp-model/logp/internal/progs"
 	"github.com/logp-model/logp/internal/sim"
 )
 
@@ -99,26 +101,142 @@ func BenchmarkKernelEventThroughput(b *testing.B) {
 }
 
 // BenchmarkMachineMessageThroughput measures simulated messages per second
-// through the full LogP cost machinery (gap, capacity, overhead).
+// through the full LogP cost machinery (gap, capacity, overhead). The
+// goroutine machine runs once per construction, so each machine is built
+// with the timer stopped and only the run itself is measured; payloads are
+// nil so the loop doesn't time 16k payload boxings per iteration.
 func BenchmarkMachineMessageThroughput(b *testing.B) {
 	const msgs = 2000
 	cfg := logp.Config{Params: core.Params{P: 8, L: 20, O: 2, G: 4}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := logp.Run(cfg, func(p *logp.Proc) {
+		b.StopTimer()
+		m, err := logp.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Run(func(p *logp.Proc) {
 			next := (p.ID() + 1) % p.P()
 			for m := 0; m < msgs; m++ {
-				p.Send(next, 0, m)
+				p.Send(next, 0, nil)
 			}
 			for m := 0; m < msgs; m++ {
 				p.Recv()
 			}
-		})
-		if err != nil {
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(msgs*8*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// benchRing is the flat-engine counterpart of the workload above in
+// reactive logp.Program form: every processor streams msgs messages to its
+// ring successor and finishes after msgs receptions. Start re-initialises
+// the per-processor count, so the program re-runs on a reused machine.
+type benchRing struct {
+	msgs int
+	got  []int
+}
+
+func (r *benchRing) Start(n logp.Node) {
+	me := n.ID()
+	r.got[me] = 0
+	next := (me + 1) % n.P()
+	for i := 0; i < r.msgs; i++ {
+		n.Send(next, 0, nil)
+	}
+}
+
+func (r *benchRing) Message(n logp.Node, m logp.Message) {
+	me := n.ID()
+	r.got[me]++
+	if r.got[me] == r.msgs {
+		n.Done()
+	}
+}
+
+// BenchmarkFlatMachineMessageThroughput is the identical machine and
+// workload on the goroutine-free flat engine: same LogP parameters, same
+// capacity limit, same per-message cost charges (the engines are pinned
+// cycle-identical by the cross-engine tests in internal/flat). The machine
+// is built once and re-Run, so iterations measure steady-state messaging.
+func BenchmarkFlatMachineMessageThroughput(b *testing.B) {
+	const msgs, procs = 2000, 8
+	cfg := logp.Config{Params: core.Params{P: procs, L: 20, O: 2, G: 4}}
+	m, err := flat.New(cfg, &benchRing{msgs: msgs, got: make([]int, procs)}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Messages != msgs*procs {
+			b.Fatalf("delivered %d messages, want %d", res.Messages, msgs*procs)
+		}
+	}
+	b.ReportMetric(float64(msgs*procs*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkFlatShardedMessageThroughput runs the ring flood on the windowed
+// parallel core: P=256 processors over 8 shards with the o+L conservative
+// lookahead (capacity off — capacity semaphores couple shards).
+func BenchmarkFlatShardedMessageThroughput(b *testing.B) {
+	const msgs, procs, shards = 200, 256, 8
+	cfg := logp.Config{
+		Params:          core.Params{P: procs, L: 20, O: 2, G: 4},
+		DisableCapacity: true,
+	}
+	m, err := flat.New(cfg, &benchRing{msgs: msgs, got: make([]int, procs)}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Messages != msgs*procs {
+			b.Fatalf("delivered %d messages, want %d", res.Messages, msgs*procs)
+		}
+	}
+	b.ReportMetric(float64(msgs*procs*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkFlatBroadcastP100k pins the scale target: the optimal broadcast
+// tree over 10^5 processors on the flat engine, one full machine run per
+// iteration (construction included — at this P the run itself dominates).
+func BenchmarkFlatBroadcastP100k(b *testing.B) {
+	const procs = 100_000
+	params := core.Params{P: procs, L: 8, O: 2, G: 3}
+	sched, err := core.OptimalBroadcast(params, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := logp.Config{Params: params, DisableCapacity: true}
+	m, err := flat.New(cfg, progs.NewBroadcast(sched, 1, "datum"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Messages != procs-1 {
+			b.Fatalf("delivered %d messages, want %d", res.Messages, procs-1)
+		}
+	}
+	b.ReportMetric(float64((procs-1)*b.N)/b.Elapsed().Seconds(), "msgs/s")
 }
 
 // BenchmarkHeapPushPop measures the typed 4-ary event heap in isolation: a

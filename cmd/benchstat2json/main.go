@@ -26,10 +26,12 @@ import (
 	"strings"
 )
 
-// defaultBench selects the substrate microbenchmarks: the two throughput
-// targets, the heap, handoff, and wait-elision paths, and the hook-overhead
-// pairs (profiler recorder and metrics registry, each detached vs attached).
-const defaultBench = "BenchmarkKernelEventThroughput|BenchmarkMachineMessageThroughput|BenchmarkHeapPushPop|BenchmarkContextSwitch|BenchmarkProcessWait|BenchmarkSendRecvRecorderOff|BenchmarkSendRecvRecorderOn|BenchmarkSendRecvMetricsOff|BenchmarkSendRecvMetricsOn"
+// defaultBench selects the substrate microbenchmarks: the goroutine and
+// flat engine throughput targets (same machine, same workload), the sharded
+// flat core and the P=10^5 scale pin, the heap, handoff, and wait-elision
+// paths, and the hook-overhead pairs (profiler recorder and metrics
+// registry, each detached vs attached).
+const defaultBench = "BenchmarkKernelEventThroughput|BenchmarkMachineMessageThroughput|BenchmarkFlatMachineMessageThroughput|BenchmarkFlatShardedMessageThroughput|BenchmarkFlatBroadcastP100k|BenchmarkHeapPushPop|BenchmarkContextSwitch|BenchmarkProcessWait|BenchmarkSendRecvRecorderOff|BenchmarkSendRecvRecorderOn|BenchmarkSendRecvMetricsOff|BenchmarkSendRecvMetricsOn"
 
 type benchmark struct {
 	Name    string             `json:"name"`

@@ -33,9 +33,11 @@ import (
 	"github.com/logp-model/logp/internal/algo/stencil"
 	"github.com/logp-model/logp/internal/collective"
 	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
 	"github.com/logp-model/logp/internal/logp"
 	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/prof"
+	"github.com/logp-model/logp/internal/progs"
 	"github.com/logp-model/logp/internal/reliable"
 )
 
@@ -60,6 +62,9 @@ func main() {
 		metOut   = flag.String("metrics", "", "write run metrics (of the last machine run) to this file, \"-\" = stdout")
 		metFmt   = flag.String("metrics-format", "prom", "metrics output format: prom | json | csv")
 		metEvery = flag.Int64("metrics-every", 0, "metrics sampling interval in simulated cycles (0 = default)")
+		engine   = flag.String("engine", "", "execution engine for program-form algorithms (broadcast, sum): goroutine | flat (default $LOGP_ENGINE, else goroutine)")
+		shards   = flag.Int("shards", 0, "flat engine: event-kernel shards, >1 runs the windowed parallel core (default $LOGP_SHARDS, else 1); requires -nocap")
+		nocap    = flag.Bool("nocap", false, "disable the capacity limit of ceil(L/g) in-flight messages per processor")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,12 +72,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *engine != "" {
+		if _, err := logp.EngineByName(*engine); err != nil {
+			usageError(err)
+		}
+		logp.SetDefaultEngineName(*engine)
+	}
+	engName := logp.DefaultEngineName()
+	if *shards > 1 && engName == "goroutine" {
+		usageError(fmt.Errorf("-shards applies to the flat engine only (use -engine flat)"))
+	}
 
 	params := core.Params{P: *p, L: *l, O: *o, G: *g}
 	if err := params.Validate(); err != nil {
 		fatal(err)
 	}
-	cfg := logp.Config{Params: params, CollectTrace: *traceIt, Seed: *seed}
+	cfg := logp.Config{Params: params, CollectTrace: *traceIt, Seed: *seed, DisableCapacity: *nocap}
 	faults, err := faultPlan(*drop, *dup, *jitter, *failAt, *fseed)
 	if err != nil {
 		usageError(err)
@@ -103,13 +118,23 @@ func main() {
 	var res logp.Result
 	var summary string
 	switch *algo {
+	case "broadcast", "sum":
+		// Program-form algorithms: run on whichever engine is selected. The
+		// flat engine is pinned cycle-identical to the goroutine machine by
+		// the cross-engine tests, so the output does not depend on -engine.
+	default:
+		if engName != "goroutine" {
+			usageError(fmt.Errorf("algorithm %q has an imperative (blocking) body and runs only on the goroutine engine; program-form algorithms: broadcast, sum", *algo))
+		}
+	}
+	switch *algo {
 	case "broadcast":
 		var s *core.BroadcastSchedule
 		s, err = core.OptimalBroadcast(params, 0)
 		if err != nil {
 			fatal(err)
 		}
-		res, err = logp.Run(cfg, func(pr *logp.Proc) { collective.Broadcast(pr, s, 1, "datum") })
+		res, err = runProgram(cfg, progs.NewBroadcast(s, 1, "datum"), engName, *shards)
 		summary = fmt.Sprintf("optimal broadcast: predicted %d, binomial %d, linear %d",
 			s.Finish, core.BinomialBroadcastTime(params), core.LinearBroadcastTime(params))
 	case "rbcast":
@@ -154,7 +179,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = logp.Run(cfg, func(pr *logp.Proc) { collective.SumOptimal(pr, s, 1, dist[pr.ID()]) })
+		res, err = runProgram(cfg, progs.NewSum(s, 1, dist), engName, *shards)
 		summary = fmt.Sprintf("optimal summation of %d values: predicted %d (binary tree %d)",
 			s.TotalValues, deadline, core.BinaryTreeSumTime(params, s.TotalValues))
 	case "fft":
@@ -254,7 +279,11 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("machine: %v  (capacity %d msgs in transit)\n", params, params.Capacity())
+	if *nocap {
+		fmt.Printf("machine: %v  (capacity limit off)\n", params)
+	} else {
+		fmt.Printf("machine: %v  (capacity %d msgs in transit)\n", params, params.Capacity())
+	}
 	fmt.Println(summary)
 	fmt.Printf("simulated time: %d cycles, %d messages\n", res.Time, res.Messages)
 	if cfg.Faults != nil {
@@ -287,6 +316,21 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runProgram executes a program-form algorithm on the selected engine. An
+// explicit -shards count builds the flat machine directly with that many
+// kernel shards; otherwise the registered engine (which consults LOGP_SHARDS
+// itself) runs it.
+func runProgram(cfg logp.Config, prog logp.Program, engName string, shards int) (logp.Result, error) {
+	if shards > 1 {
+		return flat.Run(cfg, prog, shards)
+	}
+	e, err := logp.EngineByName(engName)
+	if err != nil {
+		return logp.Result{}, err
+	}
+	return e.Run(cfg, prog)
 }
 
 // writeMetrics exports the registry snapshot in the requested format to path

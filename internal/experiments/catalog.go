@@ -44,6 +44,7 @@ func Catalog() []Entry {
 		{"am", fixed(ActiveMessages)},
 		{"whatif", fixed(WhatIf)},
 		{"chaos", fixed(Chaos)},
+		{"pscale", PScaling},
 	}
 }
 

@@ -1,0 +1,101 @@
+package flat_test
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// ringFlood is the zero-alloc workload: every processor streams msgs nil
+// messages to its ring successor and finishes after msgs receptions.
+func ringFlood(msgs, p int) logp.Program {
+	expect := make([]int, p)
+	for i := range expect {
+		expect[i] = msgs
+	}
+	return newRingExpect(msgs, expect)
+}
+
+func newRingMachine(b *testing.B, msgs, p, shards int) *flat.Machine {
+	cfg := logp.Config{
+		Params:          core.Params{P: p, L: 8, O: 2, G: 3},
+		DisableCapacity: true,
+	}
+	m, err := flat.New(cfg, ringFlood(msgs, p), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// TestFlatZeroAllocPerMessage pins the hooks-off flat hot path zero-alloc
+// per message, by the same differencing scheme as the goroutine-machine
+// tests at the repo root: run a small and a large message count and charge
+// only the difference to the messages, cancelling per-run setup costs.
+func TestFlatZeroAllocPerMessage(t *testing.T) {
+	const (
+		p     = 8
+		small = 500
+		large = 2500
+	)
+	measure := func(msgs int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			cfg := logp.Config{
+				Params:          core.Params{P: p, L: 8, O: 2, G: 3},
+				DisableCapacity: true,
+			}
+			if _, err := flat.Run(cfg, ringFlood(msgs, p), 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	allocSmall := measure(small)
+	allocLarge := measure(large)
+	perMsg := (allocLarge - allocSmall) / float64((large-small)*p)
+	if perMsg > 0.01 {
+		t.Errorf("flat path allocates %.4f allocs/message (small run %.0f, large run %.0f)",
+			perMsg, allocSmall, allocLarge)
+	}
+}
+
+// BenchmarkFlatRingThroughput is the in-package counterpart of the repo
+// root's engine benchmarks: P processors flooding their ring successors on
+// the sequential flat core. The machine is built once and re-Run, so the
+// timed loop measures steady-state messaging, not construction.
+func BenchmarkFlatRingThroughput(b *testing.B) {
+	const msgs, p = 2000, 8
+	m := newRingMachine(b, msgs, p, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Messages != msgs*p {
+			b.Fatalf("delivered %d messages, want %d", res.Messages, msgs*p)
+		}
+	}
+	b.ReportMetric(float64(b.N*msgs*p)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkFlatShardedRingThroughput exercises the windowed core on the same
+// workload at a larger P, where the per-window fan-out has shards to feed.
+func BenchmarkFlatShardedRingThroughput(b *testing.B) {
+	const msgs, p, shards = 200, 256, 8
+	m := newRingMachine(b, msgs, p, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Messages != msgs*p {
+			b.Fatalf("delivered %d messages, want %d", res.Messages, msgs*p)
+		}
+	}
+	b.ReportMetric(float64(b.N*msgs*p)/b.Elapsed().Seconds(), "msgs/s")
+}

@@ -1,0 +1,64 @@
+package flat_test
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/progs"
+)
+
+// TestDefaultEngineSuite runs the paper's Figure 3/4 schedule programs on
+// whichever engine the process default resolves to — the hook the CI engine
+// matrix uses: LOGP_ENGINE=flat re-runs this suite on the goroutine-free
+// core, LOGP_SHARDS additionally selects the windowed parallel kernel. Every
+// engine must land each program exactly on its analytic finish time, so a
+// run that diverges from the reference machine by even one cycle fails here
+// regardless of which engine is selected.
+func TestDefaultEngineSuite(t *testing.T) {
+	e, err := logp.DefaultEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("default engine: %s", e.Name())
+	params := core.Params{P: 16, L: 8, O: 2, G: 3}
+
+	bs, err := core.OptimalBroadcast(params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(logp.Config{Params: params, DisableCapacity: true},
+		progs.NewBroadcast(bs, 1, "datum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != bs.Finish {
+		t.Errorf("broadcast: simulated time %d, analytic finish %d", res.Time, bs.Finish)
+	}
+	if res.Messages != params.P-1 {
+		t.Errorf("broadcast: %d messages, want %d", res.Messages, params.P-1)
+	}
+
+	deadline := core.MinSumTime(params, 64)
+	ss, err := core.OptimalSummation(params, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, ss.TotalValues)
+	for i := range values {
+		values[i] = 1
+	}
+	dist, err := collective.DistributeInputs(ss, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumRes, err := e.Run(logp.Config{Params: params, DisableCapacity: true},
+		progs.NewSum(ss, 1, dist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumRes.Time != deadline {
+		t.Errorf("summation: simulated time %d, analytic deadline %d", sumRes.Time, deadline)
+	}
+}

@@ -1,0 +1,253 @@
+package flat_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/logp-model/logp/internal/collective"
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/prof"
+	"github.com/logp-model/logp/internal/sim"
+)
+
+// The cross-engine determinism contract: the same (program, machine config,
+// seed, fault plan) must produce the identical Result — times, stats, trace
+// — the identical metrics registry state (pinned via Prometheus text and the
+// sample series), and the identical profiler recording (pinned via the
+// recorded op streams and the critical-path attribution) on the goroutine
+// machine and the flat core.
+
+// runBoth executes a fresh program instance from mk on each engine under
+// cfg (with per-engine profiler/metrics attachments when requested) and
+// compares everything the run produces.
+func runBoth(t *testing.T, name string, cfg logp.Config, mk func() logp.Program, withProf, withMetrics bool) (gRes, fRes logp.Result) {
+	t.Helper()
+	var gRec, fRec *prof.Recorder
+	var gMet, fMet *metrics.Registry
+	gCfg, fCfg := cfg, cfg
+	if withProf {
+		gRec, fRec = prof.NewRecorder(), prof.NewRecorder()
+		gCfg.Profiler, fCfg.Profiler = gRec, fRec
+	}
+	if withMetrics {
+		gMet, fMet = metrics.NewRegistry(), metrics.NewRegistry()
+		gCfg.Metrics, fCfg.Metrics = gMet, fMet
+	}
+
+	gRes, gErr := logp.RunProgram(gCfg, mk())
+	fRes, fErr := flat.Run(fCfg, mk(), 1)
+	if (gErr == nil) != (fErr == nil) || (gErr != nil && gErr.Error() != fErr.Error()) {
+		t.Fatalf("%s: errors differ: goroutine=%v flat=%v", name, gErr, fErr)
+	}
+	if gErr != nil {
+		return gRes, fRes
+	}
+	if !reflect.DeepEqual(gRes, fRes) {
+		t.Errorf("%s: results differ:\n goroutine: %+v\n flat:      %+v", name, gRes, fRes)
+	}
+	if withProf {
+		for p := 0; p < cfg.P; p++ {
+			if !reflect.DeepEqual(gRec.Ops(p), fRec.Ops(p)) {
+				t.Errorf("%s: recorded ops differ at proc %d:\n goroutine: %+v\n flat:      %+v",
+					name, p, gRec.Ops(p), fRec.Ops(p))
+			}
+		}
+		gRun, err1 := gRec.Analyze()
+		fRun, err2 := fRec.Analyze()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: analyze: goroutine=%v flat=%v", name, err1, err2)
+		}
+		gCP, fCP := gRun.CriticalPath(), fRun.CriticalPath()
+		if gCP.String() != fCP.String() {
+			t.Errorf("%s: critical paths differ:\n goroutine:\n%s flat:\n%s", name, gCP.String(), fCP.String())
+		}
+		if ga, fa := gCP.Attribution(), fCP.Attribution(); ga != fa {
+			t.Errorf("%s: critical-path attribution differs:\n goroutine: %+v\n flat:      %+v", name, ga, fa)
+		}
+	}
+	if withMetrics {
+		var gBuf, fBuf bytes.Buffer
+		if err := metrics.WritePrometheus(&gBuf, gMet.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.WritePrometheus(&fBuf, fMet.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gBuf.Bytes(), fBuf.Bytes()) {
+			t.Errorf("%s: Prometheus text differs:\n goroutine:\n%s\n flat:\n%s", name, gBuf.String(), fBuf.String())
+		}
+		if !reflect.DeepEqual(gMet.Samples, fMet.Samples) {
+			t.Errorf("%s: sample series differ:\n goroutine: %+v\n flat:      %+v", name, gMet.Samples, fMet.Samples)
+		}
+	}
+	return gRes, fRes
+}
+
+func figureParams() core.Params { return core.Params{P: 8, L: 6, O: 2, G: 4} }
+
+func TestEquivPingPong(t *testing.T) {
+	cfg := logp.Config{Params: core.Params{P: 2, L: 20, O: 2, G: 4}, CollectTrace: true}
+	runBoth(t, "pingpong", cfg, func() logp.Program { return progsPingPong(16) }, true, true)
+}
+
+func progsPingPong(rounds int) logp.Program { return newPingPong(rounds) }
+
+func TestEquivOptimalBroadcast(t *testing.T) {
+	p := figureParams()
+	s, err := core.OptimalBroadcast(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := logp.Config{Params: p, CollectTrace: true}
+	g, f := runBoth(t, "broadcast", cfg, func() logp.Program { return newBroadcast(s, 7, "datum") }, true, true)
+	// The Figure 3 exactness result must hold on both engines: the run
+	// completes at the schedule's Finish plus the final o receive overhead
+	// already included in Finish.
+	if g.Time != f.Time {
+		t.Fatalf("times differ: %d vs %d", g.Time, f.Time)
+	}
+	if g.Time != s.Finish {
+		t.Errorf("broadcast completed at %d, schedule Finish %d", g.Time, s.Finish)
+	}
+}
+
+func TestEquivOptimalSummation(t *testing.T) {
+	p := core.Params{P: 8, L: 6, O: 2, G: 4}
+	s, err := core.OptimalSummation(p, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, s.TotalValues)
+	total := 0.0
+	for i := range values {
+		values[i] = float64(i + 1)
+		total += values[i]
+	}
+	inputs, err := collective.DistributeInputs(s, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := logp.Config{Params: p, CollectTrace: true}
+	mkSum := func() logp.Program { return newSum(s, 3, inputs) }
+
+	// Run once per engine, keeping the program to check the root value.
+	gProg, fProg := mkSum(), mkSum()
+	progs := []logp.Program{gProg, fProg}
+	i := 0
+	g, f := runBoth(t, "summation", cfg, func() logp.Program { p := progs[i]; i++; return p }, true, true)
+	if g.Time != f.Time {
+		t.Fatalf("times differ: %d vs %d", g.Time, f.Time)
+	}
+	if g.Time != s.Deadline {
+		t.Errorf("summation completed at %d, schedule deadline %d", g.Time, s.Deadline)
+	}
+	checkSumRoot(t, "goroutine", gProg, total)
+	checkSumRoot(t, "flat", fProg, total)
+}
+
+func TestEquivPipelinedCollectives(t *testing.T) {
+	p := core.Params{P: 6, L: 12, O: 3, G: 5}
+	cfg := logp.Config{Params: p, CollectTrace: true}
+	vals := func(i int) any { return i * 10 }
+	runBoth(t, "chain", cfg, func() logp.Program { return newChain(p.P, 1, 5, 8, vals) }, true, true)
+	runBoth(t, "binomial", cfg, func() logp.Program { return newBinomial(p.P, 2, 6, 7, vals) }, true, true)
+}
+
+func TestEquivAllToAllSaturation(t *testing.T) {
+	p := core.Params{P: 6, L: 18, O: 2, G: 3}
+	// Capacity on: the naive schedule floods destination 0 and stalls on the
+	// ceil(L/g) constraint, exercising the semaphore mirror.
+	cfg := logp.Config{Params: p, CollectTrace: true}
+	g, _ := runBoth(t, "alltoall-naive", cfg, func() logp.Program { return newAllToAll(p.P, 4, 1, 9, false) }, true, true)
+	if g.TotalStall() == 0 {
+		t.Error("naive all-to-all did not stall: capacity path not exercised")
+	}
+	runBoth(t, "alltoall-staggered", cfg, func() logp.Program { return newAllToAll(p.P, 4, 1, 9, true) }, true, true)
+
+	hold := cfg
+	hold.HoldCapacityUntilReceive = true
+	runBoth(t, "alltoall-hold", hold, func() logp.Program { return newAllToAll(p.P, 3, 0, 9, true) }, true, true)
+}
+
+func TestEquivJitterSkewSeeded(t *testing.T) {
+	p := core.Params{P: 5, L: 20, O: 2, G: 4}
+	cfg := logp.Config{
+		Params:        p,
+		LatencyJitter: 7,
+		ComputeJitter: 0.3,
+		ProcSkew:      0.2,
+		Seed:          12345,
+		CollectTrace:  true,
+	}
+	runBoth(t, "jitter-skew", cfg, func() logp.Program { return newAllToAll(p.P, 3, 2, 5, true) }, true, true)
+}
+
+func TestEquivFaultPlan(t *testing.T) {
+	p := core.Params{P: 5, L: 20, O: 2, G: 4}
+	cfg := logp.Config{
+		Params: p,
+		Seed:   99,
+		Faults: &logp.FaultPlan{
+			Seed:    1234,
+			Default: logp.LinkFault{Dup: 0.3, Jitter: 9},
+			Slowdowns: []logp.Slowdown{
+				{Proc: 1, Start: 0, End: 400, Factor: 2.5},
+				{Proc: 3, Start: 50, End: 200, Factor: 1.5},
+			},
+		},
+		CollectTrace: true,
+	}
+	runBoth(t, "faults", cfg, func() logp.Program { return newAllToAll(p.P, 3, 2, 5, true) }, true, true)
+}
+
+func TestEquivDeadlockError(t *testing.T) {
+	// Every ping dropped: both processors block forever, and the two engines
+	// must report the identical deadlock (time, blocked set, formatting).
+	cfg := logp.Config{
+		Params: core.Params{P: 2, L: 20, O: 2, G: 4},
+		Faults: &logp.FaultPlan{Default: logp.LinkFault{Drop: 1}},
+	}
+	mk := func() logp.Program { return newPingPong(4) }
+	_, gErr := logp.RunProgram(cfg, mk())
+	_, fErr := flat.Run(cfg, mk(), 1)
+	var gDl, fDl *sim.DeadlockError
+	if !errors.As(gErr, &gDl) || !errors.As(fErr, &fDl) {
+		t.Fatalf("want deadlocks, got goroutine=%v flat=%v", gErr, fErr)
+	}
+	if gErr.Error() != fErr.Error() {
+		t.Errorf("deadlock errors differ:\n goroutine: %v\n flat:      %v", gErr, fErr)
+	}
+}
+
+func TestEquivFailStop(t *testing.T) {
+	// Proc 1 dies mid-exchange; messages to it are dropped, survivors run
+	// on. Both engines must agree on the failure bookkeeping. The exchange
+	// among survivors still completes because every survivor expects only
+	// the messages that can still arrive.
+	p := core.Params{P: 4, L: 20, O: 2, G: 4}
+	cfg := logp.Config{
+		Params: p,
+		Faults: &logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 1, At: 0}}},
+	}
+	// A resilient workload: everyone streams to their ring successor; the
+	// processor downstream of the dead one expects nothing, so a dead peer
+	// cannot block anyone. (Proc 1 dies before its first send charges, so
+	// proc 2 expects zero; sends into proc 1 are dropped on arrival.)
+	mk := func() logp.Program { return newRingExpect(6, []int{6, 6, 0, 6}) }
+	gRes, gErr := logp.RunProgram(cfg, mk())
+	fRes, fErr := flat.Run(cfg, mk(), 1)
+	if gErr != nil || fErr != nil {
+		t.Fatalf("errors: goroutine=%v flat=%v", gErr, fErr)
+	}
+	if !reflect.DeepEqual(gRes, fRes) {
+		t.Errorf("fail-stop results differ:\n goroutine: %+v\n flat:      %+v", gRes, fRes)
+	}
+	if len(gRes.Failed) != 1 || gRes.Failed[0] != 1 {
+		t.Errorf("Failed = %v, want [1]", gRes.Failed)
+	}
+}

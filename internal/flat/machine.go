@@ -1,0 +1,1170 @@
+// Package flat is the goroutine-free execution engine for the LogP machine:
+// per-processor state lives in plain structs in one flat array, and a typed
+// event kernel steps those structs directly — no goroutine per processor, no
+// channel handoff, no park/unpark. Programs are written against the reactive
+// logp.Program interface and run here or on the goroutine machine
+// interchangeably.
+//
+// # Cycle identity
+//
+// The engine is pinned cycle-identical to the goroutine machine
+// (logp.RunProgram): both charge the same cost rules at the same points, make
+// scheduling calls in the same order (so same-instant ties break
+// identically), elide clock advances under the same conditions, and draw from
+// identically-seeded random streams at the same operations. Cross-engine
+// equivalence tests assert identical Results, traces, metrics and profiles.
+//
+// # Sharding
+//
+// With more than one shard, processors are partitioned into contiguous
+// blocks, each with its own event queue, and shards execute windows of
+// events concurrently. The LogP model itself provides the conservative
+// lookahead: a message initiated at time t occupies the sender for o cycles
+// and the network for L more, so no cross-shard event lands sooner than
+// t + o + L. Each window therefore spans [M, M + o + L), where M is the
+// earliest pending event machine-wide; within it every shard's execution
+// depends only on its own pre-window state, and cross-shard deliveries are
+// merged at the window barrier in fixed shard order. The result is
+// bit-identical for any GOMAXPROCS setting. Sharded runs require
+// DisableCapacity (capacity semaphores couple processors across shards) and
+// exclude the single-shard-only observers (trace, profiler, faults, latency
+// and compute jitter); see New.
+package flat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/prof"
+	"github.com/logp-model/logp/internal/sim"
+	"github.com/logp-model/logp/internal/trace"
+)
+
+// Continuation codes: where a parked processor resumes when its wake event
+// fires. Each corresponds to one park point of the goroutine Proc.
+const (
+	rStart         uint8 = iota // initial wake: run the Start handler
+	rComputeDone                // Compute's busy stretch elapsed
+	rWaitDone                   // Wait's idle stretch elapsed
+	rWaitUntilDone              // WaitUntil's idle stretch elapsed
+	rSendPaid                   // Send's gap wait + o overhead elapsed
+	rCapOut                     // woken from the out-capacity queue
+	rCapIn                      // woken from the in-capacity queue
+	rRecvWake                   // woken from the inbox arrival wait
+	rRecvPaid                   // Recv's gap wait + o overhead elapsed
+)
+
+// Recorded Node operation kinds.
+const (
+	oSend uint8 = iota
+	oCompute
+	oWait
+	oWaitUntil
+)
+
+// op is one recorded Node operation (the flat twin of the goroutine
+// driver's record-then-replay buffer entry).
+type op struct {
+	kind uint8
+	a, b int64
+	data any
+}
+
+// proc is one processor/memory module: the flat-array counterpart of
+// logp.Proc, with the goroutine stack replaced by the resume code and the
+// per-operation context fields below.
+type proc struct {
+	id      int32
+	shard   int32
+	resume  uint8
+	failed  bool // fail-stop triggered; halts at the next operation boundary
+	done    bool // Done() recorded: finish once the operation buffer drains
+	retired bool // processor has finished (or fail-stopped) and left the run
+	waiting bool // parked on the inbox arrival signal
+	blocked bool // parked with no scheduled wake (inbox or capacity queue)
+
+	m *Machine
+
+	nextSend int64
+	nextRecv int64
+
+	stats logp.ProcStats
+
+	// inbox is head-indexed exactly like logp.Proc's: arrivals append,
+	// receptions advance inboxHead, storage is reused once drained.
+	inbox     []logp.Message
+	inboxHead int
+
+	// ops is the recorded-operation buffer, reused across handlers.
+	ops    []op
+	opHead int
+
+	// Continuation context for the operation in flight.
+	sendStart  int64 // Send: time the op began (idle-trace bound)
+	initiation int64 // Send: gap-respecting initiation time
+	stallStart int64 // Send: when the capacity acquires began
+	waitStart  int64 // Compute/Wait/inbox wait: segment start
+	pend       int64 // Compute: stretched cycles being charged
+	recvArrive int64 // Recv: message arrival / reception begin
+	recvFrom   int64 // Recv: gap-respecting reception start
+	recvPay    int64 // Recv: overhead cycles being charged
+	cur        logp.Message
+}
+
+func (p *proc) pending() int { return len(p.inbox) - p.inboxHead }
+
+func (p *proc) popInbox() logp.Message {
+	msg := p.inbox[p.inboxHead]
+	p.inbox[p.inboxHead].Data = nil
+	p.inboxHead++
+	if p.inboxHead == len(p.inbox) {
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+	}
+	return msg
+}
+
+// pushInbox appends an arrival, compacting consumed slots once they dominate
+// the backlog so a streaming receiver reuses storage instead of growing the
+// slice for the whole run. Invisible to programs: only the live tail moves.
+func (p *proc) pushInbox(msg *logp.Message) {
+	if p.inboxHead > 16 && p.inboxHead*2 >= len(p.inbox) {
+		n := copy(p.inbox, p.inbox[p.inboxHead:])
+		for i := n; i < len(p.inbox); i++ {
+			p.inbox[i].Data = nil
+		}
+		p.inbox = p.inbox[:n]
+		p.inboxHead = 0
+	}
+	p.inbox = append(p.inbox, *msg)
+}
+
+func (p *proc) resetOps() {
+	for i := range p.ops {
+		p.ops[i].data = nil
+	}
+	p.ops = p.ops[:0]
+	p.opHead = 0
+}
+
+// The logp.Node interface: handlers record operations against the proc.
+
+// ID is the processor number in [0, P).
+func (p *proc) ID() int { return int(p.id) }
+
+// P is the machine's processor count.
+func (p *proc) P() int { return p.m.cfg.P }
+
+// Params returns the machine's LogP parameters.
+func (p *proc) Params() core.Params { return p.m.cfg.Params }
+
+// Now is the processor's local time at handler entry.
+func (p *proc) Now() int64 { return p.m.sh[p.shard].now }
+
+// Send records a one-word message send.
+func (p *proc) Send(to, tag int, data any) {
+	p.ops = append(p.ops, op{kind: oSend, a: int64(to), b: int64(tag), data: data})
+}
+
+// Compute records cycles of local work.
+func (p *proc) Compute(cycles int64) { p.ops = append(p.ops, op{kind: oCompute, a: cycles}) }
+
+// Wait records an idle wait.
+func (p *proc) Wait(cycles int64) { p.ops = append(p.ops, op{kind: oWait, a: cycles}) }
+
+// WaitUntil records an idle wait until an absolute time.
+func (p *proc) WaitUntil(t int64) { p.ops = append(p.ops, op{kind: oWaitUntil, a: t}) }
+
+// Done marks the processor finished once its recorded operations complete.
+func (p *proc) Done() { p.done = true }
+
+// semaphore mirrors sim.Semaphore with proc IDs in place of process
+// pointers: FIFO-queued acquirers, woken one per release, re-checking (and
+// re-queueing at the back) on wake exactly as the condition loop in
+// sim.Semaphore.Acquire does.
+type semaphore struct {
+	capacity int
+	used     int
+	waiters  []int32
+	head     int
+}
+
+// shard is one partition of the machine: a block of processors, their event
+// queue, and (in sharded mode) the per-destination outboxes and shard-local
+// metrics scratch.
+type shard struct {
+	queue
+	idx    int32
+	lo, hi int // procs [lo, hi)
+	live   int
+	out    [][]event          // cross-shard deliveries, one buffer per destination shard
+	flight *metrics.Histogram // shard-local flight-cycle observations, merged at the end
+}
+
+// Machine is a flat LogP machine ready to run one Program.
+type Machine struct {
+	cfg     logp.Config
+	prog    logp.Program
+	shards  int
+	horizon int64 // conservative cross-shard lookahead: o + L
+	perSh   int   // processors per shard (last shard may be short)
+
+	procs []proc
+	sh    []shard
+
+	rng *rand.Rand // mirrors the sim kernel's seeded source
+
+	// Single-shard-only machinery, mirroring the goroutine machine.
+	outCap, inCap []semaphore
+	inTransitFrom []int32 // nil in sharded runs (settling crosses shards)
+	inTransitTo   []int32
+	maxOut, maxIn int
+	tr            *trace.Log
+	rec           *prof.Recorder
+	faults        *logp.FaultRuntime
+	dropped       int
+	duplicated    int
+
+	met        *metrics.Registry
+	skew       []float64
+	lastBusy   []int64
+	lastSample int64
+	every      int64
+	nextSample int64 // sharded runs: next coordinator sample time
+
+	ran bool
+}
+
+// New builds a flat machine for prog. Config semantics are identical to
+// logp.New. shards < 2 builds the sequential engine, which supports every
+// Config and is cycle-identical to the goroutine machine. shards >= 2
+// enables windowed parallel execution, which additionally requires
+// DisableCapacity, no trace/profiler/faults, zero latency and compute
+// jitter, and o+L >= 1 (the lookahead window); ProcSkew is allowed (the
+// skews are drawn up front). Result.MaxInTransitFrom/To and the sample
+// in-flight series are reported as zero in sharded runs: settling a
+// message's in-transit accounting at arrival would cross shards.
+func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LatencyJitter < 0 || cfg.LatencyJitter > cfg.L {
+		return nil, fmt.Errorf("logp: latency jitter %d outside [0, L=%d]", cfg.LatencyJitter, cfg.L)
+	}
+	if cfg.ComputeJitter < 0 {
+		return nil, fmt.Errorf("logp: negative compute jitter %v", cfg.ComputeJitter)
+	}
+	if cfg.ProcSkew < 0 {
+		return nil, fmt.Errorf("logp: negative processor skew %v", cfg.ProcSkew)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.P); err != nil {
+			return nil, err
+		}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.P {
+		shards = cfg.P
+	}
+	if shards > 1 {
+		if !cfg.DisableCapacity {
+			return nil, fmt.Errorf("flat: sharded execution requires DisableCapacity (capacity semaphores couple processors across shards)")
+		}
+		if cfg.CollectTrace || cfg.Profiler != nil || cfg.Faults != nil {
+			return nil, fmt.Errorf("flat: sharded execution excludes trace, profiler and faults (single-shard observers)")
+		}
+		if cfg.LatencyJitter != 0 || cfg.ComputeJitter != 0 {
+			return nil, fmt.Errorf("flat: sharded execution requires zero latency/compute jitter (random draws are ordered by a single queue)")
+		}
+		if cfg.O+cfg.L < 1 {
+			return nil, fmt.Errorf("flat: sharded execution requires o+L >= 1 for a conservative lookahead window")
+		}
+	}
+	m := &Machine{
+		cfg:     cfg,
+		prog:    prog,
+		shards:  shards,
+		horizon: cfg.O + cfg.L,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.ProcSkew > 0 {
+		m.skew = make([]float64, cfg.P)
+		for i := range m.skew {
+			m.skew[i] = 1 + cfg.ProcSkew*m.rng.Float64()
+		}
+	}
+	if cfg.CollectTrace {
+		m.tr = &trace.Log{}
+	}
+	if cfg.Faults != nil {
+		m.faults = logp.NewFaultRuntime(cfg.Faults, cfg.P)
+	}
+	if cfg.Profiler != nil {
+		m.rec = cfg.Profiler
+		m.rec.Begin(prof.RunInfo{
+			Params:                   cfg.Params,
+			Coprocessor:              cfg.Coprocessor,
+			DisableCapacity:          cfg.DisableCapacity,
+			HoldCapacityUntilReceive: cfg.HoldCapacityUntilReceive,
+			BarrierCost:              cfg.BarrierCost,
+		})
+	}
+	if !cfg.DisableCapacity {
+		capUnits := cfg.Params.Capacity()
+		m.outCap = make([]semaphore, cfg.P)
+		m.inCap = make([]semaphore, cfg.P)
+		for i := 0; i < cfg.P; i++ {
+			m.outCap[i].capacity = capUnits
+			m.inCap[i].capacity = capUnits
+		}
+	}
+	if shards == 1 {
+		m.inTransitFrom = make([]int32, cfg.P)
+		m.inTransitTo = make([]int32, cfg.P)
+	}
+	if cfg.Metrics != nil {
+		m.met = cfg.Metrics
+		capUnits := 0
+		if !cfg.DisableCapacity {
+			capUnits = cfg.Params.Capacity()
+		}
+		m.met.Begin(cfg.P, capUnits, cfg.MetricsEvery)
+		m.lastBusy = make([]int64, cfg.P)
+		m.every = m.met.Every()
+		m.nextSample = m.every
+	}
+
+	m.perSh = (cfg.P + shards - 1) / shards
+	m.shards = (cfg.P + m.perSh - 1) / m.perSh // drop empty trailing shards
+	m.procs = make([]proc, cfg.P)
+	m.sh = make([]shard, m.shards)
+	for s := range m.sh {
+		sh := &m.sh[s]
+		sh.idx = int32(s)
+		sh.lo = s * m.perSh
+		sh.hi = sh.lo + m.perSh
+		if sh.hi > cfg.P {
+			sh.hi = cfg.P
+		}
+		sh.deadline = math.MaxInt64
+		if m.shards > 1 {
+			sh.out = make([][]event, m.shards)
+			if m.met != nil {
+				sh.flight = metrics.NewHistogram(m.met.FlightCycles.Bounds()...)
+			}
+		}
+	}
+	for i := range m.procs {
+		p := &m.procs[i]
+		p.id = int32(i)
+		p.shard = int32(i / m.perSh)
+		p.m = m
+	}
+	return m, nil
+}
+
+func (m *Machine) shardOf(proc int) int32 { return int32(proc / m.perSh) }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() logp.Config { return m.cfg }
+
+// Run executes the Program to completion and reports the run. A Machine may
+// be Run repeatedly: each run restarts from cycle zero with the same seed and
+// produces an identical Result, reusing the machine's internal storage so
+// steady-state benchmarking pays no per-run construction cost. A re-run
+// resets the configured metrics registry and profiler and replaces the trace,
+// so retain (or copy) a previous run's observations before re-running.
+func (m *Machine) Run() (logp.Result, error) {
+	if m.ran {
+		m.reset()
+	}
+	m.ran = true
+	// Initial schedule, mirroring logp.Machine.Run: fail-stop events first
+	// (at equal times the kill fires before the victim does any work), then
+	// the metrics sampler, then the processor start events in order.
+	if m.faults != nil {
+		q0 := &m.sh[0].queue
+		for _, fs := range m.faults.Plan().FailStops {
+			q0.scheduleAt(fs.At, evFail, int32(fs.Proc))
+		}
+	}
+	if m.met != nil && m.shards == 1 {
+		q0 := &m.sh[0].queue
+		q0.scheduleAt(q0.now+m.every, evSample, 0)
+	}
+	for s := range m.sh {
+		m.sh[s].live = m.sh[s].hi - m.sh[s].lo
+	}
+	for i := range m.procs {
+		p := &m.procs[i]
+		sh := &m.sh[p.shard]
+		p.resume = rStart
+		sh.scheduleAt(sh.now, evWake, p.id)
+	}
+
+	var err error
+	if m.shards == 1 {
+		err = m.runSingle()
+	} else {
+		err = m.runSharded()
+	}
+	if err != nil {
+		return logp.Result{}, err
+	}
+
+	res := logp.Result{
+		Procs:            make([]logp.ProcStats, m.cfg.P),
+		Trace:            m.tr,
+		MaxInTransitFrom: m.maxOut,
+		MaxInTransitTo:   m.maxIn,
+		Dropped:          m.dropped,
+		Duplicated:       m.duplicated,
+	}
+	for i := range m.procs {
+		pr := &m.procs[i]
+		pr.stats.Proc = i
+		res.Procs[i] = pr.stats
+		if pr.stats.Finish > res.Time {
+			res.Time = pr.stats.Finish
+		}
+		res.Messages += pr.stats.MsgsReceived
+		if pr.failed {
+			res.Failed = append(res.Failed, i)
+		}
+		if n := pr.pending(); n > 0 {
+			res.Undelivered += n
+			if m.faults == nil {
+				return res, fmt.Errorf("logp: proc %d finished with %d undelivered messages", i, n)
+			}
+		}
+	}
+	if m.met != nil {
+		for s := range m.sh {
+			if m.sh[s].flight != nil {
+				m.met.FlightCycles.Merge(m.sh[s].flight)
+			}
+		}
+		if res.Time > m.lastSample || len(m.met.Samples) == 0 {
+			m.takeSample(res.Time)
+		}
+		m.met.SetSimTime(res.Time)
+	}
+	return res, nil
+}
+
+// reset returns the machine to its just-constructed state, keeping the
+// capacity of every internal buffer. The rng is reseeded and the skews
+// redrawn in construction order, so a re-run replays the exact random
+// sequence of a fresh machine.
+func (m *Machine) reset() {
+	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
+	for i := range m.skew {
+		m.skew[i] = 1 + m.cfg.ProcSkew*m.rng.Float64()
+	}
+	if m.tr != nil {
+		m.tr = &trace.Log{} // the previous Result retains the old log
+	}
+	if m.faults != nil {
+		m.faults = logp.NewFaultRuntime(m.cfg.Faults, m.cfg.P)
+	}
+	if m.rec != nil {
+		m.rec.Begin(prof.RunInfo{
+			Params:                   m.cfg.Params,
+			Coprocessor:              m.cfg.Coprocessor,
+			DisableCapacity:          m.cfg.DisableCapacity,
+			HoldCapacityUntilReceive: m.cfg.HoldCapacityUntilReceive,
+			BarrierCost:              m.cfg.BarrierCost,
+		})
+	}
+	for i := range m.outCap {
+		m.outCap[i] = semaphore{capacity: m.outCap[i].capacity, waiters: m.outCap[i].waiters[:0]}
+		m.inCap[i] = semaphore{capacity: m.inCap[i].capacity, waiters: m.inCap[i].waiters[:0]}
+	}
+	for i := range m.inTransitFrom {
+		m.inTransitFrom[i], m.inTransitTo[i] = 0, 0
+	}
+	m.maxOut, m.maxIn = 0, 0
+	m.dropped, m.duplicated = 0, 0
+	if m.met != nil {
+		capUnits := 0
+		if !m.cfg.DisableCapacity {
+			capUnits = m.cfg.Params.Capacity()
+		}
+		m.met.Begin(m.cfg.P, capUnits, m.cfg.MetricsEvery)
+		for i := range m.lastBusy {
+			m.lastBusy[i] = 0
+		}
+		m.lastSample = 0
+		m.nextSample = m.every
+	}
+	for s := range m.sh {
+		sh := &m.sh[s]
+		sh.queue.reset()
+		sh.deadline = math.MaxInt64
+		for d := range sh.out {
+			sh.out[d] = sh.out[d][:0]
+		}
+		if sh.flight != nil {
+			sh.flight = metrics.NewHistogram(m.met.FlightCycles.Bounds()...)
+		}
+	}
+	for i := range m.procs {
+		p := &m.procs[i]
+		for j := range p.inbox {
+			p.inbox[j].Data = nil
+		}
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+		p.resetOps()
+		*p = proc{
+			id:    p.id,
+			shard: p.shard,
+			m:     m,
+			inbox: p.inbox,
+			ops:   p.ops,
+		}
+	}
+}
+
+// runSingle drains the lone queue to exhaustion: the sequential engine.
+func (m *Machine) runSingle() error {
+	sh := &m.sh[0]
+	var e ent
+	for sh.popNext(math.MaxInt64, &e) {
+		m.dispatch(sh, &e)
+	}
+	return m.checkDeadlock()
+}
+
+// checkDeadlock mirrors the kernel's end-of-run check: the queues drained
+// while some processor was still parked with no scheduled wake.
+func (m *Machine) checkDeadlock() error {
+	var blocked []string
+	for i := range m.procs {
+		p := &m.procs[i]
+		if !p.retired && p.blocked {
+			blocked = append(blocked, fmt.Sprintf("proc%d", i))
+		}
+	}
+	if len(blocked) == 0 {
+		return nil
+	}
+	var t int64
+	for s := range m.sh {
+		if m.sh[s].now > t {
+			t = m.sh[s].now
+		}
+	}
+	return &sim.DeadlockError{Time: sim.Time(t), Blocked: blocked}
+}
+
+// dispatch executes one event on its shard.
+func (m *Machine) dispatch(sh *shard, e *ent) {
+	switch e.kind {
+	case evWake:
+		m.resumeProc(sh, &m.procs[e.proc])
+	case evDeliver:
+		m.deliver(sh, e)
+	case evFail:
+		m.kill(&m.procs[e.proc])
+	case evSample:
+		m.sample(sh)
+	}
+}
+
+// resumeProc continues a processor at its recorded continuation.
+func (m *Machine) resumeProc(sh *shard, p *proc) {
+	if p.retired {
+		return
+	}
+	switch p.resume {
+	case rStart:
+		m.prog.Start(p)
+		m.step(sh, p)
+	case rComputeDone:
+		p.stats.Compute += p.pend
+		m.record(p, trace.Compute, p.waitStart, sh.now)
+		if m.rec != nil {
+			m.rec.Compute(int(p.id), p.pend)
+		}
+		p.opHead++
+		m.step(sh, p)
+	case rWaitDone, rWaitUntilDone:
+		m.record(p, trace.Idle, p.waitStart, sh.now)
+		p.opHead++
+		m.step(sh, p)
+	case rSendPaid:
+		if m.sendAfterOverhead(sh, p) {
+			p.opHead++
+			m.step(sh, p)
+		}
+	case rCapOut:
+		if m.sendAcquireOut(sh, p) {
+			p.opHead++
+			m.step(sh, p)
+		}
+	case rCapIn:
+		if m.sendAcquireIn(sh, p) {
+			p.opHead++
+			m.step(sh, p)
+		}
+	case rRecvWake:
+		// Mirror of the wait loop in logp.Proc.Recv: record the idle
+		// segment, halt if fail-stopped, re-wait if the wake was for a
+		// message someone else consumed (impossible here, but the loop shape
+		// is kept), else pay for the reception.
+		m.record(p, trace.Idle, p.waitStart, sh.now)
+		if p.failed {
+			m.failProc(sh, p)
+			return
+		}
+		if p.pending() == 0 {
+			p.waitStart = sh.now
+			p.waiting, p.blocked = true, true
+			p.resume = rRecvWake
+			return
+		}
+		if m.beginRecvPay(sh, p) {
+			m.recvComplete(sh, p)
+		}
+	case rRecvPaid:
+		m.recvComplete(sh, p)
+	}
+}
+
+// step drives the processor forward: execute recorded operations until one
+// parks, then (once the buffer drains) finish if Done was recorded, or
+// receive the next message — paying reception costs and running the Message
+// handler inline when possible.
+func (m *Machine) step(sh *shard, p *proc) {
+	for {
+		for p.opHead < len(p.ops) {
+			if !m.execOp(sh, p) {
+				return
+			}
+			p.opHead++
+		}
+		p.resetOps()
+		if p.done {
+			m.finish(sh, p)
+			return
+		}
+		// The driver's p.Recv(): fail check, Recv hook, wait for arrival.
+		if p.failed {
+			m.failProc(sh, p)
+			return
+		}
+		if m.rec != nil {
+			m.rec.Recv(int(p.id))
+		}
+		if p.pending() == 0 {
+			p.waitStart = sh.now
+			p.waiting, p.blocked = true, true
+			p.resume = rRecvWake
+			return
+		}
+		if !m.beginRecvPay(sh, p) {
+			return
+		}
+		m.finishRecvBook(sh, p)
+		msg := p.cur
+		p.cur.Data = nil
+		m.prog.Message(p, msg)
+	}
+}
+
+// parkUntil advances the clock to t in place when the queue allows it
+// (returning true to continue inline), else schedules a wake at t with the
+// given continuation and returns false.
+func (m *Machine) parkUntil(sh *shard, p *proc, t int64, cont uint8) bool {
+	if sh.canAdvance(t) {
+		sh.now = t
+		return true
+	}
+	p.resume = cont
+	sh.scheduleAt(t, evWake, p.id)
+	return false
+}
+
+// execOp charges the operation at the op cursor. It returns false if the
+// processor parked (or halted); the caller advances the cursor on true.
+func (m *Machine) execOp(sh *shard, p *proc) bool {
+	o := &p.ops[p.opHead]
+	switch o.kind {
+	case oCompute:
+		cycles := o.a
+		if cycles < 0 {
+			panic(fmt.Sprintf("logp: negative compute %d", cycles))
+		}
+		if p.failed {
+			m.failProc(sh, p)
+			return false
+		}
+		if cycles == 0 {
+			return true
+		}
+		if m.skew != nil {
+			cycles = int64(float64(cycles) * m.skew[p.id])
+		}
+		if j := m.cfg.ComputeJitter; j > 0 {
+			cycles += int64(float64(cycles) * j * m.rng.Float64())
+		}
+		if m.faults != nil {
+			if f := m.faults.SlowFactor(int(p.id), sh.now); f > 1 {
+				cycles = int64(float64(cycles) * f)
+			}
+		}
+		p.pend = cycles
+		p.waitStart = sh.now
+		if t := sh.now + cycles; t > sh.now {
+			if !m.parkUntil(sh, p, t, rComputeDone) {
+				return false
+			}
+		}
+		p.stats.Compute += cycles
+		m.record(p, trace.Compute, p.waitStart, sh.now)
+		if m.rec != nil {
+			m.rec.Compute(int(p.id), cycles)
+		}
+		return true
+	case oWait:
+		if p.failed {
+			m.failProc(sh, p)
+			return false
+		}
+		if o.a <= 0 {
+			return true
+		}
+		if m.rec != nil {
+			m.rec.Wait(int(p.id), o.a)
+		}
+		p.waitStart = sh.now
+		if !m.parkUntil(sh, p, sh.now+o.a, rWaitDone) {
+			return false
+		}
+		m.record(p, trace.Idle, p.waitStart, sh.now)
+		return true
+	case oWaitUntil:
+		if p.failed {
+			m.failProc(sh, p)
+			return false
+		}
+		if m.rec != nil {
+			m.rec.WaitUntil(int(p.id), o.a)
+		}
+		if o.a <= sh.now {
+			return true
+		}
+		p.waitStart = sh.now
+		if !m.parkUntil(sh, p, o.a, rWaitUntilDone) {
+			return false
+		}
+		m.record(p, trace.Idle, p.waitStart, sh.now)
+		return true
+	default: // oSend
+		return m.execSend(sh, p, o)
+	}
+}
+
+// execSend begins a send: the gap wait and the o-cycle overhead share one
+// park, exactly as in logp.Proc.Send.
+func (m *Machine) execSend(sh *shard, p *proc, o *op) bool {
+	to := int(o.a)
+	if to == int(p.id) {
+		panic(fmt.Sprintf("logp: proc %d sending to itself", p.id))
+	}
+	if to < 0 || to >= m.cfg.P {
+		panic(fmt.Sprintf("logp: proc %d sending to %d out of range", p.id, to))
+	}
+	if p.failed {
+		m.failProc(sh, p)
+		return false
+	}
+	start := sh.now
+	p.sendStart = start
+	initiation := start
+	if p.nextSend > initiation {
+		initiation = p.nextSend
+	}
+	p.initiation = initiation
+	if t := initiation + m.cfg.O; t > sh.now {
+		if !m.parkUntil(sh, p, t, rSendPaid) {
+			return false
+		}
+	}
+	return m.sendAfterOverhead(sh, p)
+}
+
+// sendAfterOverhead continues a send once the overhead is paid: statistics,
+// hooks, then the capacity acquires (or straight to injection).
+func (m *Machine) sendAfterOverhead(sh *shard, p *proc) bool {
+	o := &p.ops[p.opHead]
+	to := int(o.a)
+	p.stats.SendOverhead += m.cfg.O
+	p.stats.MsgsSent++
+	if p.initiation > p.sendStart {
+		m.record(p, trace.Idle, p.sendStart, p.initiation)
+	}
+	m.record(p, trace.SendOverhead, p.initiation, sh.now)
+	if m.met != nil {
+		m.met.OnSend(int(p.id), to)
+	}
+	if m.outCap != nil {
+		p.stallStart = sh.now
+		return m.sendAcquireOut(sh, p)
+	}
+	m.sendInject(sh, p)
+	return true
+}
+
+// sendAcquireOut waits for an out-capacity unit (re-entered on every wake,
+// re-queueing at the back on a failed re-check, like sim.Semaphore.Acquire).
+func (m *Machine) sendAcquireOut(sh *shard, p *proc) bool {
+	s := &m.outCap[p.id]
+	if s.used >= s.capacity {
+		m.semWait(s, p, rCapOut)
+		return false
+	}
+	s.used++
+	return m.sendAcquireIn(sh, p)
+}
+
+// sendAcquireIn waits for the destination's in-capacity unit, then settles
+// the stall accounting and injects.
+func (m *Machine) sendAcquireIn(sh *shard, p *proc) bool {
+	o := &p.ops[p.opHead]
+	to := int(o.a)
+	s := &m.inCap[to]
+	if s.used >= s.capacity {
+		m.semWait(s, p, rCapIn)
+		return false
+	}
+	s.used++
+	if d := sh.now - p.stallStart; d > 0 {
+		p.stats.Stall += d
+		m.record(p, trace.Stall, p.stallStart, sh.now)
+		if m.met != nil {
+			m.met.OnStall(int(p.id), d)
+		}
+	}
+	m.sendInject(sh, p)
+	return true
+}
+
+// sendInject injects the message into the network: in-transit accounting,
+// gap bookkeeping, the latency draw, the fault fate, and the delivery event.
+func (m *Machine) sendInject(sh *shard, p *proc) {
+	o := &p.ops[p.opHead]
+	to := int(o.a)
+	tag := int(o.b)
+	if m.inTransitFrom != nil {
+		m.inTransitFrom[p.id]++
+		m.inTransitTo[to]++
+		if u := int(m.inTransitFrom[p.id]); u > m.maxOut {
+			m.maxOut = u
+		}
+		if u := int(m.inTransitTo[to]); u > m.maxIn {
+			m.maxIn = u
+		}
+	}
+	injection := sh.now
+	p.nextSend = p.initiation + m.cfg.SendInterval()
+	if t := injection + m.cfg.G - m.cfg.O; t > p.nextSend {
+		p.nextSend = t
+	}
+	lat := m.cfg.L
+	if m.cfg.LatencyJitter > 0 {
+		lat -= m.rng.Int63n(m.cfg.LatencyJitter + 1)
+	}
+	var drop, dup bool
+	var dupLat int64
+	if m.faults != nil {
+		lat, drop, dup, dupLat = m.faults.MessageFate(int(p.id), to, lat)
+	}
+	if m.rec != nil {
+		m.rec.Send(int(p.id), to, tag, lat)
+		if drop {
+			m.rec.DropLast(int(p.id))
+		}
+	}
+	msg := logp.Message{From: int(p.id), To: to, Tag: tag, Data: o.data, Size: 1, SentAt: p.initiation}
+	o.data = nil
+	m.scheduleDeliver(sh, injection+lat, &msg, lat, drop)
+	if dup {
+		if m.rec != nil {
+			m.rec.Dup(int(p.id), to, tag, 1, dupLat)
+		}
+		dupMsg := msg.AsDup()
+		m.scheduleDeliver(sh, injection+dupLat, &dupMsg, dupLat, false)
+	}
+}
+
+// scheduleDeliver routes a delivery event to the destination's shard: the
+// local queue when the destination is shard-local, else the per-destination
+// outbox merged at the next window barrier.
+func (m *Machine) scheduleDeliver(sh *shard, t int64, msg *logp.Message, flight int64, drop bool) {
+	ds := m.shardOf(msg.To)
+	if ds == sh.idx {
+		sh.queue.scheduleDeliver(t, int32(msg.To), msg, flight, drop)
+		return
+	}
+	sh.out[ds] = append(sh.out[ds], event{kind: evDeliver, proc: int32(msg.To), msg: *msg, flight: flight, drop: drop, t: t})
+}
+
+// deliver completes a message flight: the mirror of logp's delivery event.
+// The payload is read in place from the queue arena and its slot freed once
+// the message has been copied onward (or dropped).
+func (m *Machine) deliver(sh *shard, e *ent) {
+	pay := &sh.arena[e.idx]
+	pay.msg.ArrivedAt = sh.now
+	msg := &pay.msg
+	dst := &m.procs[e.proc]
+	if e.drop || dst.failed {
+		m.dropped++
+		if m.met != nil {
+			m.met.OnDrop(msg.To)
+		}
+		if !msg.Dup() {
+			m.settle(msg)
+		}
+		sh.freePayload(e.idx)
+		return
+	}
+	dst.pushInbox(msg)
+	if msg.Dup() {
+		m.duplicated++
+		if m.met != nil {
+			m.met.OnDup(msg.To)
+		}
+	} else {
+		if m.met != nil {
+			// OnDeliver splits under sharding: the per-processor counter is
+			// owned by the destination shard, but the flight histogram is
+			// shared, so sharded runs observe into shard scratch instead.
+			if sh.flight != nil {
+				m.met.Procs[msg.To].Delivered.Inc()
+				sh.flight.Observe(pay.flight)
+			} else {
+				m.met.OnDeliver(msg.To, pay.flight)
+			}
+		}
+		if !m.cfg.HoldCapacityUntilReceive {
+			m.settle(msg)
+		}
+	}
+	sh.freePayload(e.idx)
+	if dst.waiting {
+		dst.waiting, dst.blocked = false, false
+		sh.scheduleAt(sh.now, evWake, dst.id)
+	}
+}
+
+// settle ends a message's in-transit accounting and frees its capacity
+// slots (single-shard runs only; both structures are nil when sharded).
+func (m *Machine) settle(msg *logp.Message) {
+	if m.inTransitFrom != nil {
+		m.inTransitFrom[msg.From]--
+		m.inTransitTo[msg.To]--
+	}
+	if m.outCap != nil {
+		m.semRelease(&m.outCap[msg.From])
+		m.semRelease(&m.inCap[msg.To])
+	}
+}
+
+// semWait queues the processor on the semaphore (mirror of Signal.Wait +
+// Process.Block).
+func (m *Machine) semWait(s *semaphore, p *proc, cont uint8) {
+	if s.head == len(s.waiters) {
+		s.waiters = s.waiters[:0]
+		s.head = 0
+	}
+	s.waiters = append(s.waiters, p.id)
+	p.blocked = true
+	p.resume = cont
+}
+
+// semRelease frees one unit and wakes the longest-stalled acquirer (mirror
+// of sim.Semaphore.Release: Notify → Unblock → a wake at the current time).
+func (m *Machine) semRelease(s *semaphore) {
+	if s.used == 0 {
+		panic("flat: semaphore release without acquire")
+	}
+	s.used--
+	if s.head < len(s.waiters) {
+		w := s.waiters[s.head]
+		s.head++
+		p := &m.procs[w]
+		p.blocked = false
+		sh := &m.sh[p.shard]
+		sh.scheduleAt(sh.now, evWake, p.id)
+	}
+}
+
+// beginRecvPay pops the earliest message and starts paying the reception
+// costs (gap wait + overhead in one park). True means the cost completed
+// inline; false means the processor parked with resume = rRecvPaid.
+func (m *Machine) beginRecvPay(sh *shard, p *proc) bool {
+	p.cur = p.popInbox()
+	arrived := sh.now
+	p.recvArrive = arrived
+	start := arrived
+	if p.nextRecv > start {
+		start = p.nextRecv
+	}
+	p.recvFrom = start
+	cost := m.recvCost(&p.cur)
+	p.recvPay = cost
+	if t := start + cost; t > sh.now {
+		if !m.parkUntil(sh, p, t, rRecvPaid) {
+			return false
+		}
+	}
+	return true
+}
+
+// recvCost mirrors logp.Proc.recvCost.
+func (m *Machine) recvCost(msg *logp.Message) int64 {
+	words := msg.Size
+	if words < 1 {
+		words = 1
+	}
+	if m.cfg.Coprocessor {
+		return m.cfg.O
+	}
+	return int64(words) * m.cfg.O
+}
+
+// finishRecvBook completes the reception bookkeeping (the tail of
+// logp.Proc.finishRecv).
+func (m *Machine) finishRecvBook(sh *shard, p *proc) {
+	cost := p.recvPay
+	start := p.recvFrom
+	arrived := p.recvArrive
+	p.stats.RecvOverhead += cost
+	p.stats.MsgsReceived++
+	if start > arrived {
+		m.record(p, trace.Idle, arrived, start)
+	}
+	m.record(p, trace.RecvOverhead, start, sh.now)
+	p.nextRecv = start + m.cfg.SendInterval()
+	if t := start + cost; t > p.nextRecv {
+		p.nextRecv = t
+	}
+	if m.cfg.HoldCapacityUntilReceive && !p.cur.Dup() {
+		m.settle(&p.cur)
+	}
+	if m.rec != nil {
+		m.rec.RecvDone(int(p.id))
+	}
+	if m.met != nil {
+		m.met.OnRecv(int(p.id))
+	}
+}
+
+// recvComplete finishes a parked reception: bookkeeping, the Message
+// handler, then onward stepping.
+func (m *Machine) recvComplete(sh *shard, p *proc) {
+	m.finishRecvBook(sh, p)
+	msg := p.cur
+	p.cur.Data = nil
+	m.prog.Message(p, msg)
+	m.step(sh, p)
+}
+
+// finish retires a processor that recorded Done.
+func (m *Machine) finish(sh *shard, p *proc) {
+	p.retired = true
+	sh.live--
+	p.stats.Finish = sh.now
+}
+
+// failProc halts a fail-stopped processor at an operation boundary: the
+// mirror of the procFailure unwind in logp.Machine.Run.
+func (m *Machine) failProc(sh *shard, p *proc) {
+	p.retired = true
+	p.blocked = false
+	sh.live--
+	p.stats.Finish = sh.now
+	if m.rec != nil {
+		m.rec.FailStop(int(p.id), p.stats.Finish)
+	}
+	p.resetOps()
+}
+
+// kill marks a processor fail-stopped and wakes a blocked receiver (the
+// mirror of logp.Machine.kill).
+func (m *Machine) kill(p *proc) {
+	if p.failed {
+		return
+	}
+	p.failed = true
+	if p.waiting {
+		p.waiting, p.blocked = false, false
+		sh := &m.sh[p.shard]
+		sh.scheduleAt(sh.now, evWake, p.id)
+	}
+}
+
+// sample is the recurring metrics sampler (single-shard runs): the mirror
+// of logp's sampleEvent.RunEvent, including the quiescence check that keeps
+// deadlock detection alive.
+func (m *Machine) sample(sh *shard) {
+	if sh.live == 0 {
+		return
+	}
+	m.takeSample(sh.now)
+	if sh.pending() == 0 {
+		return
+	}
+	sh.scheduleAt(sh.now+m.every, evSample, 0)
+}
+
+// takeSample appends one time-series point stamped now (the mirror of
+// logp.Machine.takeSample; in-flight gauges read zero in sharded runs).
+func (m *Machine) takeSample(now int64) {
+	n := m.cfg.P
+	s := metrics.Sample{
+		Time:         now,
+		Delivered:    m.met.DeliveredTotal(),
+		InFlightFrom: make([]int32, n),
+		InFlightTo:   make([]int32, n),
+		InboxDepth:   make([]int32, n),
+		StallCycles:  make([]int64, n),
+		Utilization:  make([]float64, n),
+	}
+	interval := now - m.lastSample
+	for i := range m.procs {
+		pr := &m.procs[i]
+		if m.inTransitFrom != nil {
+			s.InFlightFrom[i] = m.inTransitFrom[i]
+			s.InFlightTo[i] = m.inTransitTo[i]
+		}
+		s.InboxDepth[i] = int32(pr.pending())
+		s.StallCycles[i] = pr.stats.Stall
+		busy := pr.stats.Compute + pr.stats.SendOverhead + pr.stats.RecvOverhead + pr.stats.Stall
+		if interval > 0 {
+			u := float64(busy-m.lastBusy[i]) / float64(interval)
+			if u > 1 {
+				u = 1 // busy cycles granted mid-operation can overshoot the interval
+			}
+			s.Utilization[i] = u
+		}
+		m.lastBusy[i] = busy
+	}
+	m.lastSample = now
+	m.met.AddSample(s)
+}
+
+// record appends a trace segment when tracing is on.
+func (m *Machine) record(p *proc, kind trace.Kind, start, end int64) {
+	if m.tr != nil {
+		m.tr.Add(int(p.id), kind, start, end)
+	}
+}

@@ -1,0 +1,78 @@
+package flat_test
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/progs"
+)
+
+// Thin constructors so the equivalence tests read as scenarios, not
+// argument lists.
+
+func newPingPong(rounds int) logp.Program { return progs.NewPingPong(rounds, 1) }
+
+func newBroadcast(s *core.BroadcastSchedule, tag int, data any) logp.Program {
+	return progs.NewBroadcast(s, tag, data)
+}
+
+func newSum(s *core.SumSchedule, tag int, inputs [][]float64) logp.Program {
+	return progs.NewSum(s, tag, inputs)
+}
+
+func checkSumRoot(t *testing.T, engine string, p logp.Program, want float64) {
+	t.Helper()
+	s := p.(*progs.Sum)
+	if !s.RootOK {
+		t.Errorf("%s: summation root never finished", engine)
+	} else if s.Root != want {
+		t.Errorf("%s: root sum %v, want %v", engine, s.Root, want)
+	}
+}
+
+func newChain(p, root, tag, m int, values func(i int) any) logp.Program {
+	return progs.NewPipelinedChain(p, root, tag, m, values)
+}
+
+func newBinomial(p, root, tag, m int, values func(i int) any) logp.Program {
+	return progs.NewPipelinedBinomial(p, root, tag, m, values)
+}
+
+func newAllToAll(p, perDst int, work int64, tag int, staggered bool) logp.Program {
+	return progs.NewAllToAll(p, perDst, work, tag, staggered)
+}
+
+// ringExpect streams msgs messages to the ring successor and finishes after
+// expect[me] receptions. Expectation counts are supplied by the test, which
+// knows the fault plan (a processor downstream of a fail-stopped one must
+// expect zero).
+type ringExpect struct {
+	msgs   int
+	expect []int
+	got    []int
+}
+
+func newRingExpect(msgs int, expect []int) *ringExpect {
+	return &ringExpect{msgs: msgs, expect: expect, got: make([]int, len(expect))}
+}
+
+func (r *ringExpect) Start(n logp.Node) {
+	me := n.ID()
+	r.got[me] = 0 // self-resetting: safe to re-Run on a reused Machine
+	next := (me + 1) % n.P()
+	for i := 0; i < r.msgs; i++ {
+		n.Send(next, 0, nil)
+	}
+	if r.expect[me] == 0 {
+		n.Done()
+	}
+}
+
+func (r *ringExpect) Message(n logp.Node, m logp.Message) {
+	me := n.ID()
+	r.got[me]++
+	if r.got[me] == r.expect[me] {
+		n.Done()
+	}
+}

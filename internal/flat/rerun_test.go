@@ -1,0 +1,106 @@
+package flat_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/prof"
+)
+
+// TestMachineRerunIdentical pins the machine-reuse contract behind the
+// steady-state benchmarks: re-Running a Machine replays the run exactly —
+// same Result, trace, profile and metrics as a freshly built machine —
+// because reset rewinds the rng, the fault runtime and every observer.
+func TestMachineRerunIdentical(t *testing.T) {
+	cfg := logp.Config{
+		Params:       core.Params{P: 4, L: 10, O: 2, G: 3},
+		Seed:         42,
+		CollectTrace: true,
+		Faults: &logp.FaultPlan{
+			Seed:    77,
+			Default: logp.LinkFault{Jitter: 5},
+		},
+	}
+	run := func(m *flat.Machine, rec *prof.Recorder, reg *metrics.Registry) (logp.Result, [][]prof.Op, []byte) {
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := make([][]prof.Op, cfg.P)
+		for p := 0; p < cfg.P; p++ {
+			ops[p] = append([]prof.Op(nil), rec.Ops(p)...)
+		}
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return res, ops, buf.Bytes()
+	}
+	build := func() (*flat.Machine, *prof.Recorder, *metrics.Registry) {
+		c := cfg
+		rec := prof.NewRecorder()
+		reg := metrics.NewRegistry()
+		c.Profiler = rec
+		c.Metrics = reg
+		c.MetricsEvery = 8
+		m, err := flat.New(c, newPingPong(20), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rec, reg
+	}
+
+	mFresh, recF, regF := build()
+	wantRes, wantOps, wantProm := run(mFresh, recF, regF)
+
+	mReused, recR, regR := build()
+	if _, _, _ = run(mReused, recR, regR); true {
+		// First run primes the machine; the second exercises reset.
+	}
+	gotRes, gotOps, gotProm := run(mReused, recR, regR)
+
+	// Traces are distinct objects by design; compare contents, then the rest
+	// of the Result by value.
+	if !reflect.DeepEqual(wantRes.Trace, gotRes.Trace) {
+		t.Errorf("re-run trace diverged")
+	}
+	wantRes.Trace, gotRes.Trace = nil, nil
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		t.Errorf("re-run Result diverged:\nfresh:  %+v\nre-run: %+v", wantRes, gotRes)
+	}
+	if !reflect.DeepEqual(wantOps, gotOps) {
+		t.Errorf("re-run profile diverged")
+	}
+	if !bytes.Equal(wantProm, gotProm) {
+		t.Errorf("re-run metrics diverged:\nfresh:\n%s\nre-run:\n%s", wantProm, gotProm)
+	}
+}
+
+// TestMachineRerunIdenticalSharded is the same contract on the windowed
+// parallel core.
+func TestMachineRerunIdenticalSharded(t *testing.T) {
+	cfg := logp.Config{
+		Params:          core.Params{P: 16, L: 8, O: 2, G: 3},
+		DisableCapacity: true,
+	}
+	m, err := flat.New(cfg, ringFlood(50, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("sharded re-run Result diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -1,0 +1,85 @@
+package flat
+
+import (
+	"math"
+	"sync"
+)
+
+// runSharded executes the machine in conservative lookahead windows. Each
+// round: find M, the earliest pending event machine-wide; let every shard
+// execute its events in [M, M+o+L) concurrently; then merge the cross-shard
+// deliveries each shard buffered, in fixed (destination, source, append)
+// order, and advance to the next window.
+//
+// Safety: within a window a shard touches only its own processors, its own
+// queue, and metric cells owned by its processors (sender-side counters and
+// link rows on sends, destination-side counters on deliveries, a shard-local
+// flight histogram), so shards share no mutable state. A message initiated
+// inside the window is injected no earlier than M+o (the initiation pays o
+// first) and flies exactly L (sharded runs disallow latency jitter and
+// faults), so every cross-shard delivery lands at or after the window end —
+// after the merge point. Determinism: each shard's window execution is
+// sequential, so its outbox order is a pure function of its pre-window
+// state; the merge order is fixed; therefore the run is bit-identical for
+// any GOMAXPROCS setting, including 1.
+func (m *Machine) runSharded() error {
+	var wg sync.WaitGroup
+	for {
+		M := int64(math.MaxInt64)
+		found := false
+		for s := range m.sh {
+			if t, ok := m.sh[s].nextTime(); ok && (!found || t < M) {
+				M = t
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		wend := M + m.horizon
+		if wend < M { // saturate on overflow
+			wend = math.MaxInt64
+		}
+		wg.Add(len(m.sh))
+		for s := range m.sh {
+			sh := &m.sh[s]
+			go func() {
+				defer wg.Done()
+				sh.deadline = wend - 1
+				var e ent
+				for sh.popNext(wend, &e) {
+					m.dispatch(sh, &e)
+				}
+			}()
+		}
+		wg.Wait()
+		for d := range m.sh {
+			dst := &m.sh[d]
+			for s := range m.sh {
+				buf := m.sh[s].out[d]
+				for i := range buf {
+					dst.schedule(buf[i].t, &buf[i])
+					buf[i].msg.Data = nil
+				}
+				m.sh[s].out[d] = buf[:0]
+			}
+		}
+		if m.met != nil {
+			// Window-barrier sampling: the per-event sampler of sequential
+			// runs cannot fire inside a window (it reads machine-wide state),
+			// so sharded runs sample at the barrier for every interval the
+			// window covered. Deterministic for a given shard count.
+			live := 0
+			for s := range m.sh {
+				live += m.sh[s].live
+			}
+			for m.nextSample < wend {
+				if live > 0 {
+					m.takeSample(m.nextSample)
+				}
+				m.nextSample += m.every
+			}
+		}
+	}
+	return m.checkDeadlock()
+}

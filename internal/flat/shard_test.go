@@ -1,0 +1,182 @@
+package flat_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/sim"
+)
+
+// shardedConfig is a machine the sharded core accepts: capacity disabled, no
+// jitter, no faults, no trace or profiler.
+func shardedConfig(p int) logp.Config {
+	return logp.Config{
+		Params:          core.Params{P: p, L: 8, O: 2, G: 3},
+		DisableCapacity: true,
+	}
+}
+
+// clearTransit zeroes the in-transit high-water marks, which sharded runs do
+// not track (documented in flat.New): the rest of the Result must agree.
+func clearTransit(r logp.Result) logp.Result {
+	r.MaxInTransitFrom, r.MaxInTransitTo = 0, 0
+	return r
+}
+
+// TestShardedMatchesSequential pins the windowed core against the sequential
+// flat core (and transitively the goroutine machine) on the ported
+// benchmarks: identical times, stats, and message counts for every shard
+// count that divides the run differently.
+func TestShardedMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		mk   func(p int) logp.Program
+	}{
+		{"broadcast", 32, func(p int) logp.Program {
+			s, err := core.OptimalBroadcast(core.Params{P: p, L: 8, O: 2, G: 3}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return newBroadcast(s, 1, "datum")
+		}},
+		{"pingpong", 16, func(p int) logp.Program { return newPingPong(12) }},
+		{"alltoall", 12, func(p int) logp.Program { return newAllToAll(p, 3, 1, 2, true) }},
+		{"chain", 24, func(p int) logp.Program { return newChain(p, 0, 3, 6, func(i int) any { return i }) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := shardedConfig(tc.p)
+			seq, err := flat.Run(cfg, tc.mk(tc.p), 1)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			gor, err := logp.RunProgram(cfg, tc.mk(tc.p))
+			if err != nil {
+				t.Fatalf("goroutine: %v", err)
+			}
+			if !reflect.DeepEqual(seq, gor) {
+				t.Errorf("flat(1) vs goroutine differ:\n flat:      %+v\n goroutine: %+v", seq, gor)
+			}
+			want := clearTransit(seq)
+			for _, shards := range []int{2, 3, 4, 8} {
+				got, err := flat.Run(cfg, tc.mk(tc.p), shards)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if !reflect.DeepEqual(clearTransit(got), want) {
+					t.Errorf("shards=%d differs from sequential:\n sharded:    %+v\n sequential: %+v",
+						shards, clearTransit(got), want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedBitDeterminism: at a fixed shard count, the run — Result,
+// Prometheus text, and the sample series — is bit-identical for every
+// GOMAXPROCS setting. This is the determinism contract of the windowed core:
+// OS-thread scheduling must not be observable.
+func TestShardedBitDeterminism(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	p := 24
+	s, err := core.OptimalBroadcast(core.Params{P: p, L: 8, O: 2, G: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (logp.Result, []byte, []metrics.Sample) {
+		cfg := shardedConfig(p)
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		cfg.MetricsEvery = 16
+		res, err := flat.Run(cfg, newBroadcast(s, 1, "datum"), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes(), append([]metrics.Sample(nil), reg.Samples...)
+	}
+
+	runtime.GOMAXPROCS(1)
+	res1, prom1, samp1 := run()
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		res, prom, samp := run()
+		if !reflect.DeepEqual(res, res1) {
+			t.Errorf("GOMAXPROCS=%d: Result differs from GOMAXPROCS=1", procs)
+		}
+		if !bytes.Equal(prom, prom1) {
+			t.Errorf("GOMAXPROCS=%d: Prometheus text differs from GOMAXPROCS=1", procs)
+		}
+		if !reflect.DeepEqual(samp, samp1) {
+			t.Errorf("GOMAXPROCS=%d: sample series differs from GOMAXPROCS=1", procs)
+		}
+	}
+}
+
+// TestShardedRejectsUnsupportedConfig: the windowed core refuses
+// configurations whose cross-shard safety argument does not hold.
+func TestShardedRejectsUnsupportedConfig(t *testing.T) {
+	base := shardedConfig(8)
+	cases := []struct {
+		name   string
+		mutate func(*logp.Config)
+	}{
+		{"capacity", func(c *logp.Config) { c.DisableCapacity = false }},
+		{"trace", func(c *logp.Config) { c.CollectTrace = true }},
+		{"latency-jitter", func(c *logp.Config) { c.LatencyJitter = 3 }},
+		{"compute-jitter", func(c *logp.Config) { c.ComputeJitter = 0.5 }},
+		{"faults", func(c *logp.Config) { c.Faults = &logp.FaultPlan{Default: logp.LinkFault{Drop: 0.1}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := flat.Run(cfg, newPingPong(2), 2); err == nil {
+				t.Errorf("sharded run accepted unsupported config %q", tc.name)
+			}
+		})
+	}
+	// The same configs are fine on one shard.
+	cfg := base
+	cfg.DisableCapacity = false
+	cfg.CollectTrace = true
+	if _, err := flat.Run(cfg, newPingPong(2), 1); err != nil {
+		t.Errorf("sequential flat rejected supported config: %v", err)
+	}
+}
+
+// TestFlatMetricsDeadlockStillDetected is the flat-core mirror of the
+// goroutine regression test: an attached metrics sampler must not keep the
+// event queue non-quiescent forever and mask a deadlock.
+func TestFlatMetricsDeadlockStillDetected(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		cfg := logp.Config{
+			Params:          core.Params{P: 2, L: 8, O: 2, G: 3},
+			DisableCapacity: true,
+			Metrics:         metrics.NewRegistry(),
+			MetricsEvery:    4,
+		}
+		// Proc 1 expects a message nobody sends.
+		_, err := flat.Run(cfg, newRingExpect(0, []int{0, 1}), shards)
+		var dl *sim.DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("shards=%d: want DeadlockError, got %v", shards, err)
+		}
+		if len(dl.Blocked) != 1 || dl.Blocked[0] != "proc1" {
+			t.Errorf("shards=%d: blocked = %v, want [proc1]", shards, dl.Blocked)
+		}
+	}
+}

@@ -120,6 +120,36 @@ func (h *Histogram) Quantiles(qs ...float64) []float64 {
 	return stats.HistogramQuantiles(bounds, h.counts, qs)
 }
 
+// Merge folds another histogram with identical bounds into this one. All
+// histogram state (bucket counts, sum, count, extremes) is commutative, so
+// merging per-shard scratch histograms in any fixed order yields the same
+// result as observing every value on one histogram — which is what keeps a
+// sharded engine's exported metrics bit-identical to a sequential run.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(o.bounds) != len(h.bounds) {
+		panic("metrics: merging histograms with different bounds")
+	}
+	for i, b := range o.bounds {
+		if h.bounds[i] != b {
+			panic("metrics: merging histograms with different bounds")
+		}
+	}
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+}
+
 // reset clears the histogram for reuse across runs.
 func (h *Histogram) reset() {
 	for i := range h.counts {
