@@ -24,7 +24,11 @@
 // t + o + L. Each window therefore spans [M, M + o + L), where M is the
 // earliest pending event machine-wide; within it every shard's execution
 // depends only on its own pre-window state, and cross-shard deliveries are
-// merged at the window barrier in fixed shard order. The result is
+// merged at the window barrier in fixed shard order. The lookahead is
+// anchored at send initiation, not injection: a send that parks for its
+// o-cycle overhead buffers its cross-shard delivery at park time
+// (bufferParkedSend), because by the time the wake fires — possibly in a
+// later window — only L of the lookahead remains. The result is
 // bit-identical for any GOMAXPROCS setting. Sharded runs require
 // DisableCapacity (capacity semaphores couple processors across shards) and
 // exclude the single-shard-only observers (trace, profiler, faults, latency
@@ -78,14 +82,15 @@ type op struct {
 // logp.Proc, with the goroutine stack replaced by the resume code and the
 // per-operation context fields below.
 type proc struct {
-	id      int32
-	shard   int32
-	resume  uint8
-	failed  bool // fail-stop triggered; halts at the next operation boundary
-	done    bool // Done() recorded: finish once the operation buffer drains
-	retired bool // processor has finished (or fail-stopped) and left the run
-	waiting bool // parked on the inbox arrival signal
-	blocked bool // parked with no scheduled wake (inbox or capacity queue)
+	id        int32
+	shard     int32
+	resume    uint8
+	failed    bool // fail-stop triggered; halts at the next operation boundary
+	done      bool // Done() recorded: finish once the operation buffer drains
+	retired   bool // processor has finished (or fail-stopped) and left the run
+	waiting   bool // parked on the inbox arrival signal
+	blocked   bool // parked with no scheduled wake (inbox or capacity queue)
+	sentEarly bool // sharded: the parked send's delivery is already in an outbox
 
 	m *Machine
 
@@ -795,10 +800,42 @@ func (m *Machine) execSend(sh *shard, p *proc, o *op) bool {
 	p.initiation = initiation
 	if t := initiation + m.cfg.O; t > sh.now {
 		if !m.parkUntil(sh, p, t, rSendPaid) {
+			m.bufferParkedSend(sh, p, o)
 			return false
 		}
 	}
 	return m.sendAfterOverhead(sh, p)
+}
+
+// bufferParkedSend emits a parked send's cross-shard delivery into the
+// outbox at park time, while the full o+L lookahead still lies ahead. The
+// rSendPaid wake may fire in a later window, where only L cycles separate
+// it from the delivery — less than the window span, so injecting there
+// could land the message behind the destination shard's clock. At park
+// time the whole flight is already determined (sharded runs have no
+// capacity stalls, jitter or faults): the wake fires at initiation+o and
+// the message lands exactly L later. Shard-local destinations keep the
+// wake-time injection — scheduling into the shard's own queue never
+// outruns its own clock.
+func (m *Machine) bufferParkedSend(sh *shard, p *proc, o *op) {
+	if sh.out == nil {
+		return
+	}
+	to := int32(o.a)
+	ds := m.shardOf(int(to))
+	if ds == sh.idx {
+		return
+	}
+	t := p.initiation + m.cfg.O + m.cfg.L
+	sh.out[ds] = append(sh.out[ds], event{
+		kind:   evDeliver,
+		proc:   to,
+		t:      t,
+		flight: m.cfg.L,
+		msg:    logp.Message{From: int(p.id), To: int(to), Tag: int(o.b), Data: o.data, Size: 1, SentAt: p.initiation},
+	})
+	o.data = nil
+	p.sentEarly = true
 }
 
 // sendAfterOverhead continues a send once the overhead is paid: statistics,
@@ -877,6 +914,12 @@ func (m *Machine) sendInject(sh *shard, p *proc) {
 	p.nextSend = p.initiation + m.cfg.SendInterval()
 	if t := injection + m.cfg.G - m.cfg.O; t > p.nextSend {
 		p.nextSend = t
+	}
+	if p.sentEarly {
+		// The delivery was buffered at park time (bufferParkedSend); only
+		// the gap bookkeeping above remains to be done at the wake.
+		p.sentEarly = false
+		return
 	}
 	lat := m.cfg.L
 	if m.cfg.LatencyJitter > 0 {

@@ -14,14 +14,22 @@ import (
 // Safety: within a window a shard touches only its own processors, its own
 // queue, and metric cells owned by its processors (sender-side counters and
 // link rows on sends, destination-side counters on deliveries, a shard-local
-// flight histogram), so shards share no mutable state. A message initiated
-// inside the window is injected no earlier than M+o (the initiation pays o
-// first) and flies exactly L (sharded runs disallow latency jitter and
-// faults), so every cross-shard delivery lands at or after the window end —
-// after the merge point. Determinism: each shard's window execution is
-// sequential, so its outbox order is a pure function of its pre-window
-// state; the merge order is fixed; therefore the run is bit-identical for
-// any GOMAXPROCS setting, including 1.
+// flight histogram), so shards share no mutable state. Every cross-shard
+// delivery buffered during a window lands at or after the window end — after
+// the merge point — because outbox entries are emitted only at points where
+// the full o+L lookahead lies ahead: an inline injection at time t >= M
+// follows an overhead charge that began at initiation >= t-o... >= M, and a
+// send that parks for its overhead buffers its delivery at park time
+// (bufferParkedSend), with t_deliver = initiation+o+L >= M+o+L. The park
+// case is load-bearing: an rSendPaid wake can fire in a later window, where
+// only L cycles — less than the window span — separate it from delivery, so
+// injecting there could land the message behind a destination shard whose
+// clock ran ahead via Wait/WaitUntil/Compute. Sharded runs disallow latency
+// jitter, capacity stalls and faults, so the park-time flight is exact.
+// Determinism: each shard's window execution is sequential, so its outbox
+// order is a pure function of its pre-window state; the merge order is
+// fixed; therefore the run is bit-identical for any GOMAXPROCS setting,
+// including 1.
 func (m *Machine) runSharded() error {
 	var wg sync.WaitGroup
 	for {

@@ -126,6 +126,98 @@ func TestShardedBitDeterminism(t *testing.T) {
 	}
 }
 
+// parkAhead is the regression program for a send whose overhead park spans
+// a window barrier: proc 0 idles, then sends to proc 1, so the o-cycle park
+// of the send crosses the window boundary at o+L past the global minimum;
+// proc 1 advances its own clock (WaitUntil / Wait / Compute, by mode)
+// before receiving, so its shard runs ahead of the late delivery. Every
+// other processor finishes immediately, padding the machine so partitions
+// place sender and receiver on different shards.
+type parkAhead struct {
+	idle  int64 // proc 0: Wait before the send
+	mode  int   // proc 1: 0 WaitUntil(ahead), 1 Wait(ahead), 2 Compute(ahead)
+	ahead int64
+}
+
+func (pa *parkAhead) Start(n logp.Node) {
+	switch n.ID() {
+	case 0:
+		n.Wait(pa.idle)
+		n.Send(1, 7, "late")
+		n.Done()
+	case 1:
+		switch pa.mode {
+		case 0:
+			n.WaitUntil(pa.ahead)
+		case 1:
+			n.Wait(pa.ahead)
+		default:
+			n.Compute(pa.ahead)
+		}
+	default:
+		n.Done()
+	}
+}
+
+func (pa *parkAhead) Message(n logp.Node, m logp.Message) { n.Done() }
+
+// TestShardedSendParkSpansBarrier pins the lookahead soundness fix: a send
+// that paid its overhead across a window barrier has only L (not o+L)
+// cycles of lookahead left when its wake fires, so its cross-shard delivery
+// must be buffered at park time, not at injection. Before the fix the
+// sharded core scheduled the delivery in the destination shard's past and
+// panicked ("scheduling event at t before current time"); the exact
+// reproduction is P=2, o=3, L=1, g=4 with proc 0 Wait(3)+Send and proc 1
+// WaitUntil(9).
+func TestShardedSendParkSpansBarrier(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      int
+		params core.Params
+		prog   parkAhead
+		shards []int
+	}{
+		{"waituntil-repro", 2, core.Params{P: 2, L: 1, O: 3, G: 4},
+			parkAhead{idle: 3, mode: 0, ahead: 9}, []int{2}},
+		{"wait-ahead", 2, core.Params{P: 2, L: 1, O: 3, G: 4},
+			parkAhead{idle: 3, mode: 1, ahead: 9}, []int{2}},
+		{"compute-ahead", 2, core.Params{P: 2, L: 1, O: 3, G: 4},
+			parkAhead{idle: 3, mode: 2, ahead: 9}, []int{2}},
+		{"zero-latency", 2, core.Params{P: 2, L: 0, O: 3, G: 4},
+			parkAhead{idle: 3, mode: 0, ahead: 9}, []int{2}},
+		{"wide-machine", 8, core.Params{P: 8, L: 1, O: 3, G: 4},
+			parkAhead{idle: 3, mode: 0, ahead: 9}, []int{2, 3, 4, 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := logp.Config{Params: tc.params, DisableCapacity: true}
+			pa := tc.prog
+			seq, err := flat.Run(cfg, &pa, 1)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			gor, err := logp.RunProgram(cfg, &pa)
+			if err != nil {
+				t.Fatalf("goroutine: %v", err)
+			}
+			if !reflect.DeepEqual(seq, gor) {
+				t.Errorf("flat(1) vs goroutine differ:\n flat:      %+v\n goroutine: %+v", seq, gor)
+			}
+			want := clearTransit(seq)
+			for _, shards := range tc.shards {
+				got, err := flat.Run(cfg, &pa, shards)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if !reflect.DeepEqual(clearTransit(got), want) {
+					t.Errorf("shards=%d differs from sequential:\n sharded:    %+v\n sequential: %+v",
+						shards, clearTransit(got), want)
+				}
+			}
+		})
+	}
+}
+
 // TestShardedRejectsUnsupportedConfig: the windowed core refuses
 // configurations whose cross-shard safety argument does not hold.
 func TestShardedRejectsUnsupportedConfig(t *testing.T) {
