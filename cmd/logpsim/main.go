@@ -39,6 +39,7 @@ import (
 	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/progs"
 	"github.com/logp-model/logp/internal/reliable"
+	"github.com/logp-model/logp/internal/service"
 )
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 		engine   = flag.String("engine", "", "execution engine for program-form algorithms (broadcast, sum): goroutine | flat (default $LOGP_ENGINE, else goroutine)")
 		shards   = flag.Int("shards", 0, "flat engine: event-kernel shards, >1 runs the windowed parallel core (default $LOGP_SHARDS, else 1); requires -nocap")
 		nocap    = flag.Bool("nocap", false, "disable the capacity limit of ceil(L/g) in-flight messages per processor")
+		jsonOut  = flag.Bool("json", false, "print the run as a canonical JSON response (the exact bytes logpsimd serves for the same spec) instead of the human summary")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -98,6 +100,25 @@ func main() {
 		}
 	}
 	cfg.Faults = faults
+	if *jsonOut {
+		if *traceIt || *profOut != "" {
+			usageError(fmt.Errorf("-json excludes -trace and -prof: the JSON response carries no trace"))
+		}
+		if *metOut == "-" {
+			usageError(fmt.Errorf("-json owns stdout; metrics are embedded in the response body (use -metrics with a file path for a separate export)"))
+		}
+		switch *algo {
+		case "broadcast", "sum":
+			// Program-form algorithms route through the same spec→response
+			// path the daemon runs, so the bytes match logpsimd's body for
+			// the same spec — and its spec_hash addresses the daemon's cache.
+			if err := runServiceJSON(*algo, params, *n, engName, *shards, *nocap, *seed,
+				faults, *metOut, *metFmt, *metEvery); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
 	var rec *prof.Recorder
 	if *profOut != "" {
 		rec = prof.NewRecorder()
@@ -279,6 +300,13 @@ func main() {
 		fatal(err)
 	}
 
+	if *jsonOut {
+		if err := emitCLIResponse(*algo, params, *n, engName, *nocap, *seed, res, reg, *metOut, *metFmt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *nocap {
 		fmt.Printf("machine: %v  (capacity limit off)\n", params)
 	} else {
@@ -331,6 +359,108 @@ func runProgram(cfg logp.Config, prog logp.Program, engName string, shards int) 
 		return logp.Result{}, err
 	}
 	return e.Run(cfg, prog)
+}
+
+// runServiceJSON executes a registry program through service.Run — the exact
+// spec→response path logpsimd serves — and prints the canonical body. The
+// same flags therefore produce the same bytes locally and from the daemon,
+// and the printed spec_hash addresses the daemon's cache directly.
+func runServiceJSON(algo string, params core.Params, n int, engName string, shards int,
+	nocap bool, seed int64, faults *logp.FaultPlan, metOut, metFmt string, metEvery int64) error {
+	spec := service.JobSpec{
+		Program: algo,
+		N:       n,
+		Machine: service.MachineSpec{P: params.P, L: params.L, O: params.O, G: params.G, NoCapacity: nocap},
+		Engine:  engName,
+		Shards:  shards,
+		Seed:    seed,
+		Faults:  serviceFaults(faults),
+	}
+	if shards > 1 {
+		spec.Engine = "flat"
+	}
+	if metOut != "" {
+		spec.Metrics = &service.MetricsSpec{Include: true, Every: metEvery}
+	}
+	resp, err := service.Run(spec)
+	if err != nil {
+		return err
+	}
+	body, err := resp.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(body); err != nil {
+		return err
+	}
+	if metOut != "" && resp.Metrics != nil {
+		return writeSnapshot(*resp.Metrics, metOut, metFmt)
+	}
+	return nil
+}
+
+// emitCLIResponse renders an imperative (CLI-only) algorithm's result in the
+// service response encoding. These algorithms are not in the daemon's program
+// registry, so the response carries no spec hash — it is not cache-addressable.
+func emitCLIResponse(algo string, params core.Params, n int, engName string,
+	nocap bool, seed int64, res logp.Result, reg *metrics.Registry, metOut, metFmt string) error {
+	resp := &service.Response{
+		Spec: service.JobSpec{
+			Program: algo,
+			N:       n,
+			Machine: service.MachineSpec{P: params.P, L: params.L, O: params.O, G: params.G, NoCapacity: nocap},
+			Engine:  engName,
+			Seed:    seed,
+		},
+		Result: service.ResultJSON{
+			Time:             res.Time,
+			Messages:         res.Messages,
+			MaxInTransitFrom: res.MaxInTransitFrom,
+			MaxInTransitTo:   res.MaxInTransitTo,
+			Dropped:          res.Dropped,
+			Duplicated:       res.Duplicated,
+			Failed:           res.Failed,
+			Undelivered:      res.Undelivered,
+		},
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		resp.Metrics = &snap
+	}
+	body, err := resp.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(body); err != nil {
+		return err
+	}
+	if reg != nil && metOut != "" {
+		return writeSnapshot(reg.Snapshot(), metOut, metFmt)
+	}
+	return nil
+}
+
+// serviceFaults converts a CLI fault plan to the spec form.
+func serviceFaults(plan *logp.FaultPlan) *service.FaultSpec {
+	if plan == nil {
+		return nil
+	}
+	fs := &service.FaultSpec{
+		Seed: plan.Seed, Drop: plan.Default.Drop, Dup: plan.Default.Dup, Jitter: plan.Default.Jitter,
+	}
+	for _, f := range plan.FailStops {
+		fs.Fails = append(fs.Fails, service.FailStopSpec{Proc: f.Proc, At: f.At})
+	}
+	return fs
+}
+
+// writeSnapshot exports an already-taken snapshot to a file.
+func writeSnapshot(snap metrics.Snapshot, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return errors.Join(emitMetrics(f, snap, format), f.Close())
 }
 
 // writeMetrics exports the registry snapshot in the requested format to path

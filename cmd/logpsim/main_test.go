@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/service"
 )
 
 // buildBinary compiles the command under test into a temp dir and returns
@@ -88,5 +89,65 @@ func TestBadMetricsFormatExit2(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "unknown metrics format") {
 		t.Errorf("no format diagnostic in output:\n%s", out)
+	}
+}
+
+// TestJSONMatchesServiceBytes proves the -json satellite's contract: for a
+// program-form algorithm, the CLI's stdout is byte-identical to what the
+// daemon serves for the same spec (both run service.Run and the canonical
+// encoder), and the printed spec hash is the daemon's cache key.
+func TestJSONMatchesServiceBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	bin := buildBinary(t)
+	got, err := exec.Command(bin, "-algo", "sum", "-P", "8", "-L", "5", "-n", "79", "-json").Output()
+	if err != nil {
+		t.Fatalf("logpsim -json: %v", err)
+	}
+	resp, err := service.Run(service.JobSpec{
+		Program: "sum", N: 79,
+		Machine: service.MachineSpec{P: 8, L: 5, O: 2, G: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("CLI bytes differ from the service encoding:\n--- cli ---\n%s--- service ---\n%s", got, want)
+	}
+	if !strings.Contains(string(got), `"spec_hash": "`+resp.SpecHash+`"`) {
+		t.Error("spec hash missing from the CLI body")
+	}
+}
+
+// TestJSONImperativeAlgo checks the CLI-only algorithms emit the service
+// response shape with an empty (non-cacheable) spec hash.
+func TestJSONImperativeAlgo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-algo", "sort", "-P", "8", "-n", "128", "-json").Output()
+	if err != nil {
+		t.Fatalf("logpsim -algo sort -json: %v", err)
+	}
+	var resp service.Response
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatalf("output does not parse as a service response: %v\n%s", err, out)
+	}
+	if resp.SpecHash != "" {
+		t.Errorf("imperative algorithm carries spec hash %q, want empty", resp.SpecHash)
+	}
+	if resp.Spec.Program != "sort" || resp.Result.Time <= 0 || resp.Result.Messages <= 0 {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+
+	// -json refuses the flags whose output it cannot represent.
+	if out, err := exec.Command(bin, "-algo", "sort", "-json", "-trace").CombinedOutput(); err == nil {
+		t.Errorf("-json -trace accepted:\n%s", out)
 	}
 }

@@ -1,0 +1,70 @@
+// Command logpsimd serves LogP simulations over HTTP with a content-addressed
+// result cache.
+//
+// Because every simulation is a pure function of its job spec (the engines are
+// bit-deterministic), the daemon hashes the canonical spec and serves repeat
+// submissions from the cache byte-identically; N clients submitting the same
+// spec concurrently share one simulation. See internal/service for the API.
+//
+// Usage:
+//
+//	logpsimd -addr 127.0.0.1:8080
+//	curl -s localhost:8080/v1/jobs -d '{"program":"broadcast","machine":{"p":8,"l":6,"o":2,"g":4}}'
+//
+// The -selftest mode starts the daemon in-process, fires thousands of
+// concurrent sweep requests at it, and writes a BENCH-style JSON snapshot of
+// throughput, latency quantiles and cache hit rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"github.com/logp-model/logp/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers      = flag.Int("workers", 0, "max simulations in flight (0 = GOMAXPROCS)")
+		cacheEntries = flag.Int("cache-entries", 0, "result cache entry bound (0 = 4096)")
+		cacheMB      = flag.Int64("cache-mb", 0, "result cache size bound in MiB (0 = 256)")
+		selftest     = flag.Bool("selftest", false, "run the load test against an in-process daemon and exit")
+		stRequests   = flag.Int("st-requests", 2000, "selftest: total sweep requests to fire")
+		stClients    = flag.Int("st-clients", 64, "selftest: concurrent clients")
+		stGrids      = flag.Int("st-grids", 16, "selftest: distinct sweep grids cycled across requests")
+		benchOut     = flag.String("bench-out", "", "selftest: write the BENCH JSON snapshot to this file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheMB << 20,
+	}
+
+	if *selftest {
+		if err := runSelftest(cfg, *stRequests, *stClients, *stGrids, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "logpsimd: selftest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logpsimd:", err)
+		os.Exit(1)
+	}
+	// Print the resolved address so scripts (and the smoke test) can find an
+	// ephemeral port.
+	fmt.Printf("logpsimd listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "logpsimd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/logp-model/logp/internal/service"
+	"github.com/logp-model/logp/internal/stats"
+)
+
+// benchFile mirrors the BENCH_N.json shape emitted by cmd/benchstat2json so
+// the selftest snapshot sits next to the kernel benchmarks.
+type benchFile struct {
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	BenchFilter string       `json:"bench_filter"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    int64              `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// selftestGrid builds the i-th sweep request. Each grid expands to 8 broadcast
+// points; distinct grids differ in their seed axis, so `grids` grids cover
+// 8*grids unique specs and every later pass over a grid is pure cache hits.
+func selftestGrid(i int) service.SweepRequest {
+	return service.SweepRequest{
+		Base: service.JobSpec{Program: "broadcast", Machine: service.MachineSpec{P: 4, L: 6, O: 2, G: 4}},
+		Axes: service.SweepAxes{
+			P:    []int{4, 8},
+			L:    []int64{2, 6},
+			Seed: []int64{int64(2*i + 1), int64(2*i + 2)},
+		},
+	}
+}
+
+// runSelftest starts a daemon on an ephemeral loopback port, fires `requests`
+// sweep submissions from `clients` concurrent clients over real HTTP, and
+// writes a BENCH JSON snapshot of throughput, latency quantiles and cache
+// effectiveness.
+func runSelftest(cfg service.Config, requests, clients, grids int, outPath string) error {
+	if requests < 1 || clients < 1 || grids < 1 {
+		return fmt.Errorf("need at least 1 request, client and grid")
+	}
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	bodies := make([][]byte, grids)
+	for i := range bodies {
+		req := selftestGrid(i)
+		if bodies[i], err = json.Marshal(req); err != nil {
+			return err
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	latencies := make([]float64, requests) // ns, indexed by request
+	var next atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/sweep", "application/json", bytes.NewReader(bodies[i%grids]))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+				latencies[i] = float64(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("%d of %d sweep requests failed", n, requests)
+	}
+
+	st := srv.Stats()
+	points := int64(requests) * 8 // every grid expands to 8 points
+	lookups := st.Cache.Hits + st.Cache.Coalesced + st.Cache.Misses
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(st.Cache.Hits+st.Cache.Coalesced) / float64(lookups)
+	}
+	sort.Float64s(latencies)
+	ms := func(q float64) float64 { return stats.Quantile(latencies, q) / 1e6 }
+
+	out := benchFile{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchFilter: "SelftestSweepThroughput",
+		Benchmarks: []benchEntry{{
+			Name:       "SelftestSweepThroughput",
+			Iterations: requests,
+			NsPerOp:    elapsed.Nanoseconds() / int64(requests),
+			Metrics: map[string]float64{
+				"req/s":          round2(float64(requests) / elapsed.Seconds()),
+				"points/s":       round2(float64(points) / elapsed.Seconds()),
+				"cache_hit_rate": round2(hitRate),
+				"jobs_run":       float64(st.JobsRun),
+				"clients":        float64(clients),
+				"p50_ms":         round2(ms(0.50)),
+				"p99_ms":         round2(ms(0.99)),
+			},
+		}},
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("selftest: %d sweep requests (%d points) in %v: %.0f req/s, hit rate %.3f, %d simulations run -> %s\n",
+		requests, points, elapsed.Round(time.Millisecond),
+		float64(requests)/elapsed.Seconds(), hitRate, st.JobsRun, outPath)
+	return nil
+}
+
+// round2 keeps the snapshot diff-friendly.
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}

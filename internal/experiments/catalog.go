@@ -49,14 +49,23 @@ func Catalog() []Entry {
 }
 
 // RunAll regenerates every experiment at the given scale, running them
-// concurrently on the parallel runner (experiments with internal sweeps
-// additionally parallelize their own items). The reports come back in
-// catalog order and are identical to running each entry sequentially. An
-// observer registered with SetObserver is notified as each entry finishes.
+// concurrently on the parallel runner at the process-wide default bound
+// (experiments with internal sweeps additionally parallelize their own
+// items). The reports come back in catalog order and are identical to
+// running each entry sequentially. An observer registered with SetObserver
+// is notified as each entry finishes.
 func RunAll(scale Scale) []Report {
+	return Pool{Workers: Parallelism()}.RunAll(scale)
+}
+
+// RunAll regenerates every experiment at the given scale on this pool's
+// worker bound; see the package-level RunAll for the result contract. Note
+// the catalog experiments' internal sweeps still use the process-wide
+// default bound.
+func (p Pool) RunAll(scale Scale) []Report {
 	cat := Catalog()
 	obs := loadObserver()
-	return mapIndexed(len(cat), func(i int) Report {
+	return MapIndexed(p.bound(), len(cat), func(i int) Report {
 		start := time.Now()
 		rep := cat[i].Run(scale)
 		if obs != nil {

@@ -10,19 +10,29 @@ import (
 // problem-size sweeps, schedule variants, load sweeps. Each simulation is a
 // self-contained Machine (or packet network) with its own kernel and its own
 // seeded random source, so runs share no mutable state and can execute
-// concurrently. mapIndexed is the one primitive every converted sweep uses:
+// concurrently. MapIndexed is the one primitive every converted sweep uses:
 // it evaluates f(0..n-1) on a bounded worker pool and assembles the results
 // in input order. Because each f(i) is deterministic in i and the output
 // slot is fixed by i, the assembled slice — and therefore every Report built
 // from it — is bit-identical to what the sequential loop produced.
+//
+// The worker bound is threaded as an explicit value (MapIndexed's workers
+// argument, Pool.Workers) so independent callers — concurrent jobs inside
+// the logpsimd daemon, tests — can pick their own bound without racing on
+// package state. SetParallelism remains as the process-wide default the
+// command-line binaries configure once at startup.
 
-// maxParallel holds the configured worker bound; 0 means GOMAXPROCS.
+// maxParallel holds the configured process-wide default bound; 0 means
+// GOMAXPROCS.
 var maxParallel atomic.Int64
 
-// SetParallelism bounds the number of simulations the harness runs
-// concurrently. n <= 0 restores the default, runtime.GOMAXPROCS(0).
-// Parallelism only changes wall-clock time, never results: sweeps assemble
-// their outputs in input order and each simulation is independently seeded.
+// SetParallelism sets the process-wide default worker bound used by the
+// package-level sweep entry points (RunAll and every catalog experiment).
+// n <= 0 restores the default, runtime.GOMAXPROCS(0). Parallelism only
+// changes wall-clock time, never results: sweeps assemble their outputs in
+// input order and each simulation is independently seeded. Callers that need
+// an independent bound (the simulation daemon's sweep endpoint) should pass
+// it to MapIndexed or Pool instead of mutating this global.
 func SetParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -30,7 +40,7 @@ func SetParallelism(n int) {
 	maxParallel.Store(int64(n))
 }
 
-// Parallelism reports the resolved worker bound.
+// Parallelism reports the resolved process-wide default bound.
 func Parallelism() int {
 	if n := int(maxParallel.Load()); n > 0 {
 		return n
@@ -38,17 +48,36 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// mapIndexed computes [f(0), f(1), ..., f(n-1)] with up to Parallelism()
-// invocations in flight. Workers draw indices from an atomic counter, so no
-// index is computed twice and the schedule adapts to uneven item costs; each
-// result lands in its own slot, so the output order is the input order
-// regardless of completion order.
-func mapIndexed[T any](n int, f func(i int) T) []T {
+// Pool is a value-typed handle on the parallel runner: a worker bound that
+// travels with the caller instead of living in package state. The zero value
+// uses runtime.GOMAXPROCS(0). A Pool is trivially copyable and safe for
+// concurrent use; two Pools never interfere.
+type Pool struct {
+	// Workers bounds the simulations in flight; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// bound resolves the pool's worker count.
+func (p Pool) bound() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MapIndexed computes [f(0), f(1), ..., f(n-1)] with at most workers
+// invocations in flight (workers <= 0 means GOMAXPROCS). Workers draw
+// indices from an atomic counter, so no index is computed twice and the
+// schedule adapts to uneven item costs; each result lands in its own slot,
+// so the output order is the input order regardless of completion order.
+func MapIndexed[T any](workers, n int, f func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	workers := Parallelism()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -75,6 +104,13 @@ func mapIndexed[T any](n int, f func(i int) T) []T {
 	}
 	wg.Wait()
 	return out
+}
+
+// mapIndexed is MapIndexed at the process-wide default bound: the form every
+// catalog experiment uses, preserved so the CLI's SetParallelism keeps
+// steering the whole figure pipeline.
+func mapIndexed[T any](n int, f func(i int) T) []T {
+	return MapIndexed(Parallelism(), n, f)
 }
 
 // failure is the per-item error slot used by converted sweeps: the item that

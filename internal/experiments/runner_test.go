@@ -29,6 +29,50 @@ func TestMapIndexedOrderAndCoverage(t *testing.T) {
 	}
 }
 
+// TestMapIndexedExplicitBound drives the exported runner with an explicit
+// worker bound while the package default is pinned elsewhere: the value-typed
+// path must neither read nor write the global.
+func TestMapIndexedExplicitBound(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1) // the explicit bound below must win regardless
+	for _, workers := range []int{0, 1, 3, 64} {
+		var calls atomic.Int64
+		out := MapIndexed(workers, 23, func(i int) int {
+			calls.Add(1)
+			return i + 1
+		})
+		if len(out) != 23 || calls.Load() != 23 {
+			t.Fatalf("workers=%d: %d results, %d calls", workers, len(out), calls.Load())
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if Parallelism() != 1 {
+		t.Errorf("MapIndexed mutated the package default: Parallelism() = %d", Parallelism())
+	}
+}
+
+// TestPoolRunAllMatchesCatalogOrder checks the value-typed harness returns
+// reports in catalog order on a small concurrent pool.
+func TestPoolRunAllMatchesCatalogOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole catalog")
+	}
+	reports := Pool{Workers: 4}.RunAll(1)
+	cat := Catalog()
+	if len(reports) != len(cat) {
+		t.Fatalf("%d reports for %d catalog entries", len(reports), len(cat))
+	}
+	for i, r := range reports {
+		if r.ID != cat[i].ID {
+			t.Errorf("report %d: ID %q, want %q", i, r.ID, cat[i].ID)
+		}
+	}
+}
+
 func TestParallelismResolution(t *testing.T) {
 	defer SetParallelism(0)
 	SetParallelism(3)

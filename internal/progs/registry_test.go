@@ -1,0 +1,93 @@
+package progs
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+var regParams = core.Params{P: 8, L: 6, O: 2, G: 4}
+
+// TestBuildAndRunEveryProgram builds each registered program by name, runs
+// it on the goroutine machine, and checks the Output digest reports a
+// completed run.
+func TestBuildAndRunEveryProgram(t *testing.T) {
+	for _, name := range Names() {
+		inst, err := Build(name, regParams, Args{})
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		res, err := logp.RunProgram(logp.Config{Params: regParams, Seed: 1}, inst.Prog)
+		if err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+		if res.Time <= 0 {
+			t.Errorf("%s: run finished at time %d", name, res.Time)
+		}
+		out := inst.Output()
+		if len(out) == 0 {
+			t.Errorf("%s: empty output digest", name)
+		}
+		switch name {
+		case "broadcast":
+			if out["reached"] != float64(regParams.P) {
+				t.Errorf("broadcast reached %v of %d", out["reached"], regParams.P)
+			}
+		case "sum":
+			if out["root_ok"] != 1 || out["root"] != out["values"] {
+				t.Errorf("sum digest %v: want root == values, root_ok 1", out)
+			}
+		case "pingpong":
+			if out["rounds"] != 10 {
+				t.Errorf("pingpong rounds %v, want default 10", out["rounds"])
+			}
+		case "chain", "binomial":
+			if out["complete"] != 1 || out["received"] != float64(regParams.P*8) {
+				t.Errorf("%s digest %v: want complete pipeline of 8 items at %d procs", name, out, regParams.P)
+			}
+		case "alltoall":
+			if out["received"] != float64(4*regParams.P*(regParams.P-1)) {
+				t.Errorf("alltoall received %v", out["received"])
+			}
+		}
+	}
+}
+
+// TestBuildNormalizesSize pins the Args normalization rules the spec hashing
+// in internal/service relies on: zero N resolves to the per-program default,
+// sizeless programs force N to zero, and unknown names fail.
+func TestBuildNormalizesSize(t *testing.T) {
+	if _, err := Build("nosuch", regParams, Args{}); err == nil {
+		t.Error("unknown program built")
+	}
+	if _, err := Build("pingpong", regParams, Args{N: -1}); err == nil {
+		t.Error("negative size built")
+	}
+	if _, err := Build("alltoall", regParams, Args{Work: -3}); err == nil {
+		t.Error("negative work built")
+	}
+	if n, err := DefaultN("sum"); err != nil || n != 1000 {
+		t.Errorf("DefaultN(sum) = %d, %v", n, err)
+	}
+	if n, err := DefaultN("broadcast"); err != nil || n != 0 {
+		t.Errorf("DefaultN(broadcast) = %d, %v", n, err)
+	}
+	if _, err := DefaultN("nosuch"); err == nil {
+		t.Error("DefaultN accepted unknown program")
+	}
+	if doc := Doc("sum"); doc == "" {
+		t.Error("Doc(sum) empty")
+	}
+	// A sized program with explicit N runs at that size.
+	inst, err := Build("pingpong", regParams, Args{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logp.RunProgram(logp.Config{Params: regParams, Seed: 1}, inst.Prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Output()["rounds"]; got != 3 {
+		t.Errorf("explicit N=3 ran %v rounds", got)
+	}
+}

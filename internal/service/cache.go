@@ -1,0 +1,181 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the bounded content-addressed result cache. Keys are spec hashes;
+// values are the canonical response bodies. Lookups of a hash whose body is
+// still being computed coalesce onto the in-flight computation
+// (single-flight): N concurrent identical submissions run one simulation and
+// every caller gets the same byte slice. Eviction is LRU over completed
+// entries, bounded both by entry count and by total body bytes; in-flight
+// entries are never evicted. Errors are not cached — every waiter of a
+// failed computation sees the error, and the next submission retries.
+type Cache struct {
+	mu       sync.Mutex
+	maxEnt   int
+	maxBytes int64
+	bytes    int64
+	order    *list.List               // completed entries, front = most recent
+	entries  map[string]*cacheEntry   // hash → entry (in-flight or complete)
+	elem     map[string]*list.Element // hash → LRU element (complete only)
+
+	hits, misses, coalesced, evictions int64
+}
+
+// cacheEntry is one hash's slot. done is closed when body/err are final.
+type cacheEntry struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	// Hits counts lookups served from a completed body; Coalesced counts
+	// lookups that waited on an in-flight computation of the same hash
+	// (they are also hits: no extra simulation ran).
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced"`
+	// Misses counts lookups that had to run the simulation.
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// NewCache builds a cache bounded to maxEntries completed bodies and
+// maxBytes total body size (values < 1 mean a single entry / unbounded
+// bytes).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		maxEnt:   maxEntries,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  map[string]*cacheEntry{},
+		elem:     map[string]*list.Element{},
+	}
+}
+
+// GetOrRun returns the body cached under hash, running run() to produce it
+// on a miss. hit reports whether the body came from the cache (including
+// coalescing onto another caller's in-flight run). The returned slice is
+// shared — callers must not mutate it.
+func (c *Cache) GetOrRun(hash string, run func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[hash]; ok {
+		select {
+		case <-e.done:
+			c.hits++
+			c.touch(hash)
+			c.mu.Unlock()
+			return e.body, true, e.err
+		default:
+			c.coalesced++
+			c.mu.Unlock()
+			<-e.done
+			return e.body, true, e.err
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[hash] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.body, e.err = run()
+	close(e.done)
+
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, hash) // errors are not cached; next submission retries
+	} else {
+		c.complete(hash, e)
+	}
+	c.mu.Unlock()
+	return e.body, false, e.err
+}
+
+// Get returns the completed body cached under hash without running
+// anything. An in-flight entry is not waited for.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, false
+		}
+		c.hits++
+		c.touch(hash)
+		return e.body, true
+	default:
+		return nil, false
+	}
+}
+
+// touch moves a completed entry to the LRU front. Caller holds mu.
+func (c *Cache) touch(hash string) {
+	if el, ok := c.elem[hash]; ok {
+		c.order.MoveToFront(el)
+	}
+}
+
+// complete files a finished entry into the LRU and evicts past the bounds.
+// Caller holds mu.
+func (c *Cache) complete(hash string, e *cacheEntry) {
+	c.elem[hash] = c.order.PushFront(hash)
+	c.bytes += int64(len(e.body))
+	// Evict from the LRU tail past either bound, but always keep the entry
+	// just completed: a body larger than the byte bound still serves its
+	// own request and the next identical one.
+	for (c.order.Len() > c.maxEnt || (c.maxBytes > 0 && c.bytes > c.maxBytes)) && c.order.Len() > 1 {
+		last := c.order.Back()
+		victim := last.Value.(string)
+		c.order.Remove(last)
+		delete(c.elem, victim)
+		c.bytes -= int64(len(c.entries[victim].body))
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Coalesced: c.coalesced, Misses: c.misses,
+		Evictions: c.evictions, Entries: c.order.Len(), Bytes: c.bytes,
+	}
+}
+
+// Invalidate drops the completed entry for hash (used by refresh
+// submissions, which recompute and re-file). In-flight entries are left to
+// finish.
+func (c *Cache) Invalidate(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[hash]
+	if !ok {
+		return
+	}
+	select {
+	case <-e.done:
+		if el, found := c.elem[hash]; found {
+			c.order.Remove(el)
+			delete(c.elem, hash)
+		}
+		c.bytes -= int64(len(e.body))
+		delete(c.entries, hash)
+	default:
+	}
+}

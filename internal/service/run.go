@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"sync"
+
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+	"github.com/logp-model/logp/internal/progs"
+)
+
+// ProcStatsJSON mirrors logp.ProcStats with stable JSON field names.
+type ProcStatsJSON struct {
+	Proc         int   `json:"proc"`
+	Compute      int64 `json:"compute"`
+	SendOverhead int64 `json:"send_overhead"`
+	RecvOverhead int64 `json:"recv_overhead"`
+	Stall        int64 `json:"stall"`
+	Finish       int64 `json:"finish"`
+	MsgsSent     int   `json:"msgs_sent"`
+	MsgsReceived int   `json:"msgs_received"`
+}
+
+// ResultJSON mirrors logp.Result minus the trace.
+type ResultJSON struct {
+	Time             int64           `json:"time"`
+	Messages         int             `json:"messages"`
+	MaxInTransitFrom int             `json:"max_in_transit_from"`
+	MaxInTransitTo   int             `json:"max_in_transit_to"`
+	Dropped          int             `json:"dropped"`
+	Duplicated       int             `json:"duplicated"`
+	Failed           []int           `json:"failed,omitempty"`
+	Undelivered      int             `json:"undelivered"`
+	Procs            []ProcStatsJSON `json:"procs,omitempty"`
+}
+
+// Response is the full observable result of one job: what the daemon caches
+// and serves, and what logpsim -json prints. Its encoding is deterministic —
+// struct fields encode in definition order, the Output map's keys sort, and
+// the metrics snapshot is ordered by construction — so equal specs produce
+// byte-identical bodies whether computed or replayed from the cache.
+type Response struct {
+	// SpecHash is the content address of the normalized Spec.
+	SpecHash string `json:"spec_hash"`
+	// Spec is the normalized spec the response answers.
+	Spec JobSpec `json:"spec"`
+	// Result summarizes the machine run.
+	Result ResultJSON `json:"result"`
+	// Output is the program-level digest (progs.Instance.Output).
+	Output map[string]float64 `json:"output,omitempty"`
+	// Metrics is the telemetry snapshot (when Spec.Metrics asked for it).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// Encode renders the canonical response body: two-space-indented JSON with a
+// trailing newline, matching the metrics JSON writer's house style.
+func (r *Response) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResponse parses a canonical response body.
+func DecodeResponse(body []byte) (*Response, error) {
+	var r Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// config assembles the logp.Config for a normalized spec.
+func (s JobSpec) config() logp.Config {
+	cfg := logp.Config{
+		Params:          s.Machine.Params(),
+		LatencyJitter:   s.Machine.LatencyJitter,
+		ComputeJitter:   s.Machine.ComputeJitter,
+		ProcSkew:        s.Machine.ProcSkew,
+		Seed:            s.Seed,
+		DisableCapacity: s.Machine.NoCapacity,
+		Faults:          s.Faults.plan(),
+	}
+	if s.Metrics != nil {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.MetricsEvery = s.Metrics.Every
+	}
+	return cfg
+}
+
+// Run normalizes and executes one spec from scratch and builds its Response.
+// This is the uncached, pool-free entry point the CLI uses; the daemon runs
+// the same jobSpec→Response path through its cache and machine pool.
+func Run(spec JobSpec) (*Response, error) {
+	if err := spec.Normalize(Limits{}); err != nil {
+		return nil, err
+	}
+	return runNormalized(spec, nil)
+}
+
+// runNormalized executes a normalized spec, drawing a reusable machine from
+// pool when one is available.
+func runNormalized(spec JobSpec, pool *machinePool) (*Response, error) {
+	hash := spec.Hash()
+	var (
+		res  logp.Result
+		inst progs.Instance
+		reg  *metrics.Registry
+		err  error
+	)
+	if spec.Engine == "flat" {
+		var m *flat.Machine
+		if pool != nil {
+			if pm := pool.acquire(hash); pm != nil {
+				m, inst, reg = pm.m, pm.inst, pm.reg
+			}
+		}
+		if m == nil {
+			inst, err = progs.Build(spec.Program, spec.Machine.Params(),
+				progs.Args{N: spec.N, Work: spec.Work, Staggered: spec.Staggered})
+			if err != nil {
+				return nil, err
+			}
+			cfg := spec.config()
+			reg = cfg.Metrics
+			shards := spec.Shards
+			if shards < 1 {
+				shards = 1
+			}
+			m, err = flat.New(cfg, inst.Prog, shards)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res, err = m.Run()
+		if err == nil && pool != nil {
+			pool.release(hash, &pooledMachine{m: m, inst: inst, reg: reg})
+		}
+	} else {
+		inst, err = progs.Build(spec.Program, spec.Machine.Params(),
+			progs.Args{N: spec.N, Work: spec.Work, Staggered: spec.Staggered})
+		if err != nil {
+			return nil, err
+		}
+		cfg := spec.config()
+		reg = cfg.Metrics
+		res, err = logp.RunProgram(cfg, inst.Prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &Response{
+		SpecHash: hash,
+		Spec:     spec,
+		Result: ResultJSON{
+			Time:             res.Time,
+			Messages:         res.Messages,
+			MaxInTransitFrom: res.MaxInTransitFrom,
+			MaxInTransitTo:   res.MaxInTransitTo,
+			Dropped:          res.Dropped,
+			Duplicated:       res.Duplicated,
+			Failed:           res.Failed,
+			Undelivered:      res.Undelivered,
+		},
+		Output: inst.Output(),
+	}
+	if spec.IncludeProcs {
+		resp.Result.Procs = make([]ProcStatsJSON, len(res.Procs))
+		for i, p := range res.Procs {
+			resp.Result.Procs[i] = ProcStatsJSON{
+				Proc: p.Proc, Compute: p.Compute,
+				SendOverhead: p.SendOverhead, RecvOverhead: p.RecvOverhead,
+				Stall: p.Stall, Finish: p.Finish,
+				MsgsSent: p.MsgsSent, MsgsReceived: p.MsgsReceived,
+			}
+		}
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		resp.Metrics = &snap
+	}
+	return resp, nil
+}
+
+// pooledMachine is one reusable flat machine with the program instance and
+// metrics registry it was built with. flat.Machine.Run rewinds everything —
+// rng, faults, metrics, program state — so a reused machine replays the run
+// bit-identically at ~zero construction cost.
+type pooledMachine struct {
+	m    *flat.Machine
+	inst progs.Instance
+	reg  *metrics.Registry
+}
+
+// machinePool is a bounded LRU of reusable flat machines keyed by spec hash.
+// acquire removes the entry (a machine must never run concurrently with
+// itself), release puts it back; the least recently used machine is dropped
+// when the pool is full.
+type machinePool struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recent; values are *poolItem
+	entries map[string]*list.Element // hash → element
+
+	reuses int64
+}
+
+type poolItem struct {
+	hash string
+	pm   *pooledMachine
+}
+
+func newMachinePool(max int) *machinePool {
+	if max < 1 {
+		max = 1
+	}
+	return &machinePool{max: max, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (p *machinePool) acquire(hash string) *pooledMachine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[hash]
+	if !ok {
+		return nil
+	}
+	p.order.Remove(el)
+	delete(p.entries, hash)
+	p.reuses++
+	return el.Value.(*poolItem).pm
+}
+
+func (p *machinePool) release(hash string, pm *pooledMachine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.entries[hash]; dup {
+		return // a concurrent release already stocked this hash
+	}
+	p.entries[hash] = p.order.PushFront(&poolItem{hash: hash, pm: pm})
+	for p.order.Len() > p.max {
+		last := p.order.Back()
+		p.order.Remove(last)
+		delete(p.entries, last.Value.(*poolItem).hash)
+	}
+}
+
+// Reuses reports how many runs drew a pooled machine.
+func (p *machinePool) Reuses() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reuses
+}

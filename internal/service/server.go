@@ -1,0 +1,275 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/logp-model/logp/internal/progs"
+)
+
+// Config sizes one Server; the zero value takes the defaults.
+type Config struct {
+	// Workers bounds the simulations in flight across all requests
+	// (default GOMAXPROCS). Submissions past the bound queue.
+	Workers int
+	// CacheEntries / CacheBytes bound the result cache (defaults 4096
+	// entries, 256 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// MachinePool bounds the reusable flat machines kept per spec hash
+	// (default 64).
+	MachinePool int
+	// MaxSweepPoints caps the expansion of one sweep request (default
+	// 4096).
+	MaxSweepPoints int
+	// Limits bound individual specs.
+	Limits Limits
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) cacheEntries() int {
+	if c.CacheEntries > 0 {
+		return c.CacheEntries
+	}
+	return 4096
+}
+
+func (c Config) cacheBytes() int64 {
+	if c.CacheBytes > 0 {
+		return c.CacheBytes
+	}
+	return 256 << 20
+}
+
+func (c Config) machinePool() int {
+	if c.MachinePool > 0 {
+		return c.MachinePool
+	}
+	return 64
+}
+
+func (c Config) maxSweepPoints() int {
+	if c.MaxSweepPoints > 0 {
+		return c.MaxSweepPoints
+	}
+	return 4096
+}
+
+// Server is the simulation service: cache, machine pool and executor behind
+// an http.Handler. Create one with New and mount Handler.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	pool    *machinePool
+	sem     chan struct{}
+	jobsRun atomic.Int64
+}
+
+// ServerStats is the /v1/stats body.
+type ServerStats struct {
+	Cache CacheStats `json:"cache"`
+	// JobsRun counts simulations actually executed (cache misses and
+	// refreshes); the request count is JobsRun + hits + coalesced.
+	JobsRun int64 `json:"jobs_run"`
+	// MachineReuses counts runs served by a pooled flat machine instead of
+	// a fresh construction.
+	MachineReuses int64 `json:"machine_reuses"`
+	// Workers is the executor bound.
+	Workers int `json:"workers"`
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.cacheEntries(), cfg.cacheBytes()),
+		pool:  newMachinePool(cfg.machinePool()),
+		sem:   make(chan struct{}, cfg.workers()),
+	}
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Cache:         s.cache.Stats(),
+		JobsRun:       s.jobsRun.Load(),
+		MachineReuses: s.pool.Reuses(),
+		Workers:       s.cfg.workers(),
+	}
+}
+
+// Handler mounts the service API:
+//
+//	GET  /healthz            liveness probe
+//	GET  /v1/programs        the program registry with arg docs
+//	POST /v1/jobs            submit a JobSpec; ?refresh=1 recomputes,
+//	                         ?stream=samples streams NDJSON sim-time samples
+//	GET  /v1/jobs/{hash}     fetch a cached response by spec hash
+//	POST /v1/sweep           expand a parameter grid and run every point
+//	GET  /v1/stats           cache and executor counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{hash}", s.handleLookup)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// runCached executes a normalized spec through the cache: concurrent
+// identical submissions coalesce onto one simulation, and completed bodies
+// are served byte-identically without re-running.
+func (s *Server) runCached(spec JobSpec, hash string) (body []byte, hit bool, err error) {
+	return s.cache.GetOrRun(hash, func() ([]byte, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.jobsRun.Add(1)
+		resp, err := runNormalized(spec, s.pool)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Encode()
+	})
+}
+
+// decodeSpec reads and normalizes a JobSpec body. Unknown fields are
+// rejected so a misspelled knob cannot silently hash to a different job.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return JobSpec{}, false
+	}
+	if err := spec.Normalize(s.cfg.Limits); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return JobSpec{}, false
+	}
+	return spec, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	hash := spec.Hash()
+	if r.URL.Query().Get("refresh") == "1" {
+		s.cache.Invalidate(hash)
+	}
+	body, hit, err := s.runCached(spec, hash)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("X-Logpsimd-Spec-Hash", hash)
+	w.Header().Set("X-Logpsimd-Cache", cacheMark(hit))
+	if r.URL.Query().Get("stream") == "samples" {
+		s.streamSamples(w, body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// streamSamples re-renders a completed response as NDJSON over a chunked
+// connection: one line per sim-time sample, then a final line with the spec
+// hash, result and output. Requires the spec to have asked for metrics.
+func (s *Server) streamSamples(w http.ResponseWriter, body []byte) {
+	resp, err := DecodeResponse(body)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if resp.Metrics == nil {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf(`stream=samples needs the spec to request metrics: {"metrics":{"include":true}}`))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range resp.Metrics.Samples {
+		if err := enc.Encode(&resp.Metrics.Samples[i]); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	final := struct {
+		SpecHash string             `json:"spec_hash"`
+		Result   ResultJSON         `json:"result"`
+		Output   map[string]float64 `json:"output,omitempty"`
+	}{resp.SpecHash, resp.Result, resp.Output}
+	enc.Encode(&final)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	body, ok := s.cache.Get(hash)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for spec hash %q", hash))
+		return
+	}
+	w.Header().Set("X-Logpsimd-Spec-Hash", hash)
+	w.Header().Set("X-Logpsimd-Cache", cacheMark(true))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	type progInfo struct {
+		Name     string `json:"name"`
+		Doc      string `json:"doc"`
+		DefaultN int    `json:"default_n"`
+	}
+	var out []progInfo
+	for _, name := range progs.Names() {
+		n, _ := progs.DefaultN(name)
+		out = append(out, progInfo{Name: name, Doc: progs.Doc(name), DefaultN: n})
+	}
+	writeJSON(w, out)
+}
+
+func cacheMark(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/logp-model/logp/internal/experiments"
+)
+
+// SweepAxes lists the values each swept dimension takes. An empty axis keeps
+// the base spec's value. The expansion is the cartesian product in the fixed
+// order P, L, o, g, n, seed (rightmost fastest), so the same request always
+// produces the same point order and the same response bytes.
+type SweepAxes struct {
+	P    []int   `json:"p,omitempty"`
+	L    []int64 `json:"l,omitempty"`
+	O    []int64 `json:"o,omitempty"`
+	G    []int64 `json:"g,omitempty"`
+	N    []int   `json:"n,omitempty"`
+	Seed []int64 `json:"seed,omitempty"`
+}
+
+// SweepRequest expands Base over Axes server-side.
+type SweepRequest struct {
+	Base JobSpec   `json:"base"`
+	Axes SweepAxes `json:"axes"`
+}
+
+// SweepPoint summarizes one grid point. The full response body of any point
+// is retrievable (and cached) under its spec hash via GET /v1/jobs/{hash}.
+type SweepPoint struct {
+	SpecHash string `json:"spec_hash"`
+	P        int    `json:"p"`
+	L        int64  `json:"l"`
+	O        int64  `json:"o"`
+	G        int64  `json:"g"`
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+	Time     int64  `json:"time"`
+	Messages int    `json:"messages"`
+}
+
+// SweepResponse is the deterministic sweep body: points in expansion order.
+// Cache effectiveness is reported in the X-Logpsimd-Cache-Hits/-Misses
+// headers so a warm re-submission still returns byte-identical bytes.
+type SweepResponse struct {
+	Points []SweepPoint `json:"points"`
+}
+
+// expand builds the normalized spec grid. Every returned spec has been
+// validated; the first invalid point aborts the expansion.
+func (r *SweepRequest) expand(lim Limits, maxPoints int) ([]JobSpec, error) {
+	orOne := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	total := orOne(len(r.Axes.P)) * orOne(len(r.Axes.L)) * orOne(len(r.Axes.O)) *
+		orOne(len(r.Axes.G)) * orOne(len(r.Axes.N)) * orOne(len(r.Axes.Seed))
+	if total > maxPoints {
+		return nil, fmt.Errorf("service: sweep expands to %d points, limit %d", total, maxPoints)
+	}
+	specs := make([]JobSpec, 0, total)
+	forEach := func(spec JobSpec) error {
+		if err := spec.Normalize(lim); err != nil {
+			return fmt.Errorf("sweep point %d: %w", len(specs), err)
+		}
+		specs = append(specs, spec)
+		return nil
+	}
+	// Odometer over the six axes, empty axes pinned to the base value.
+	base := r.Base
+	for _, p := range valuesOr(r.Axes.P, base.Machine.P) {
+		for _, l := range valuesOr(r.Axes.L, base.Machine.L) {
+			for _, o := range valuesOr(r.Axes.O, base.Machine.O) {
+				for _, g := range valuesOr(r.Axes.G, base.Machine.G) {
+					for _, n := range valuesOr(r.Axes.N, base.N) {
+						for _, seed := range valuesOr(r.Axes.Seed, base.Seed) {
+							spec := base
+							spec.Machine.P, spec.Machine.L, spec.Machine.O, spec.Machine.G = p, l, o, g
+							spec.N, spec.Seed = n, seed
+							if err := forEach(spec); err != nil {
+								return nil, err
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// valuesOr returns axis, or the single base value when the axis is empty.
+func valuesOr[T any](axis []T, base T) []T {
+	if len(axis) == 0 {
+		return []T{base}
+	}
+	return axis
+}
+
+// handleSweep expands the grid and drives every point through the cache on
+// the experiments parallel runner at the server's worker bound. The response
+// lists the points in expansion order; per-point full responses stay cached
+// under their spec hashes.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep: %w", err))
+		return
+	}
+	specs, err := req.expand(s.cfg.Limits, s.cfg.maxSweepPoints())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	type outcome struct {
+		point SweepPoint
+		hit   bool
+		err   error
+	}
+	outs := experiments.MapIndexed(s.cfg.workers(), len(specs), func(i int) outcome {
+		spec := specs[i]
+		hash := spec.Hash()
+		body, hit, err := s.runCached(spec, hash)
+		if err != nil {
+			return outcome{err: fmt.Errorf("sweep point %d (%s): %w", i, hash[:12], err)}
+		}
+		resp, err := DecodeResponse(body)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{hit: hit, point: SweepPoint{
+			SpecHash: hash,
+			P:        spec.Machine.P, L: spec.Machine.L, O: spec.Machine.O, G: spec.Machine.G,
+			N: spec.N, Seed: spec.Seed,
+			Time: resp.Result.Time, Messages: resp.Result.Messages,
+		}}
+	})
+
+	var hits, misses int
+	sr := SweepResponse{Points: make([]SweepPoint, len(outs))}
+	for i, o := range outs {
+		if o.err != nil {
+			// First failure in expansion order, matching the sequential loop.
+			httpError(w, http.StatusBadRequest, o.err)
+			return
+		}
+		sr.Points[i] = o.point
+		if o.hit {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	w.Header().Set("X-Logpsimd-Cache-Hits", strconv.Itoa(hits))
+	w.Header().Set("X-Logpsimd-Cache-Misses", strconv.Itoa(misses))
+	writeJSON(w, sr)
+}
