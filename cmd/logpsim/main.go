@@ -64,7 +64,7 @@ func main() {
 		metFmt   = flag.String("metrics-format", "prom", "metrics output format: prom | json | csv")
 		metEvery = flag.Int64("metrics-every", 0, "metrics sampling interval in simulated cycles (0 = default)")
 		engine   = flag.String("engine", "", "execution engine for program-form algorithms (broadcast, sum): goroutine | flat (default $LOGP_ENGINE, else goroutine)")
-		shards   = flag.Int("shards", 0, "flat engine: event-kernel shards, >1 runs the windowed parallel core (default $LOGP_SHARDS, else 1); requires -nocap")
+		shards   = flag.Int("shards", 0, "flat engine: event-kernel shards, >1 runs the windowed parallel core, with or without capacity (default $LOGP_SHARDS, else 1)")
 		nocap    = flag.Bool("nocap", false, "disable the capacity limit of ceil(L/g) in-flight messages per processor")
 		jsonOut  = flag.Bool("json", false, "print the run as a canonical JSON response (the exact bytes logpsimd serves for the same spec) instead of the human summary")
 	)

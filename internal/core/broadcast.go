@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -40,18 +39,69 @@ type slot struct {
 	proc int
 }
 
+func slotLess(a, b slot) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.proc < b.proc
+}
+
+// slotHeap is a typed 4-ary min-heap by (t, proc). Each processor holds at
+// most one slot, so the order is total and the pop sequence is independent
+// of heap layout. Typed and flat — container/heap boxes every Push and Pop
+// through an interface value, two allocations per element that dominate
+// schedule construction at P = 10^6.
 type slotHeap []slot
 
-func (h slotHeap) Len() int { return len(h) }
-func (h slotHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (h *slotHeap) push(e slot) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !slotLess(e, s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
 	}
-	return h[i].proc < h[j].proc
+	s[i] = e
+	*h = s
 }
-func (h slotHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x any)   { *h = append(*h, x.(slot)) }
-func (h *slotHeap) Pop() any     { old := *h; n := len(old); s := old[n-1]; *h = old[:n-1]; return s }
+
+func (h *slotHeap) pop() slot {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s = s[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if slotLess(s[j], s[best]) {
+					best = j
+				}
+			}
+			if !slotLess(s[best], last) {
+				break
+			}
+			s[i] = s[best]
+			i = best
+		}
+		s[i] = last
+	}
+	*h = s
+	return top
+}
 
 // OptimalBroadcast computes the optimal broadcast schedule from processor
 // root. Greedy construction: repeatedly let the processor able to initiate
@@ -76,7 +126,15 @@ func OptimalBroadcast(p Params, root int) (*BroadcastSchedule, error) {
 		s.Parent[i] = -1
 	}
 	interval := p.SendInterval()
-	h := slotHeap{{t: 0, proc: root}}
+	h := make(slotHeap, 1, p.P+1)
+	h[0] = slot{t: 0, proc: root}
+	// Greedy pops are chronological, so sends accumulate in one flat array
+	// with the initiating processor alongside; a stable counting sort then
+	// carves the per-processor Sends out of a single arena (pop order is
+	// non-decreasing in t, so per-processor initiation order survives). One
+	// allocation per run instead of one per tree node.
+	evs := make([]SendEvent, 0, p.P-1+1)
+	evProc := make([]int32, 0, p.P-1+1)
 	// Assign physical IDs to informed processors in discovery order,
 	// skipping the root's ID.
 	next := 0
@@ -84,17 +142,37 @@ func OptimalBroadcast(p Params, root int) (*BroadcastSchedule, error) {
 		if next == root {
 			next++
 		}
-		sl := heap.Pop(&h).(slot)
+		sl := h.pop()
 		child := next
 		next++
 		rc := sl.t + 2*p.O + p.L // child holds datum after send o + flight L + recv o
 		s.Parent[child] = sl.proc
 		s.RecvDone[child] = rc
-		s.Sends[sl.proc] = append(s.Sends[sl.proc], SendEvent{Child: child, At: sl.t})
-		heap.Push(&h, slot{t: sl.t + interval, proc: sl.proc})
-		heap.Push(&h, slot{t: rc, proc: child})
+		evs = append(evs, SendEvent{Child: child, At: sl.t})
+		evProc = append(evProc, int32(sl.proc))
+		h.push(slot{t: sl.t + interval, proc: sl.proc})
+		h.push(slot{t: rc, proc: child})
 		if rc > s.Finish {
 			s.Finish = rc
+		}
+	}
+	offs := make([]int32, p.P+1)
+	for _, pr := range evProc {
+		offs[pr+1]++
+	}
+	for i := 0; i < p.P; i++ {
+		offs[i+1] += offs[i]
+	}
+	arena := make([]SendEvent, len(evs))
+	cursor := append([]int32(nil), offs[:p.P]...)
+	for i, ev := range evs {
+		c := evProc[i]
+		arena[cursor[c]] = ev
+		cursor[c]++
+	}
+	for i := 0; i < p.P; i++ {
+		if offs[i] < offs[i+1] {
+			s.Sends[i] = arena[offs[i]:offs[i+1]:offs[i+1]]
 		}
 	}
 	return s, nil

@@ -1,0 +1,254 @@
+package flat_test
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/metrics"
+)
+
+// checkCapSharded runs prog on the sequential flat engine, the goroutine
+// machine, and the sharded flat engine at every given shard count, asserting
+// full Result equality — including MaxInTransitFrom/To, which the barrier
+// replay tracks exactly under capacity sharding. A run that errors (e.g. a
+// capacity deadlock) must error identically on every engine.
+func checkCapSharded(t *testing.T, cfg logp.Config, mk func() logp.Program, shardCounts []int) {
+	t.Helper()
+	errStr := func(err error) string {
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	seq, seqErr := flat.Run(cfg, mk(), 1)
+	gor, gorErr := logp.RunProgram(cfg, mk())
+	if errStr(seqErr) != errStr(gorErr) {
+		t.Errorf("flat(1) error %q, goroutine error %q", errStr(seqErr), errStr(gorErr))
+	} else if seqErr == nil && !reflect.DeepEqual(seq, gor) {
+		t.Errorf("flat(1) vs goroutine differ:\n flat:      %+v\n goroutine: %+v", seq, gor)
+	}
+	for _, shards := range shardCounts {
+		got, err := flat.Run(cfg, mk(), shards)
+		if errStr(err) != errStr(seqErr) {
+			t.Errorf("shards=%d error %q, sequential error %q", shards, errStr(err), errStr(seqErr))
+			continue
+		}
+		if seqErr == nil && !reflect.DeepEqual(got, seq) {
+			t.Errorf("shards=%d differs from sequential:\n sharded:    %+v\n sequential: %+v",
+				shards, got, seq)
+		}
+	}
+}
+
+// TestCapShardedMatchesSequential pins the capacity-mode window ledger
+// against the sequential flat core and the goroutine machine across the
+// ported programs, including the parameter corners that stress the replay:
+// g > L (capacity 1, every link serialized), L = 0 (single-instant windows),
+// and hold-until-receive (releases at reception end, not arrival).
+func TestCapShardedMatchesSequential(t *testing.T) {
+	std := core.Params{P: 0, L: 8, O: 2, G: 3}
+	with := func(p int) core.Params { pr := std; pr.P = p; return pr }
+	cases := []struct {
+		name string
+		cfg  logp.Config
+		mk   func() logp.Program
+	}{
+		{"broadcast", logp.Config{Params: with(32)}, func() logp.Program {
+			s, err := core.OptimalBroadcast(with(32), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return newBroadcast(s, 1, "datum")
+		}},
+		{"pingpong", logp.Config{Params: with(16)}, func() logp.Program { return newPingPong(12) }},
+		{"alltoall", logp.Config{Params: with(12)}, func() logp.Program { return newAllToAll(12, 3, 1, 2, true) }},
+		{"chain", logp.Config{Params: with(24)}, func() logp.Program {
+			return newChain(24, 0, 3, 6, func(i int) any { return i })
+		}},
+		{"gap-exceeds-latency", logp.Config{Params: core.Params{P: 8, L: 2, O: 1, G: 5}},
+			func() logp.Program { return newAllToAll(8, 3, 1, 2, true) }},
+		{"zero-latency", logp.Config{Params: core.Params{P: 8, L: 0, O: 2, G: 1}},
+			func() logp.Program { return newAllToAll(8, 2, 1, 2, true) }},
+		{"zero-latency-zero-overhead", logp.Config{Params: core.Params{P: 6, L: 0, O: 0, G: 1}},
+			func() logp.Program { return newChain(6, 0, 3, 4, func(i int) any { return i }) }},
+		{"hold-until-receive", logp.Config{Params: with(12), HoldCapacityUntilReceive: true},
+			func() logp.Program { return newChain(12, 0, 3, 6, func(i int) any { return i }) }},
+		// Hold-mode all-to-all genuinely deadlocks (everyone's reservations
+		// are held behind receptions that wait on everyone else): the
+		// sharded engine must report the identical capacity deadlock.
+		{"hold-deadlock", logp.Config{Params: with(12), HoldCapacityUntilReceive: true},
+			func() logp.Program { return newAllToAll(12, 3, 1, 2, true) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkCapSharded(t, tc.cfg, tc.mk, []int{2, 3, 4, 8})
+		})
+	}
+}
+
+// capFlood is the stall-spanning-a-barrier scenario: proc 0 fires burst
+// back-to-back sends at proc 1, which idles for hold cycles before draining
+// its inbox. With hold-until-receive the capacity units stay reserved until
+// proc 1's receptions complete, so proc 0's stalls span many [M, M+L+1)
+// windows and grants fire from windows far past the acquire's. Remaining
+// processors finish at once, padding the machine so partitions split sender
+// and receiver.
+type capFlood struct {
+	burst int
+	hold  int64
+}
+
+func (c *capFlood) Start(n logp.Node) {
+	switch n.ID() {
+	case 0:
+		for i := 0; i < c.burst; i++ {
+			n.Send(1, 9, i)
+		}
+		n.Done()
+	case 1:
+		n.Wait(c.hold)
+	default:
+		n.Done()
+	}
+}
+
+func (c *capFlood) Message(n logp.Node, m logp.Message) {
+	if m.Data.(int) == c.burst-1 {
+		n.Done()
+	}
+}
+
+func TestCapShardedStallSpansBarrier(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  logp.Config
+	}{
+		{"arrival-release", logp.Config{Params: core.Params{P: 6, L: 4, O: 1, G: 2}}},
+		{"hold-release", logp.Config{Params: core.Params{P: 6, L: 4, O: 1, G: 2}, HoldCapacityUntilReceive: true}},
+		{"hold-release-cap1", logp.Config{Params: core.Params{P: 6, L: 3, O: 2, G: 4}, HoldCapacityUntilReceive: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkCapSharded(t, tc.cfg, func() logp.Program {
+				return &capFlood{burst: 8, hold: 60}
+			}, []int{2, 3, 6})
+		})
+	}
+}
+
+// TestCapShardedFailStopHoldingCapacity kills processors that hold reserved
+// capacity: the sender mid-burst (its in-flight messages still settle and its
+// queued acquire may be granted posthumously — the grant injects, then the
+// processor halts at the next operation boundary, exactly as sequentially)
+// and the receiver (deliveries to it drop, but non-dup drops still release
+// the reserved units, so the surviving senders make progress).
+func TestCapShardedFailStopHoldingCapacity(t *testing.T) {
+	params := core.Params{P: 6, L: 4, O: 1, G: 2}
+	cases := []struct {
+		name   string
+		faults *logp.FaultPlan
+		mk     func() logp.Program
+	}{
+		// The killed sender's receiver waits forever for the tail of the
+		// burst: every engine must report the identical deadlock, with the
+		// sender's granted-but-undelivered reservations settled the same way.
+		{"sender-killed-mid-stall",
+			&logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 0, At: 7}}},
+			func() logp.Program { return &capFlood{burst: 8, hold: 60} }},
+		{"receiver-killed-holding-reservations",
+			&logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 1, At: 9}}},
+			func() logp.Program {
+				// Ring flood: every processor streams to its successor; the
+				// ring keeps going around proc 1's corpse because drops
+				// release capacity. Proc 2 expects nothing (its predecessor
+				// is dead) and the others their full stream.
+				return newRingExpect(4, []int{4, 0, 0, 4, 4, 4})
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := logp.Config{Params: params, Faults: tc.faults}
+			checkCapSharded(t, cfg, tc.mk, []int{2, 3, 6})
+		})
+	}
+}
+
+// TestCapShardedPrometheusMatchesSequential: with capacity sharding the
+// whole counter and histogram surface — sends, receptions, deliveries,
+// stall events and cycles, the stall and flight histograms, the traffic
+// matrix — must render byte-identical Prometheus text to the sequential
+// engine. (The sampled time series is window-quantized under sharding and is
+// compared across shard counts, not against sequential.)
+func TestCapShardedPrometheusMatchesSequential(t *testing.T) {
+	params := core.Params{P: 12, L: 8, O: 2, G: 3}
+	run := func(shards int) ([]byte, []metrics.Sample) {
+		reg := metrics.NewRegistry()
+		cfg := logp.Config{Params: params, Metrics: reg, MetricsEvery: 8}
+		if _, err := flat.Run(cfg, newAllToAll(12, 3, 1, 2, true), shards); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), append([]metrics.Sample(nil), reg.Samples...)
+	}
+	promSeq, _ := run(1)
+	prom2, samp2 := run(2)
+	if !bytes.Equal(prom2, promSeq) {
+		t.Errorf("shards=2 Prometheus text differs from sequential:\n--- sequential\n%s\n--- sharded\n%s", promSeq, prom2)
+	}
+	for _, shards := range []int{3, 4, 6} {
+		prom, samp := run(shards)
+		if !bytes.Equal(prom, promSeq) {
+			t.Errorf("shards=%d Prometheus text differs from sequential", shards)
+		}
+		if !reflect.DeepEqual(samp, samp2) {
+			t.Errorf("shards=%d sample series differs from shards=2 (window sequence should be shard-count-invariant)", shards)
+		}
+	}
+}
+
+// TestCapShardedBitDeterminism: the capacity-sharded run — Result,
+// Prometheus text, sample series — is bit-identical for every GOMAXPROCS
+// setting. The ledger replay is single-threaded over a sort keyed purely by
+// sim-time fields, so thread scheduling must not be observable.
+func TestCapShardedBitDeterminism(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	run := func() (logp.Result, []byte, []metrics.Sample) {
+		reg := metrics.NewRegistry()
+		cfg := logp.Config{Params: core.Params{P: 24, L: 8, O: 2, G: 3}, Metrics: reg, MetricsEvery: 16}
+		res, err := flat.Run(cfg, newAllToAll(24, 2, 1, 2, true), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes(), append([]metrics.Sample(nil), reg.Samples...)
+	}
+
+	runtime.GOMAXPROCS(1)
+	res1, prom1, samp1 := run()
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		res, prom, samp := run()
+		if !reflect.DeepEqual(res, res1) {
+			t.Errorf("GOMAXPROCS=%d: Result differs from GOMAXPROCS=1", procs)
+		}
+		if !bytes.Equal(prom, prom1) {
+			t.Errorf("GOMAXPROCS=%d: Prometheus text differs from GOMAXPROCS=1", procs)
+		}
+		if !reflect.DeepEqual(samp, samp1) {
+			t.Errorf("GOMAXPROCS=%d: sample series differs from GOMAXPROCS=1", procs)
+		}
+	}
+}

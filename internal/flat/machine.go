@@ -29,10 +29,19 @@
 // o-cycle overhead buffers its cross-shard delivery at park time
 // (bufferParkedSend), because by the time the wake fires — possibly in a
 // later window — only L of the lookahead remains. The result is
-// bit-identical for any GOMAXPROCS setting. Sharded runs require
-// DisableCapacity (capacity semaphores couple processors across shards) and
-// exclude the single-shard-only observers (trace, profiler, faults, latency
-// and compute jitter); see New.
+// bit-identical for any GOMAXPROCS setting.
+//
+// The capacity constraint — the paper's ceil(L/g) in-flight bound — couples
+// processors across shards through the machine-wide semaphores, so capacity
+// mode runs a two-phase reserve/commit instead: within a window every send
+// parks at its acquire and shards record acquire/release operations into a
+// ledger; the barrier replays the merged ledger single-threaded in sim-time
+// order, granting capacity and injecting deliveries (see runSharded and
+// replayCapacity). The window narrows to [M, M+L+1) to keep barrier grants
+// sound, and the replay order is built from pure sim-time fields, so
+// capacity-sharded runs are bit-identical across shard counts too. Sharded
+// runs exclude the single-shard-only observers (trace, profiler, latency and
+// compute jitter) and allow fault plans with fail-stops only; see New.
 package flat
 
 import (
@@ -60,7 +69,29 @@ const (
 	rCapIn                      // woken from the in-capacity queue
 	rRecvWake                   // woken from the inbox arrival wait
 	rRecvPaid                   // Recv's gap wait + o overhead elapsed
+	rCapGranted                 // sharded: the barrier ledger granted both capacity units
 )
+
+// Capacity-ledger operation kinds. Releases sort before acquires at equal
+// (t, trig): a unit freed at an instant is available to an acquire at that
+// instant, mirroring the barging re-check of sim.Semaphore.
+const (
+	opRelease uint8 = iota
+	opAcquire
+)
+
+// capOp is one capacity-semaphore operation recorded by a shard during a
+// window and replayed single-threaded at the barrier. Every field is a pure
+// sim-time quantity — no shard-local sequence numbers — so the replay order,
+// and with it the whole capacity schedule, is identical for every shard
+// count and GOMAXPROCS setting.
+type capOp struct {
+	t    int64 // sim time the operation occurred
+	trig int64 // tie-break: when the occurrence was set in motion (see sort comment)
+	kind uint8
+	from int32 // sending processor (out-capacity side)
+	to   int32 // destination processor (in-capacity side)
+}
 
 // Recorded Node operation kinds.
 const (
@@ -76,6 +107,28 @@ type op struct {
 	kind uint8
 	a, b int64
 	data any
+}
+
+// heldEvent is an event targeting a capacity-blocked processor, deferred
+// until the barrier grant resolves (capacity-sharded runs only). A shard's
+// window may dispatch a delivery or kill for a processor parked at its
+// capacity acquire at a sim time the grant later rewinds past; applying it
+// at dispatch would leak its effect backward in time (an inbox arrival the
+// rewound execution should not see yet, a fail-stop flag killing work the
+// sequential engine performs). Held events are flushed in dispatch order at
+// grant time: at or before the grant instant they apply directly, after it
+// they are rescheduled at their original times.
+type heldEvent struct {
+	t      int64 // sim time the event was dispatched (arrival / kill time)
+	kind   uint8 // evDeliver or evFail
+	flight int64 // evDeliver: the flight draw (metrics, hold-mode release)
+	msg    logp.Message
+}
+
+// capBlocked reports whether p is parked at a capacity acquire awaiting a
+// barrier grant: events targeting it must be deferred (see heldEvent).
+func capBlocked(p *proc) bool {
+	return p.blocked && (p.resume == rCapOut || p.resume == rCapIn)
 }
 
 // proc is one processor/memory module: the flat-array counterpart of
@@ -118,6 +171,11 @@ type proc struct {
 	recvFrom   int64 // Recv: gap-respecting reception start
 	recvPay    int64 // Recv: overhead cycles being charged
 	cur        logp.Message
+
+	// held buffers deliveries and kills that targeted this processor while
+	// it was parked at a capacity acquire; the barrier grant flushes it
+	// (capFlush). Dispatch order, hence ascending time.
+	held []heldEvent
 }
 
 func (p *proc) pending() int { return len(p.inbox) - p.inboxHead }
@@ -133,17 +191,37 @@ func (p *proc) popInbox() logp.Message {
 	return msg
 }
 
+// inboxShrinkCap bounds the backing array a compaction keeps: above it, a
+// backlog that fits in a quarter of the capacity moves to a right-sized
+// array instead of compacting in place, so a processor's footprint follows
+// its steady-state backlog rather than its historical burst peak.
+const inboxShrinkCap = 4096
+
 // pushInbox appends an arrival, compacting consumed slots once they dominate
 // the backlog so a streaming receiver reuses storage instead of growing the
 // slice for the whole run. Invisible to programs: only the live tail moves.
+// Pathologically over-grown backing arrays (a one-off burst followed by a
+// long streaming phase) are released at compaction (inboxShrinkCap).
 func (p *proc) pushInbox(msg *logp.Message) {
 	if p.inboxHead > 16 && p.inboxHead*2 >= len(p.inbox) {
-		n := copy(p.inbox, p.inbox[p.inboxHead:])
-		for i := n; i < len(p.inbox); i++ {
-			p.inbox[i].Data = nil
+		live := len(p.inbox) - p.inboxHead
+		if c := cap(p.inbox); c > inboxShrinkCap && live*4 < c {
+			newCap := live * 2
+			if newCap < 64 {
+				newCap = 64
+			}
+			nb := make([]logp.Message, live, newCap)
+			copy(nb, p.inbox[p.inboxHead:])
+			p.inbox = nb // old array released wholesale, dead Data and all
+			p.inboxHead = 0
+		} else {
+			n := copy(p.inbox, p.inbox[p.inboxHead:])
+			for i := n; i < len(p.inbox); i++ {
+				p.inbox[i].Data = nil
+			}
+			p.inbox = p.inbox[:n]
+			p.inboxHead = 0
 		}
-		p.inbox = p.inbox[:n]
-		p.inboxHead = 0
 	}
 	p.inbox = append(p.inbox, *msg)
 }
@@ -203,20 +281,24 @@ type semaphore struct {
 // metrics scratch.
 type shard struct {
 	queue
-	idx    int32
-	lo, hi int // procs [lo, hi)
-	live   int
-	out    [][]event          // cross-shard deliveries, one buffer per destination shard
-	flight *metrics.Histogram // shard-local flight-cycle observations, merged at the end
+	idx     int32
+	lo, hi  int // procs [lo, hi)
+	live    int
+	out     [][]event          // cross-shard deliveries, one buffer per destination shard
+	flight  *metrics.Histogram // shard-local flight-cycle observations, merged at the end
+	stall   *metrics.Histogram // shard-local stall-cycle observations, merged at the end
+	capOps  []capOp            // capacity ledger: this window's acquires and releases
+	dropped int                // deliveries lost to fail-stopped destinations
 }
 
 // Machine is a flat LogP machine ready to run one Program.
 type Machine struct {
-	cfg     logp.Config
-	prog    logp.Program
-	shards  int
-	horizon int64 // conservative cross-shard lookahead: o + L
-	perSh   int   // processors per shard (last shard may be short)
+	cfg        logp.Config
+	prog       logp.Program
+	shards     int
+	horizon    int64 // conservative cross-shard lookahead: o+L, or L+1 with capacity on
+	capSharded bool  // shards > 1 with the capacity constraint: sends go through the ledger
+	perSh      int   // processors per shard (last shard may be short)
 
 	procs []proc
 	sh    []shard
@@ -231,8 +313,13 @@ type Machine struct {
 	tr            *trace.Log
 	rec           *prof.Recorder
 	faults        *logp.FaultRuntime
-	dropped       int
 	duplicated    int
+
+	// Barrier-replay scratch for capacity-sharded runs, reused across
+	// windows: the merged sorted ledger and the pending wake list of the
+	// instant being replayed.
+	capLedger []capOp
+	capWakes  []int32
 
 	met        *metrics.Registry
 	skew       []float64
@@ -247,12 +334,16 @@ type Machine struct {
 // New builds a flat machine for prog. Config semantics are identical to
 // logp.New. shards < 2 builds the sequential engine, which supports every
 // Config and is cycle-identical to the goroutine machine. shards >= 2
-// enables windowed parallel execution, which additionally requires
-// DisableCapacity, no trace/profiler/faults, zero latency and compute
-// jitter, and o+L >= 1 (the lookahead window); ProcSkew is allowed (the
-// skews are drawn up front). Result.MaxInTransitFrom/To and the sample
-// in-flight series are reported as zero in sharded runs: settling a
-// message's in-transit accounting at arrival would cross shards.
+// enables windowed parallel execution, which excludes trace and profiler
+// collection, latency and compute jitter, and fault plans beyond pure
+// fail-stops; ProcSkew is allowed (the skews are drawn up front). The
+// capacity constraint is supported — sends resolve against the machine-wide
+// semaphores at the window barriers (see runSharded) — and with it
+// Result.MaxInTransitFrom/To are exact; capacity-off sharded runs report
+// them as zero (settling a message's in-transit accounting at arrival would
+// cross shards), and both flavors keep the sample in-flight series zero.
+// Capacity-off sharding additionally requires o+L >= 1 (the lookahead
+// window); capacity mode runs its own L+1 window and has no such floor.
 func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -278,25 +369,38 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 		shards = cfg.P
 	}
 	if shards > 1 {
-		if !cfg.DisableCapacity {
-			return nil, fmt.Errorf("flat: sharded execution requires DisableCapacity (capacity semaphores couple processors across shards)")
+		if cfg.CollectTrace || cfg.Profiler != nil {
+			return nil, fmt.Errorf("flat: sharded execution excludes trace and profiler (single-shard observers)")
 		}
-		if cfg.CollectTrace || cfg.Profiler != nil || cfg.Faults != nil {
-			return nil, fmt.Errorf("flat: sharded execution excludes trace, profiler and faults (single-shard observers)")
+		if cfg.Faults != nil && !failStopOnly(cfg.Faults) {
+			return nil, fmt.Errorf("flat: sharded execution allows fail-stop faults only (drop/dup/jitter/slowdown draws are ordered by a single queue)")
 		}
 		if cfg.LatencyJitter != 0 || cfg.ComputeJitter != 0 {
 			return nil, fmt.Errorf("flat: sharded execution requires zero latency/compute jitter (random draws are ordered by a single queue)")
 		}
-		if cfg.O+cfg.L < 1 {
+		if cfg.DisableCapacity && cfg.O+cfg.L < 1 {
 			return nil, fmt.Errorf("flat: sharded execution requires o+L >= 1 for a conservative lookahead window")
 		}
 	}
+	horizon := cfg.O + cfg.L
+	capSharded := shards > 1 && !cfg.DisableCapacity
+	if capSharded {
+		// Capacity mode narrows the window to L+1: every send pauses at its
+		// capacity acquire and is granted at the barrier, so the only events
+		// the barrier schedules into a shard's past-capable future are
+		// deliveries at grant+L with grant >= M — sound iff the window end
+		// M+W-1 never exceeds M+L, i.e. W <= L+1. L = 0 degenerates to
+		// single-instant windows, which stay correct (and need no o+L >= 1
+		// rule: barrier grants, not in-window sends, carry the progress).
+		horizon = cfg.L + 1
+	}
 	m := &Machine{
-		cfg:     cfg,
-		prog:    prog,
-		shards:  shards,
-		horizon: cfg.O + cfg.L,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:        cfg,
+		prog:       prog,
+		shards:     shards,
+		horizon:    horizon,
+		capSharded: capSharded,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if cfg.ProcSkew > 0 {
 		m.skew = make([]float64, cfg.P)
@@ -329,7 +433,12 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 			m.inCap[i].capacity = capUnits
 		}
 	}
-	if shards == 1 {
+	if shards == 1 || !cfg.DisableCapacity {
+		// Sequential runs settle in-transit counts at delivery; capacity-
+		// sharded runs replay every acquire and release at the barrier in
+		// sim-time order, which makes the high-water marks exact there too.
+		// Only capacity-off sharded runs leave them untracked (settling a
+		// message's accounting at arrival would cross shards mid-window).
 		m.inTransitFrom = make([]int32, cfg.P)
 		m.inTransitTo = make([]int32, cfg.P)
 	}
@@ -359,9 +468,15 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 		}
 		sh.deadline = math.MaxInt64
 		if m.shards > 1 {
-			sh.out = make([][]event, m.shards)
+			if !m.capSharded {
+				// Capacity-sharded runs have no outboxes: every send parks at
+				// its acquire and the barrier injects cross- and same-shard
+				// deliveries alike, so nothing is emitted mid-window.
+				sh.out = make([][]event, m.shards)
+			}
 			if m.met != nil {
 				sh.flight = metrics.NewHistogram(m.met.FlightCycles.Bounds()...)
+				sh.stall = metrics.NewHistogram(m.met.StallCyclesHist.Bounds()...)
 			}
 		}
 	}
@@ -375,6 +490,15 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 }
 
 func (m *Machine) shardOf(proc int) int32 { return int32(proc / m.perSh) }
+
+// failStopOnly reports whether a fault plan injects fail-stops and nothing
+// else: no link faults (drop/dup/jitter) and no slowdown windows. Such a plan
+// is admissible under sharding — each kill is an event on its victim's own
+// shard and consumes no random draws, so there is no cross-shard draw
+// ordering to preserve.
+func failStopOnly(p *logp.FaultPlan) bool {
+	return p.Default == (logp.LinkFault{}) && len(p.Links) == 0 && len(p.Slowdowns) == 0
+}
 
 // Config returns the machine configuration.
 func (m *Machine) Config() logp.Config { return m.cfg }
@@ -394,9 +518,11 @@ func (m *Machine) Run() (logp.Result, error) {
 	// (at equal times the kill fires before the victim does any work), then
 	// the metrics sampler, then the processor start events in order.
 	if m.faults != nil {
-		q0 := &m.sh[0].queue
 		for _, fs := range m.faults.Plan().FailStops {
-			q0.scheduleAt(fs.At, evFail, int32(fs.Proc))
+			// The kill is an event on the victim's own shard: it touches only
+			// that processor's state, so it is window-safe under sharding.
+			q := &m.sh[m.shardOf(fs.Proc)].queue
+			q.scheduleAt(fs.At, evFail, int32(fs.Proc))
 		}
 	}
 	if m.met != nil && m.shards == 1 {
@@ -428,8 +554,10 @@ func (m *Machine) Run() (logp.Result, error) {
 		Trace:            m.tr,
 		MaxInTransitFrom: m.maxOut,
 		MaxInTransitTo:   m.maxIn,
-		Dropped:          m.dropped,
 		Duplicated:       m.duplicated,
+	}
+	for s := range m.sh {
+		res.Dropped += m.sh[s].dropped
 	}
 	for i := range m.procs {
 		pr := &m.procs[i]
@@ -453,6 +581,9 @@ func (m *Machine) Run() (logp.Result, error) {
 		for s := range m.sh {
 			if m.sh[s].flight != nil {
 				m.met.FlightCycles.Merge(m.sh[s].flight)
+			}
+			if m.sh[s].stall != nil {
+				m.met.StallCyclesHist.Merge(m.sh[s].stall)
 			}
 		}
 		if res.Time > m.lastSample || len(m.met.Samples) == 0 {
@@ -495,7 +626,9 @@ func (m *Machine) reset() {
 		m.inTransitFrom[i], m.inTransitTo[i] = 0, 0
 	}
 	m.maxOut, m.maxIn = 0, 0
-	m.dropped, m.duplicated = 0, 0
+	m.duplicated = 0
+	m.capLedger = m.capLedger[:0]
+	m.capWakes = m.capWakes[:0]
 	if m.met != nil {
 		capUnits := 0
 		if !m.cfg.DisableCapacity {
@@ -518,6 +651,11 @@ func (m *Machine) reset() {
 		if sh.flight != nil {
 			sh.flight = metrics.NewHistogram(m.met.FlightCycles.Bounds()...)
 		}
+		if sh.stall != nil {
+			sh.stall = metrics.NewHistogram(m.met.StallCyclesHist.Bounds()...)
+		}
+		sh.capOps = sh.capOps[:0]
+		sh.dropped = 0
 	}
 	for i := range m.procs {
 		p := &m.procs[i]
@@ -527,12 +665,16 @@ func (m *Machine) reset() {
 		p.inbox = p.inbox[:0]
 		p.inboxHead = 0
 		p.resetOps()
+		for j := range p.held {
+			p.held[j].msg.Data = nil
+		}
 		*p = proc{
 			id:    p.id,
 			shard: p.shard,
 			m:     m,
 			inbox: p.inbox,
 			ops:   p.ops,
+			held:  p.held[:0],
 		}
 	}
 }
@@ -576,6 +718,8 @@ func (m *Machine) dispatch(sh *shard, e *ent) {
 		m.resumeProc(sh, &m.procs[e.proc])
 	case evDeliver:
 		m.deliver(sh, e)
+	case evArrive:
+		m.arrive(sh, e)
 	case evFail:
 		m.kill(&m.procs[e.proc])
 	case evSample:
@@ -619,6 +763,29 @@ func (m *Machine) resumeProc(sh *shard, p *proc) {
 			p.opHead++
 			m.step(sh, p)
 		}
+	case rCapGranted:
+		// Sharded capacity: the barrier ledger granted both units at sh.now
+		// and already injected the message (capGrant). What remains is the
+		// sequential sendAcquireIn/sendInject bookkeeping that belongs to the
+		// sender: the stall charge and the gap floor for the next send.
+		if d := sh.now - p.stallStart; d > 0 {
+			p.stats.Stall += d
+			if m.met != nil {
+				// OnStall splits like OnDeliver: the per-processor counters
+				// are owned by this shard, the stall histogram is shared, so
+				// observe into shard scratch merged at the end of the run.
+				pm := &m.met.Procs[p.id]
+				pm.StallEvents.Inc()
+				pm.StallCycles.Add(d)
+				sh.stall.Observe(d)
+			}
+		}
+		p.nextSend = p.initiation + m.cfg.SendInterval()
+		if t := sh.now + m.cfg.G - m.cfg.O; t > p.nextSend {
+			p.nextSend = t
+		}
+		p.opHead++
+		m.step(sh, p)
 	case rRecvWake:
 		// Mirror of the wait loop in logp.Proc.Recv: record the idle
 		// segment, halt if fail-stopped, re-wait if the wake was for a
@@ -854,6 +1021,23 @@ func (m *Machine) sendAfterOverhead(sh *shard, p *proc) bool {
 	}
 	if m.outCap != nil {
 		p.stallStart = sh.now
+		if m.capSharded {
+			// Sharded capacity: every send pauses here, even when both units
+			// are free — whether they are free at this instant depends on
+			// releases other shards are producing concurrently. The acquire
+			// goes into the window ledger (trig: the park time of the wake
+			// that ran this attempt, i.e. the send's start) and the barrier
+			// replays all shards' ledgers in sim-time order, granting via
+			// capGrant and waking the sender with rCapGranted. p.resume
+			// doubles as the replay stage marker: rCapOut = holding nothing,
+			// rCapIn = holding the out unit, exactly the sequential codes.
+			p.blocked = true
+			p.resume = rCapOut
+			sh.capOps = append(sh.capOps, capOp{
+				t: sh.now, trig: p.sendStart, kind: opAcquire, from: p.id, to: int32(to),
+			})
+			return false
+		}
 		return m.sendAcquireOut(sh, p)
 	}
 	m.sendInject(sh, p)
@@ -969,13 +1153,27 @@ func (m *Machine) deliver(sh *shard, e *ent) {
 	msg := &pay.msg
 	dst := &m.procs[e.proc]
 	if e.drop || dst.failed {
-		m.dropped++
+		sh.dropped++
 		if m.met != nil {
 			m.met.OnDrop(msg.To)
 		}
 		if !msg.Dup() {
-			m.settle(msg)
+			m.settleAt(sh, msg, pay.flight)
 		}
+		sh.freePayload(e.idx)
+		return
+	}
+	if m.capSharded && capBlocked(dst) {
+		// dst is parked at a capacity acquire: the barrier may grant it at
+		// an instant before now and rewind its execution, which must not
+		// observe this arrival yet. The release belongs to this instant
+		// regardless (a drop to a dead destination settles identically), so
+		// it is recorded now; the inbox push and the delivery-vs-drop
+		// metrics are deferred to the grant (capFlush).
+		if !m.cfg.HoldCapacityUntilReceive && !msg.Dup() {
+			m.settleAt(sh, msg, pay.flight)
+		}
+		dst.held = append(dst.held, heldEvent{t: sh.now, kind: evDeliver, flight: pay.flight, msg: *msg})
 		sh.freePayload(e.idx)
 		return
 	}
@@ -998,7 +1196,56 @@ func (m *Machine) deliver(sh *shard, e *ent) {
 			}
 		}
 		if !m.cfg.HoldCapacityUntilReceive {
-			m.settle(msg)
+			m.settleAt(sh, msg, pay.flight)
+		}
+	}
+	sh.freePayload(e.idx)
+	if dst.waiting {
+		dst.waiting, dst.blocked = false, false
+		sh.scheduleAt(sh.now, evWake, dst.id)
+	}
+}
+
+// arrive completes a deferred arrival (capacity-sharded runs): the delivery
+// originally dispatched while its destination was parked at a capacity
+// acquire and was rescheduled past the grant (capFlush). Its settle and
+// release already ran at the original dispatch; what remains mirrors the
+// tail of deliver — the drop to a dead destination, the inbox push, the
+// delivery-vs-drop metrics, the receiver wake — plus deferring again if the
+// destination has stalled at a new acquire in the meantime.
+func (m *Machine) arrive(sh *shard, e *ent) {
+	pay := &sh.arena[e.idx]
+	msg := &pay.msg
+	dst := &m.procs[e.proc]
+	if capBlocked(dst) {
+		dst.held = append(dst.held, heldEvent{t: sh.now, kind: evDeliver, flight: pay.flight, msg: *msg})
+		sh.freePayload(e.idx)
+		return
+	}
+	if dst.failed {
+		sh.dropped++
+		if m.met != nil {
+			m.met.OnDrop(msg.To)
+		}
+		if m.cfg.HoldCapacityUntilReceive && !msg.Dup() {
+			// Hold-mode arrivals settle at reception or drop time; this one
+			// dropped, so its release is recorded here (the non-hold release
+			// already ran at the original dispatch).
+			sh.capOps = append(sh.capOps, capOp{
+				t: sh.now, trig: sh.now - pay.flight, kind: opRelease,
+				from: int32(msg.From), to: int32(msg.To),
+			})
+		}
+		sh.freePayload(e.idx)
+		return
+	}
+	dst.pushInbox(msg)
+	if m.met != nil {
+		if sh.flight != nil {
+			m.met.Procs[msg.To].Delivered.Inc()
+			sh.flight.Observe(pay.flight)
+		} else {
+			m.met.OnDeliver(msg.To, pay.flight)
 		}
 	}
 	sh.freePayload(e.idx)
@@ -1009,7 +1256,8 @@ func (m *Machine) deliver(sh *shard, e *ent) {
 }
 
 // settle ends a message's in-transit accounting and frees its capacity
-// slots (single-shard runs only; both structures are nil when sharded).
+// slots (single-shard runs; in capacity-sharded runs the barrier replay
+// performs the equivalent release via capOp).
 func (m *Machine) settle(msg *logp.Message) {
 	if m.inTransitFrom != nil {
 		m.inTransitFrom[msg.From]--
@@ -1019,6 +1267,23 @@ func (m *Machine) settle(msg *logp.Message) {
 		m.semRelease(&m.outCap[msg.From])
 		m.semRelease(&m.inCap[msg.To])
 	}
+}
+
+// settleAt settles a message at a delivery point: directly in sequential
+// runs, or — capacity-sharded — as a release recorded in the window ledger,
+// to be replayed at the barrier (the semaphores and in-transit counts are
+// machine-wide and may not be touched mid-window). The trig tie-break is the
+// injection time (arrival minus flight): the sim time at which the sequential
+// engine scheduled this delivery event.
+func (m *Machine) settleAt(sh *shard, msg *logp.Message, flight int64) {
+	if m.capSharded {
+		sh.capOps = append(sh.capOps, capOp{
+			t: sh.now, trig: sh.now - flight, kind: opRelease,
+			from: int32(msg.From), to: int32(msg.To),
+		})
+		return
+	}
+	m.settle(msg)
 }
 
 // semWait queues the processor on the semaphore (mirror of Signal.Wait +
@@ -1101,7 +1366,16 @@ func (m *Machine) finishRecvBook(sh *shard, p *proc) {
 		p.nextRecv = t
 	}
 	if m.cfg.HoldCapacityUntilReceive && !p.cur.Dup() {
-		m.settle(&p.cur)
+		if m.capSharded {
+			// Hold-mode release at reception end: trig is the arrival time —
+			// when the reception (and so this release) was set in motion.
+			sh.capOps = append(sh.capOps, capOp{
+				t: sh.now, trig: p.recvArrive, kind: opRelease,
+				from: int32(p.cur.From), to: int32(p.cur.To),
+			})
+		} else {
+			m.settle(&p.cur)
+		}
 	}
 	if m.rec != nil {
 		m.rec.RecvDone(int(p.id))
@@ -1147,6 +1421,15 @@ func (m *Machine) kill(p *proc) {
 	if p.failed {
 		return
 	}
+	if m.capSharded && capBlocked(p) {
+		// p is parked at a capacity acquire: a barrier grant may rewind it
+		// to a time before this kill, and the sends it performs there must
+		// not see the failed flag early (the sequential engine grants a
+		// queued acquire posthumously and halts the victim at the next
+		// operation boundary). Applied — or rescheduled — at grant time.
+		p.held = append(p.held, heldEvent{t: m.sh[p.shard].now, kind: evFail})
+		return
+	}
 	p.failed = true
 	if p.waiting {
 		p.waiting, p.blocked = false, false
@@ -1185,7 +1468,11 @@ func (m *Machine) takeSample(now int64) {
 	interval := now - m.lastSample
 	for i := range m.procs {
 		pr := &m.procs[i]
-		if m.inTransitFrom != nil {
+		if m.shards == 1 && m.inTransitFrom != nil {
+			// Sharded runs keep the sample gauges zero even when the barrier
+			// replay tracks in-transit counts exactly (capacity mode): the
+			// mid-window state a sequential sampler would observe at this
+			// instant is not reconstructible at a barrier.
 			s.InFlightFrom[i] = m.inTransitFrom[i]
 			s.InFlightTo[i] = m.inTransitTo[i]
 		}

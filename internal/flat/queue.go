@@ -7,11 +7,14 @@ import (
 )
 
 // Event kinds. A wake resumes a processor's continuation, a deliver
-// completes a message flight, a fail executes a fail-stop, a sample fires
-// the metrics sampler (single-shard runs only).
+// completes a message flight, an arrive finishes a delivery that was
+// deferred past a capacity grant (capacity-sharded runs; bookkeeping
+// already settled), a fail executes a fail-stop, a sample fires the
+// metrics sampler (single-shard runs only).
 const (
 	evWake uint8 = iota
 	evDeliver
+	evArrive
 	evFail
 	evSample
 )
@@ -130,11 +133,25 @@ func (q *queue) insert(e ent) {
 // migrate moves a heap entry into the wheel once its time is within the
 // horizon, inserting by seq: earlier-scheduled (heap) entries precede the
 // bucket's direct appends at the same instant, exactly as (t, seq) demands.
+//
+// popNext drains due heap entries in (t, seq) order, so a burst of events
+// sharing an instant migrates as a seq-ascending run: each lands after the
+// bucket's current tail and the append fast path makes the whole run linear.
+// Without it the insertion scan walks the run-so-far every time, which is
+// quadratic exactly when it hurts — a broadcast frontier of 10^5+ deliveries
+// buffered for one instant beyond the horizon. The scan survives only for
+// the rare out-of-order case: a barrier merge direct-appended a larger-seq
+// entry to the bucket before the migration caught up.
 func (q *queue) migrate(e ent) {
 	s := int(e.t) & wheelMask
 	if h := q.heads[s]; h != 0 && h == int32(len(q.wheel[s])) {
 		q.wheel[s] = q.wheel[s][:0]
 		q.heads[s] = 0
+	}
+	if n := len(q.wheel[s]); n == int(q.heads[s]) || q.wheel[s][n-1].seq < e.seq {
+		q.wheel[s] = append(q.wheel[s], e)
+		q.count++
+		return
 	}
 	sl := append(q.wheel[s], ent{})
 	i := int(q.heads[s])
@@ -187,6 +204,21 @@ func (q *queue) scheduleDeliver(t int64, proc int32, msg *logp.Message, flight i
 	p.flight = flight
 	p.msg = *msg
 	q.insert(ent{t: t, seq: q.seq, proc: proc, idx: i, kind: evDeliver, drop: drop})
+}
+
+// scheduleArrive queues the deferred completion of a delivery whose settle,
+// release and metrics decisions belong elsewhere (see heldEvent): only the
+// inbox push, the delivery metrics and the receiver wake remain at dispatch.
+func (q *queue) scheduleArrive(t int64, proc int32, msg *logp.Message, flight int64) {
+	if t < q.now {
+		panic(fmt.Sprintf("flat: scheduling event at %d before current time %d", t, q.now))
+	}
+	q.seq++
+	i := q.allocPayload()
+	p := &q.arena[i]
+	p.flight = flight
+	p.msg = *msg
+	q.insert(ent{t: t, seq: q.seq, proc: proc, idx: i, kind: evArrive})
 }
 
 // pushHeap inserts e into the 4-ary overflow heap (sift-up with a hole).
@@ -290,6 +322,34 @@ func (q *queue) popNext(limit int64, out *ent) bool {
 	}
 	q.popBucket(int(t)&wheelMask, out)
 	return true
+}
+
+// rewind moves the clock back to t (<= now) so a window-barrier grant can
+// schedule a wake at a sim time the shard already ran past. Every wheel
+// bucket whose index falls in [t, now) holds only entries at that index plus
+// wheelSize (the wheel invariant pins entries to [now, now+wheelSize), and
+// the bucket residues below now wrapped around) — all at least t+wheelSize,
+// outside the rewound horizon — so they spill to the overflow heap, from
+// which popNext's migration loop recovers them as the clock re-approaches.
+// Buckets at indices in [now, t+wheelSize) keep their entries: those times
+// stay within the horizon of the new now.
+func (q *queue) rewind(t int64) {
+	if t >= q.now {
+		return
+	}
+	span := q.now - t
+	if span > wheelSize {
+		span = wheelSize // all wheelSize buckets covered; further laps revisit them
+	}
+	for d := int64(0); d < span; d++ {
+		s := int(t+d) & wheelMask
+		for q.heads[s] < int32(len(q.wheel[s])) {
+			var e ent
+			q.popBucket(s, &e)
+			q.pushHeap(e)
+		}
+	}
+	q.now = t
 }
 
 // reset empties the queue and rewinds its clock and sequence counter,

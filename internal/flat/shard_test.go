@@ -226,11 +226,16 @@ func TestShardedRejectsUnsupportedConfig(t *testing.T) {
 		name   string
 		mutate func(*logp.Config)
 	}{
-		{"capacity", func(c *logp.Config) { c.DisableCapacity = false }},
 		{"trace", func(c *logp.Config) { c.CollectTrace = true }},
 		{"latency-jitter", func(c *logp.Config) { c.LatencyJitter = 3 }},
 		{"compute-jitter", func(c *logp.Config) { c.ComputeJitter = 0.5 }},
-		{"faults", func(c *logp.Config) { c.Faults = &logp.FaultPlan{Default: logp.LinkFault{Drop: 0.1}} }},
+		{"drop-faults", func(c *logp.Config) { c.Faults = &logp.FaultPlan{Default: logp.LinkFault{Drop: 0.1}} }},
+		{"dup-faults", func(c *logp.Config) { c.Faults = &logp.FaultPlan{Default: logp.LinkFault{Dup: 0.1}} }},
+		{"jitter-faults", func(c *logp.Config) { c.Faults = &logp.FaultPlan{Default: logp.LinkFault{Jitter: 2}} }},
+		{"slowdown-faults", func(c *logp.Config) {
+			c.Faults = &logp.FaultPlan{Slowdowns: []logp.Slowdown{{Proc: 0, Start: 0, End: 10, Factor: 2}}}
+		}},
+		{"zero-lookahead-nocap", func(c *logp.Config) { c.Params.L, c.Params.O, c.Params.G = 0, 0, 1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -241,9 +246,32 @@ func TestShardedRejectsUnsupportedConfig(t *testing.T) {
 			}
 		})
 	}
-	// The same configs are fine on one shard.
+	// Capacity mode and fail-stop-only fault plans are supported under
+	// sharding (via the window ledger and victim-shard kill events).
+	accepts := []struct {
+		name   string
+		mutate func(*logp.Config)
+	}{
+		{"capacity", func(c *logp.Config) { c.DisableCapacity = false }},
+		{"capacity-zero-lookahead", func(c *logp.Config) {
+			c.DisableCapacity = false
+			c.Params.L, c.Params.O, c.Params.G = 0, 0, 1
+		}},
+		{"fail-stop-faults", func(c *logp.Config) {
+			c.Faults = &logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 3, At: 1000}}}
+		}},
+	}
+	for _, tc := range accepts {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := flat.Run(cfg, newPingPong(2), 2); err != nil {
+				t.Errorf("sharded run rejected supported config %q: %v", tc.name, err)
+			}
+		})
+	}
+	// The rejected configs are fine on one shard.
 	cfg := base
-	cfg.DisableCapacity = false
 	cfg.CollectTrace = true
 	if _, err := flat.Run(cfg, newPingPong(2), 1); err != nil {
 		t.Errorf("sequential flat rejected supported config: %v", err)

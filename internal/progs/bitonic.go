@@ -1,0 +1,134 @@
+package progs
+
+import (
+	"math/bits"
+
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// bitonicState is one processor's slot of Bitonic.
+type bitonicState struct {
+	key   float64
+	round int
+	// stash holds partner keys that arrived for rounds this processor has
+	// not reached yet (a fast pair starts its next round while a slow pair
+	// is still merging); stashSet marks which rounds are present.
+	stash    []float64
+	stashSet []bool
+}
+
+// Bitonic is bitonic merge sort with one key per processor (Section 4.2.2)
+// in handler form: the compare-exchange network of the sorting example,
+// lifted out of the blocking driver in internal/algo/sort. Round r of the
+// log2(P)*(log2(P)+1)/2 rounds pairs processor me with me^j (k the stage
+// size, j the halving distance); each partner sends its key, and on the
+// exchange the pair keeps (min, max) oriented by the stage's direction bit
+// me&k. Tags are round-specific so a fast pair's next-round key cannot mix
+// into a slow pair's current exchange.
+type Bitonic struct {
+	tag  int
+	keys func(i int) float64
+	st   []bitonicState
+
+	// Keys[p] is processor p's key after the sort (ascending across p).
+	Keys []float64
+}
+
+// bitonicRounds is the total compare-exchange rounds for P processors.
+func bitonicRounds(p int) int {
+	lg := bits.Len(uint(p)) - 1
+	return lg * (lg + 1) / 2
+}
+
+// bitonicKey is the default input: the bit-reversal permutation of the
+// processor index — distinct keys, thoroughly unsorted.
+func bitonicKey(i, p int) float64 {
+	lg := bits.Len(uint(p)) - 1
+	return float64(bits.Reverse(uint(i)) >> (bits.UintSize - lg))
+}
+
+// NewBitonic builds the sort for p processors (a power of two); keys(i) is
+// processor i's input key, nil for the default bit-reversal permutation.
+func NewBitonic(p, tag int, keys func(i int) float64) *Bitonic {
+	if keys == nil {
+		keys = func(i int) float64 { return bitonicKey(i, p) }
+	}
+	return &Bitonic{tag: tag, keys: keys, st: make([]bitonicState, p), Keys: make([]float64, p)}
+}
+
+// partner returns the exchange partner and keep-low orientation of round r.
+func (b *Bitonic) partner(me, P, r int) (int, bool) {
+	for k := 2; k <= P; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			if r == 0 {
+				partner := me ^ j
+				ascending := me&k == 0
+				return partner, (me < partner) == ascending
+			}
+			r--
+		}
+	}
+	panic("progs: bitonic round out of range")
+}
+
+// Start implements logp.Program.
+func (b *Bitonic) Start(n logp.Node) {
+	P := n.P()
+	me := n.ID()
+	st := &b.st[me]
+	st.key = b.keys(me)
+	st.round = 0
+	total := bitonicRounds(P)
+	if cap(st.stash) < total {
+		st.stash = make([]float64, total)
+		st.stashSet = make([]bool, total)
+	}
+	st.stash = st.stash[:total]
+	st.stashSet = st.stashSet[:total]
+	for i := range st.stashSet {
+		st.stashSet[i] = false
+	}
+	if P == 1 {
+		b.Keys[me] = st.key
+		n.Done()
+		return
+	}
+	p, _ := b.partner(me, P, 0)
+	n.Send(p, b.tag, st.key)
+}
+
+// exchange applies one round's compare-exchange and fires the next send (or
+// finishes).
+func (b *Bitonic) exchange(n logp.Node, st *bitonicState, theirs float64) {
+	P := n.P()
+	me := n.ID()
+	_, keepLow := b.partner(me, P, st.round)
+	if keepLow == (theirs < st.key) {
+		st.key = theirs
+	}
+	st.round++
+	if st.round == bitonicRounds(P) {
+		b.Keys[me] = st.key
+		n.Done()
+		return
+	}
+	p, _ := b.partner(me, P, st.round)
+	n.Send(p, b.tag+st.round, st.key)
+}
+
+// Message implements logp.Program.
+func (b *Bitonic) Message(n logp.Node, m logp.Message) {
+	me := n.ID()
+	st := &b.st[me]
+	r := m.Tag - b.tag
+	if r != st.round {
+		st.stash[r] = m.Data.(float64)
+		st.stashSet[r] = true
+		return
+	}
+	b.exchange(n, st, m.Data.(float64))
+	for st.round < len(st.stashSet) && st.stashSet[st.round] {
+		st.stashSet[st.round] = false
+		b.exchange(n, st, st.stash[st.round])
+	}
+}

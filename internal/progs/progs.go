@@ -242,11 +242,20 @@ type PipelinedChain struct {
 // producing the i-th value at the root.
 func NewPipelinedChain(p, root, tag, m int, values func(i int) any) *PipelinedChain {
 	c := &PipelinedChain{root: root, tag: tag, m: m, values: values,
-		st: make([]chainState, p), Out: make([][]any, p)}
-	for i := range c.Out {
-		c.Out[i] = make([]any, 0, m)
-	}
+		st: make([]chainState, p), Out: outMatrix(p, m)}
 	return c
+}
+
+// outMatrix carves the p-by-(up to m) output rows from one arena: each row
+// has capacity m exactly, so appends never reallocate and constructing a
+// million-processor program is one allocation, not one per processor.
+func outMatrix(p, m int) [][]any {
+	rows := make([][]any, p)
+	arena := make([]any, p*m)
+	for i := range rows {
+		rows[i] = arena[i*m : i*m : (i+1)*m]
+	}
+	return rows
 }
 
 // Start implements logp.Program.
@@ -301,6 +310,12 @@ type PipelinedBinomial struct {
 	values       func(i int) any
 	st           []binState
 
+	// The broadcast tree is static, so every rank's child list is carved
+	// from one arena at construction (p-1 edges total) instead of being
+	// allocated per processor at Start.
+	kidArena []int
+	kidOffs  []int32
+
 	// Out[p][i] is the i-th value as seen at processor p.
 	Out [][]any
 }
@@ -308,27 +323,29 @@ type PipelinedBinomial struct {
 // NewPipelinedBinomial builds the binomial broadcast of m values.
 func NewPipelinedBinomial(p, root, tag, m int, values func(i int) any) *PipelinedBinomial {
 	b := &PipelinedBinomial{root: root, tag: tag, m: m, values: values,
-		st: make([]binState, p), Out: make([][]any, p)}
-	for i := range b.Out {
-		b.Out[i] = make([]any, 0, m)
+		st: make([]binState, p), Out: outMatrix(p, m)}
+	b.kidArena = make([]int, 0, p-1+1)
+	b.kidOffs = make([]int32, p+1)
+	for r := 0; r < p; r++ {
+		b.kidArena = appendBinomialChildren(b.kidArena, r, root, p)
+		b.kidOffs[r+1] = int32(len(b.kidArena))
 	}
 	return b
 }
 
-// binomialChildren mirrors collective.binomialChildren: the children of
-// relative rank r sit below the bit it joined on, largest first.
-func binomialChildren(r, root, P int) []int {
+// appendBinomialChildren mirrors collective.binomialChildren: the children
+// of relative rank r sit below the bit it joined on, largest first.
+func appendBinomialChildren(dst []int, r, root, P int) []int {
 	joinMask := 1
 	for joinMask < P && r&joinMask == 0 {
 		joinMask <<= 1
 	}
-	var children []int
 	for mask := joinMask >> 1; mask > 0; mask >>= 1 {
-		if dst := r + mask; dst < P {
-			children = append(children, (dst+root)%P)
+		if d := r + mask; d < P {
+			dst = append(dst, (d+root)%P)
 		}
 	}
-	return children
+	return dst
 }
 
 // Start implements logp.Program.
@@ -339,7 +356,7 @@ func (b *PipelinedBinomial) Start(n logp.Node) {
 	b.Out[me] = b.Out[me][:0]
 	st := &b.st[me]
 	st.got = 0
-	st.children = binomialChildren(r, b.root, P)
+	st.children = b.kidArena[b.kidOffs[r]:b.kidOffs[r+1]]
 	if r != 0 {
 		return
 	}

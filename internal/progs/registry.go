@@ -134,6 +134,37 @@ var builders = map[string]builder{
 			return Instance{Prog: b, Output: pipelinedOutput(a.N, &b.Out)}, nil
 		},
 	},
+	"fftremap": {
+		defaultN: 4096,
+		doc:      "the FFT's cyclic-to-blocked data remap of N points, staggered (Section 4.1)",
+		build: func(p core.Params, a Args) (Instance, error) {
+			if a.N%(p.P*p.P) != 0 {
+				return Instance{}, fmt.Errorf("progs: fftremap needs N divisible by P^2, have N=%d P=%d", a.N, p.P)
+			}
+			f := NewFFTRemap(p.P, a.N, 1)
+			return Instance{Prog: f, Output: func() map[string]float64 {
+				return map[string]float64{"rows": float64(a.N), "placed": float64(f.Placed())}
+			}}, nil
+		},
+	},
+	"bitonic": {
+		doc: "bitonic merge sort, one key per processor (Section 4.2.2)",
+		build: func(p core.Params, a Args) (Instance, error) {
+			if p.P&(p.P-1) != 0 {
+				return Instance{}, fmt.Errorf("progs: bitonic needs P a power of two, have P=%d", p.P)
+			}
+			b := NewBitonic(p.P, 1, nil)
+			return Instance{Prog: b, Output: func() map[string]float64 {
+				sorted := 1.0
+				for i := 1; i < len(b.Keys); i++ {
+					if b.Keys[i-1] > b.Keys[i] {
+						sorted = 0
+					}
+				}
+				return map[string]float64{"procs": float64(p.P), "sorted": sorted}
+			}}, nil
+		},
+	},
 	"alltoall": {
 		defaultN: 4,
 		doc:      "every processor sends N messages to every other (Section 4.1.2)",

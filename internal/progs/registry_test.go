@@ -50,6 +50,14 @@ func TestBuildAndRunEveryProgram(t *testing.T) {
 			if out["received"] != float64(4*regParams.P*(regParams.P-1)) {
 				t.Errorf("alltoall received %v", out["received"])
 			}
+		case "fftremap":
+			if out["placed"] != out["rows"] || out["rows"] != 4096 {
+				t.Errorf("fftremap digest %v: want all 4096 rows placed", out)
+			}
+		case "bitonic":
+			if out["sorted"] != 1 {
+				t.Errorf("bitonic digest %v: want sorted output", out)
+			}
 		}
 	}
 }

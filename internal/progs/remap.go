@@ -1,0 +1,97 @@
+package progs
+
+import "github.com/logp-model/logp/internal/logp"
+
+// remapPoint is one row in flight during the FFT data remap.
+type remapPoint struct {
+	Row int
+	V   float64
+}
+
+// FFTRemap is the FFT's cyclic-to-blocked data remap (Section 4.1) in
+// handler form: the communication phase of the hybrid layout, lifted out of
+// the blocking FFT driver in internal/algo/fft. Under the cyclic layout
+// processor me holds rows j*P+me; the blocked owner of row r is r/(n/P), so
+// each processor keeps one contiguous chunk of n/P^2 local indices and ships
+// one such chunk to every other processor. Sends go in staggered order —
+// destination (me+i)%P at step i — which keeps every destination served by
+// exactly one sender at a time; each processor finishes after receiving its
+// n/P - n/P^2 incoming rows.
+type FFTRemap struct {
+	n, tag int
+
+	// Blocked[p] is processor p's slice of the blocked layout after the
+	// remap: Blocked[p][i] holds row p*(n/P)+i.
+	Blocked [][]float64
+	got     []int
+}
+
+// rowVal is the payload carried for a row: self-identifying, so the digest
+// can verify every row landed at its blocked position.
+func rowVal(r int) float64 { return float64(r) }
+
+// NewFFTRemap builds the remap of n points; n must be a positive multiple
+// of P*P (each sender-destination chunk is n/P^2 rows).
+func NewFFTRemap(p, n, tag int) *FFTRemap {
+	return &FFTRemap{n: n, tag: tag, Blocked: make([][]float64, p), got: make([]int, p)}
+}
+
+// Start implements logp.Program.
+func (f *FFTRemap) Start(n logp.Node) {
+	P := n.P()
+	me := n.ID()
+	local := f.n / P
+	perDest := f.n / (P * P)
+	if cap(f.Blocked[me]) < local {
+		f.Blocked[me] = make([]float64, local)
+	}
+	f.Blocked[me] = f.Blocked[me][:local]
+	for i := range f.Blocked[me] {
+		f.Blocked[me][i] = -1
+	}
+	f.got[me] = 0
+	// Own chunk moves locally.
+	for t := 0; t < perDest; t++ {
+		j := me*perDest + t
+		r := j*P + me
+		f.Blocked[me][r%local] = rowVal(r)
+	}
+	for i := 1; i < P; i++ {
+		d := (me + i) % P
+		for t := 0; t < perDest; t++ {
+			j := d*perDest + t
+			r := j*P + me
+			n.Send(d, f.tag, remapPoint{Row: r, V: rowVal(r)})
+		}
+	}
+	if local == perDest { // P == 1: nothing inbound
+		n.Done()
+	}
+}
+
+// Message implements logp.Program.
+func (f *FFTRemap) Message(n logp.Node, m logp.Message) {
+	P := n.P()
+	me := n.ID()
+	local := f.n / P
+	pt := m.Data.(remapPoint)
+	f.Blocked[me][pt.Row%local] = pt.V
+	f.got[me]++
+	if f.got[me] == local-local/P {
+		n.Done()
+	}
+}
+
+// Placed counts the rows sitting at their correct blocked position.
+func (f *FFTRemap) Placed() int {
+	placed := 0
+	for p, chunk := range f.Blocked {
+		local := len(chunk)
+		for i, v := range chunk {
+			if v == rowVal(p*local+i) {
+				placed++
+			}
+		}
+	}
+	return placed
+}

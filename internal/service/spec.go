@@ -30,8 +30,10 @@ type MachineSpec struct {
 	L int64 `json:"l"`
 	O int64 `json:"o"`
 	G int64 `json:"g"`
-	// NoCapacity disables the ceil(L/g) capacity constraint (required for
-	// sharded flat execution).
+	// NoCapacity disables the ceil(L/g) capacity constraint. Legal with
+	// sharded flat execution either way: capacity-off sharding uses the
+	// o+L lookahead fast path, capacity-on sharding settles the per-link
+	// accounting at window barriers.
 	NoCapacity bool `json:"no_capacity,omitempty"`
 	// LatencyJitter, ComputeJitter and ProcSkew are the asynchrony knobs of
 	// logp.Config, all deterministic in Seed.
@@ -116,8 +118,9 @@ type JobSpec struct {
 	// hashes are stable across daemon configurations).
 	Engine string `json:"engine"`
 	// Shards > 1 selects the flat engine's windowed parallel kernel. The
-	// sharded kernel is bit-deterministic in the shard count but reports
-	// the in-transit observables as zero, so Shards is part of the hash.
+	// sharded kernel is bit-deterministic in the shard count, but the
+	// capacity-off fast path reports the in-transit observables as zero
+	// (settling them would couple shards), so Shards is part of the hash.
 	Shards int `json:"shards,omitempty"`
 
 	// Seed drives the machine's random draws; 0 is normalized to 1,
@@ -251,18 +254,19 @@ func (s *JobSpec) Normalize(lim Limits) error {
 	}
 	if s.Shards > 1 {
 		// Mirror the flat kernel's sharding preconditions here so a bad
-		// spec fails at validation, before it occupies a worker.
-		if !s.Machine.NoCapacity {
-			return fmt.Errorf("service: sharded execution requires no_capacity (capacity semaphores couple processors across shards)")
-		}
-		if s.Faults != nil {
-			return fmt.Errorf("service: sharded execution excludes faults")
+		// spec fails at validation, before it occupies a worker. Capacity
+		// on is legal (the capacity-sharded kernel settles the accounting
+		// at window barriers), and so are fail-stop-only fault plans (a
+		// kill is an event on its victim's own shard and consumes no
+		// random draws); probabilistic link faults are not.
+		if s.Faults != nil && (s.Faults.Drop != 0 || s.Faults.Dup != 0 || s.Faults.Jitter != 0) {
+			return fmt.Errorf("service: sharded execution allows fail-stop faults only")
 		}
 		if s.Machine.LatencyJitter != 0 || s.Machine.ComputeJitter != 0 {
 			return fmt.Errorf("service: sharded execution requires zero latency/compute jitter")
 		}
-		if s.Machine.O+s.Machine.L < 1 {
-			return fmt.Errorf("service: sharded execution requires o+L >= 1")
+		if s.Machine.NoCapacity && s.Machine.O+s.Machine.L < 1 {
+			return fmt.Errorf("service: sharded execution without capacity requires o+L >= 1")
 		}
 	}
 	return nil

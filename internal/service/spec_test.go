@@ -45,6 +45,22 @@ func TestNormalizeCanonicalizes(t *testing.T) {
 	}
 }
 
+// TestNormalizeAcceptsCapacitySharded pins the admissible sharded envelope:
+// capacity on (the reserve/commit kernel) and fail-stop-only fault plans are
+// both legal with shards > 1.
+func TestNormalizeAcceptsCapacitySharded(t *testing.T) {
+	s := specBroadcast8()
+	s.Engine = "flat"
+	s.Shards = 4
+	s.Faults = &FaultSpec{Fails: []FailStopSpec{{Proc: 3, At: 10}}}
+	if err := s.Normalize(Limits{}); err != nil {
+		t.Fatalf("capacity-sharded spec with fail-stop rejected: %v", err)
+	}
+	if s.Machine.NoCapacity || s.Shards != 4 {
+		t.Errorf("normalization mangled the spec: %+v", s)
+	}
+}
+
 // TestNormalizeRejects covers the validation surface.
 func TestNormalizeRejects(t *testing.T) {
 	cases := []struct {
@@ -62,13 +78,12 @@ func TestNormalizeRejects(t *testing.T) {
 		{"fail-stop out of range", func(s *JobSpec) {
 			s.Faults = &FaultSpec{Fails: []FailStopSpec{{Proc: 99, At: 0}}}
 		}, "outside machine"},
-		{"sharded with capacity", func(s *JobSpec) { s.Engine = "flat"; s.Shards = 4 }, "no_capacity"},
-		{"sharded with faults", func(s *JobSpec) {
+		{"sharded with link faults", func(s *JobSpec) {
 			s.Engine = "flat"
 			s.Shards = 4
 			s.Machine.NoCapacity = true
 			s.Faults = &FaultSpec{Drop: 0.1}
-		}, "excludes faults"},
+		}, "fail-stop faults only"},
 		{"bad jitter", func(s *JobSpec) { s.Machine.LatencyJitter = 99 }, "latency jitter"},
 	}
 	for _, tc := range cases {
