@@ -1,0 +1,75 @@
+package flat_test
+
+import (
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/flat"
+	"github.com/logp-model/logp/internal/logp"
+)
+
+// holdKillChain: 0 floods 1, 1 floods 2, 2 sleeps long before draining.
+// Hold mode keeps every unit reserved until reception, so 1 parks on its
+// acquire to 2 while arrivals from 0 pile up held; a kill of 1 mid-stall
+// exercises the held-kill + held-arrival drop path in capFlush.
+type holdKillChain struct{ burst int }
+
+func (c *holdKillChain) Start(n logp.Node) {
+	switch n.ID() {
+	case 0:
+		for i := 0; i < c.burst; i++ {
+			n.Send(1, 9, i)
+		}
+		n.Done()
+	case 1:
+		for i := 0; i < c.burst; i++ {
+			n.Send(2, 9, i)
+		}
+	case 2:
+		n.Wait(300)
+	default:
+		n.Done()
+	}
+}
+
+func (c *holdKillChain) Message(n logp.Node, m logp.Message) {
+	if n.ID() == 2 && m.Data.(int) == c.burst-1 {
+		n.Done()
+	}
+	if n.ID() == 1 && m.Data.(int) == c.burst-1 {
+		n.Done()
+	}
+}
+
+func TestZZReproHoldKill(t *testing.T) {
+	for _, at := range []int64{5, 9, 12, 15, 20, 25, 30, 40, 60, 100} {
+		cfg := logp.Config{
+			Params:                   core.Params{P: 6, L: 4, O: 1, G: 2},
+			HoldCapacityUntilReceive: true,
+			Faults:                   &logp.FaultPlan{FailStops: []logp.FailStop{{Proc: 1, At: at}}},
+		}
+		mk := func() logp.Program { return &holdKillChain{burst: 8} }
+		seq, seqErr := flat.Run(cfg, mk(), 1)
+		for _, shards := range []int{2, 3, 6} {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("at=%d shards=%d: panic: %v", at, shards, r)
+					}
+				}()
+				got, err := flat.Run(cfg, mk(), shards)
+				es := func(e error) string {
+					if e == nil {
+						return ""
+					}
+					return e.Error()
+				}
+				if es(err) != es(seqErr) {
+					t.Errorf("at=%d shards=%d: err %q vs seq %q", at, shards, es(err), es(seqErr))
+				} else if seqErr == nil && (got.Time != seq.Time || got.Dropped != seq.Dropped) {
+					t.Errorf("at=%d shards=%d: Time/Dropped %d/%d vs seq %d/%d", at, shards, got.Time, got.Dropped, seq.Time, seq.Dropped)
+				}
+			}()
+		}
+	}
+}
