@@ -10,6 +10,12 @@
 // machine designer can give a concise performance summary of their machine
 // against which algorithms can be evaluated." Comparing the measured column
 // against the configured one also validates the simulator's cost charging.
+//
+// With -tier the machine is hierarchical and the same microbenchmarks run
+// once per link class — processor 0 against an intra-node partner, an
+// inter-node one, and (three-tier specs) an inter-rack one — recovering each
+// tier's (L, o, g) separately, exactly how one would calibrate a real
+// cluster: measure within a node, then across nodes.
 package main
 
 import (
@@ -20,14 +26,16 @@ import (
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
 	"github.com/logp-model/logp/internal/stats"
+	"github.com/logp-model/logp/internal/topo"
 )
 
 func main() {
 	var (
-		p = flag.Int("P", 8, "processors")
-		l = flag.Int64("L", 200, "true latency (cycles)")
-		o = flag.Int64("o", 66, "true overhead (cycles)")
-		g = flag.Int64("g", 132, "true gap (cycles)")
+		p    = flag.Int("P", 8, "processors")
+		l    = flag.Int64("L", 200, "true latency (cycles)")
+		o    = flag.Int64("o", 66, "true overhead (cycles)")
+		g    = flag.Int64("g", 132, "true gap (cycles)")
+		tier = flag.String("tier", "", "hierarchical topology: node=<ppn>:<L>,<o>,<g>[;rack=<npr>:<L>,<o>,<g>]; -L/-o/-g stay the top (cluster) tier, and each tier is fitted separately")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -38,37 +46,80 @@ func main() {
 		usageError(err)
 	}
 	if *p < 2 {
-		usageError(fmt.Errorf("the microbenchmarks send between processors 0 and 1, need -P >= 2 (got %d)", *p))
+		usageError(fmt.Errorf("the microbenchmarks send between processors 0 and a partner, need -P >= 2 (got %d)", *p))
 	}
 
-	measuredO := measureOverhead(params)
-	interval := measureSendInterval(params)
-	rtt := measurePingPong(params)
-	measuredL := rtt/2 - 2*measuredO
-	measuredG := interval // = max(g, o); report g when it exceeds o
-	caveat := ""
-	if interval <= measuredO {
-		caveat = " (o-bound: g <= o is unobservable from the flood)"
+	// One fit per link class: the flat machine has a single class; a tiered
+	// one is measured against one partner per tier.
+	type fit struct {
+		name string
+		peer int
+		want topo.Link
+	}
+	cfg := logp.Config{Params: params}
+	fits := []fit{{"link", 1, topo.Link{L: *l, O: *o, G: *g}}}
+	if *tier != "" {
+		spec, err := topo.ParseSpec(*tier)
+		if err != nil {
+			usageError(err)
+		}
+		model, err := spec.Build(params)
+		if err != nil {
+			usageError(err)
+		}
+		cfg.Topology = model
+		fits = fits[:0]
+		if spec.ProcsPerNode >= 2 {
+			fits = append(fits, fit{"node", 1, spec.Node})
+		}
+		cluster := topo.Link{L: *l, O: *o, G: *g}
+		if spec.Rack != nil {
+			if rackSpan := spec.ProcsPerNode * spec.NodesPerRack; rackSpan < *p {
+				fits = append(fits,
+					fit{"rack", spec.ProcsPerNode, *spec.Rack},
+					fit{"cluster", rackSpan, cluster})
+			} else {
+				fits = append(fits, fit{"rack", spec.ProcsPerNode, *spec.Rack})
+			}
+		} else if spec.ProcsPerNode < *p {
+			fits = append(fits, fit{"cluster", spec.ProcsPerNode, cluster})
+		}
+		if len(fits) == 0 {
+			usageError(fmt.Errorf("topology leaves no measurable pair for processor 0 at P=%d", *p))
+		}
 	}
 
-	tb := stats.Table{Header: []string{"parameter", "configured", "measured", "method"}}
-	tb.Add("o", *o, measuredO, "busy time of one send")
-	tb.Add("g", *g, fmt.Sprintf("%d%s", measuredG, caveat), "send flood steady-state interval")
-	tb.Add("L", *l, measuredL, "ping-pong RTT/2 - 2o")
-	tb.Add("capacity", params.Capacity(), (measuredL+measuredG-1)/measuredG, "ceil(L/g)")
+	tb := stats.Table{Header: []string{"tier", "parameter", "configured", "measured", "method"}}
+	for _, f := range fits {
+		measuredO := measureOverhead(cfg, f.peer)
+		interval := measureSendInterval(cfg, f.peer, measuredO)
+		rtt := measurePingPong(cfg, f.peer)
+		measuredL := rtt/2 - 2*measuredO
+		caveat := ""
+		if interval <= measuredO {
+			caveat = " (o-bound: g <= o is unobservable from the flood)"
+		}
+		tb.Add(f.name, "o", f.want.O, measuredO, fmt.Sprintf("busy time of one send to P%d", f.peer))
+		tb.Add(f.name, "g", f.want.G, fmt.Sprintf("%d%s", interval, caveat), "send flood steady-state interval")
+		tb.Add(f.name, "L", f.want.L, measuredL, "ping-pong RTT/2 - 2o")
+	}
+	// The capacity bound stays global — ceil(L/g) of the base parameters
+	// models the endpoint's buffer depth, not a link (see internal/topo).
+	tb.Add("(global)", "capacity", params.Capacity(), params.Capacity(), "ceil(L/g) of the base parameters")
 	fmt.Print(tb.String())
 }
 
-// measureOverhead times a single send on an otherwise idle processor.
-func measureOverhead(params core.Params) int64 {
+// measureOverhead times a single send from processor 0 to peer on an
+// otherwise idle machine.
+func measureOverhead(cfg logp.Config, peer int) int64 {
 	var busy int64
-	_, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+	_, err := logp.Run(cfg, func(p *logp.Proc) {
 		switch p.ID() {
 		case 0:
 			start := p.Now()
-			p.Send(1, 0, nil)
+			p.Send(peer, 0, nil)
 			busy = p.Now() - start
-		case 1:
+		case peer:
 			p.Recv()
 		}
 	})
@@ -76,20 +127,20 @@ func measureOverhead(params core.Params) int64 {
 	return busy
 }
 
-// measureSendInterval floods messages from one processor and divides the
-// steady-state makespan by the message count.
-func measureSendInterval(params core.Params) int64 {
+// measureSendInterval floods messages from processor 0 to peer and divides
+// the steady-state makespan by the message count.
+func measureSendInterval(cfg logp.Config, peer int, measuredO int64) int64 {
 	const m = 200
 	var span int64
-	_, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+	_, err := logp.Run(cfg, func(p *logp.Proc) {
 		switch p.ID() {
 		case 0:
 			start := p.Now()
 			for i := 0; i < m; i++ {
-				p.Send(1, 0, nil)
+				p.Send(peer, 0, nil)
 			}
 			span = p.Now() - start
-		case 1:
+		case peer:
 			for i := 0; i < m; i++ {
 				p.Recv()
 			}
@@ -98,24 +149,24 @@ func measureSendInterval(params core.Params) int64 {
 	must(err)
 	// The first send pays only o; the remaining m-1 are spaced by the
 	// interval.
-	return (span - params.O) / (m - 1)
+	return (span - measuredO) / (m - 1)
 }
 
-// measurePingPong measures a many-round ping-pong and returns the mean round
-// trip.
-func measurePingPong(params core.Params) int64 {
+// measurePingPong measures a many-round ping-pong between processor 0 and
+// peer and returns the mean round trip.
+func measurePingPong(cfg logp.Config, peer int) int64 {
 	const rounds = 100
 	var total int64
-	_, err := logp.Run(logp.Config{Params: params}, func(p *logp.Proc) {
+	_, err := logp.Run(cfg, func(p *logp.Proc) {
 		switch p.ID() {
 		case 0:
 			start := p.Now()
 			for i := 0; i < rounds; i++ {
-				p.Send(1, 0, nil)
+				p.Send(peer, 0, nil)
 				p.Recv()
 			}
 			total = p.Now() - start
-		case 1:
+		case peer:
 			for i := 0; i < rounds; i++ {
 				p.Recv()
 				p.Send(0, 0, nil)

@@ -37,18 +37,52 @@ func TestSmoke(t *testing.T) {
 		}
 	}
 	// The o row: configured 3, measured 3.
-	oRow := ""
-	for _, line := range strings.Split(text, "\n") {
-		if strings.HasPrefix(strings.TrimSpace(line), "o ") {
-			oRow = line
-		}
-	}
-	if oRow == "" {
+	fields := tierRow(text, "link", "o")
+	if fields == nil {
 		t.Fatalf("no o row in output:\n%s", text)
 	}
-	fields := strings.Fields(oRow)
-	if len(fields) < 3 || fields[1] != "3" || fields[2] != "3" {
-		t.Errorf("o row %q: measured overhead should equal the configured 3", oRow)
+	if len(fields) < 4 || fields[2] != "3" || fields[3] != "3" {
+		t.Errorf("o row %q: measured overhead should equal the configured 3", fields)
+	}
+}
+
+// tierRow finds the table row for (tier, parameter) and returns its fields.
+func tierRow(text, tier, param string) []string {
+	for _, line := range strings.Split(text, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 4 && f[0] == tier && f[1] == param {
+			return f
+		}
+	}
+	return nil
+}
+
+// TestTieredFit runs the tiered calibration: each tier's microbenchmarks must
+// recover that tier's configured (L, o, g) exactly.
+func TestTieredFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out, err := exec.Command(buildBinary(t),
+		"-P", "8", "-L", "40", "-o", "4", "-g", "6",
+		"-tier", "node=4:10,2,3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("calibrate exited with error: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, tc := range []struct {
+		tier, param, want string
+	}{
+		{"node", "o", "2"}, {"node", "g", "3"}, {"node", "L", "10"},
+		{"cluster", "o", "4"}, {"cluster", "g", "6"}, {"cluster", "L", "40"},
+	} {
+		f := tierRow(text, tc.tier, tc.param)
+		if f == nil {
+			t.Fatalf("no %s/%s row in output:\n%s", tc.tier, tc.param, text)
+		}
+		if f[2] != tc.want || f[3] != tc.want {
+			t.Errorf("%s %s row %v: want configured=measured=%s", tc.tier, tc.param, f, tc.want)
+		}
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"github.com/logp-model/logp/internal/progs"
 	"github.com/logp-model/logp/internal/reliable"
 	"github.com/logp-model/logp/internal/service"
+	"github.com/logp-model/logp/internal/topo"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 		engine   = flag.String("engine", "", "execution engine for program-form algorithms (broadcast, sum): goroutine | flat (default $LOGP_ENGINE, else goroutine)")
 		shards   = flag.Int("shards", 0, "flat engine: event-kernel shards, >1 runs the windowed parallel core, with or without capacity (default $LOGP_SHARDS, else 1)")
 		nocap    = flag.Bool("nocap", false, "disable the capacity limit of ceil(L/g) in-flight messages per processor")
+		tier     = flag.String("tier", "", "hierarchical topology: node=<ppn>:<L>,<o>,<g>[;rack=<npr>:<L>,<o>,<g>]; -L/-o/-g stay the top (cluster) tier")
 		jsonOut  = flag.Bool("json", false, "print the run as a canonical JSON response (the exact bytes logpsimd serves for the same spec) instead of the human summary")
 	)
 	flag.Parse()
@@ -90,6 +92,19 @@ func main() {
 		fatal(err)
 	}
 	cfg := logp.Config{Params: params, CollectTrace: *traceIt, Seed: *seed, DisableCapacity: *nocap}
+	var tierSpec *topo.Spec
+	if *tier != "" {
+		ts, err := topo.ParseSpec(*tier)
+		if err != nil {
+			usageError(err)
+		}
+		model, err := ts.Build(params)
+		if err != nil {
+			usageError(err)
+		}
+		tierSpec = ts
+		cfg.Topology = model
+	}
 	faults, err := faultPlan(*drop, *dup, *jitter, *failAt, *fseed)
 	if err != nil {
 		usageError(err)
@@ -113,7 +128,7 @@ func main() {
 			// path the daemon runs, so the bytes match logpsimd's body for
 			// the same spec — and its spec_hash addresses the daemon's cache.
 			if err := runServiceJSON(*algo, params, *n, engName, *shards, *nocap, *seed,
-				faults, *metOut, *metFmt, *metEvery); err != nil {
+				tierSpec, faults, *metOut, *metFmt, *metEvery); err != nil {
 				fatal(err)
 			}
 			return
@@ -301,7 +316,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := emitCLIResponse(*algo, params, *n, engName, *nocap, *seed, res, reg, *metOut, *metFmt); err != nil {
+		if err := emitCLIResponse(*algo, params, *n, engName, *nocap, *seed, tierSpec, res, reg, *metOut, *metFmt); err != nil {
 			fatal(err)
 		}
 		return
@@ -311,6 +326,9 @@ func main() {
 		fmt.Printf("machine: %v  (capacity limit off)\n", params)
 	} else {
 		fmt.Printf("machine: %v  (capacity %d msgs in transit)\n", params, params.Capacity())
+	}
+	if tierSpec != nil {
+		fmt.Printf("topology: %s  (base L,o,g = cluster tier)\n", tierSpec)
 	}
 	fmt.Println(summary)
 	fmt.Printf("simulated time: %d cycles, %d messages\n", res.Time, res.Messages)
@@ -366,11 +384,11 @@ func runProgram(cfg logp.Config, prog logp.Program, engName string, shards int) 
 // same flags therefore produce the same bytes locally and from the daemon,
 // and the printed spec_hash addresses the daemon's cache directly.
 func runServiceJSON(algo string, params core.Params, n int, engName string, shards int,
-	nocap bool, seed int64, faults *logp.FaultPlan, metOut, metFmt string, metEvery int64) error {
+	nocap bool, seed int64, tierSpec *topo.Spec, faults *logp.FaultPlan, metOut, metFmt string, metEvery int64) error {
 	spec := service.JobSpec{
 		Program: algo,
 		N:       n,
-		Machine: service.MachineSpec{P: params.P, L: params.L, O: params.O, G: params.G, NoCapacity: nocap},
+		Machine: service.MachineSpec{P: params.P, L: params.L, O: params.O, G: params.G, NoCapacity: nocap, Topology: tierSpec},
 		Engine:  engName,
 		Shards:  shards,
 		Seed:    seed,
@@ -403,12 +421,12 @@ func runServiceJSON(algo string, params core.Params, n int, engName string, shar
 // service response encoding. These algorithms are not in the daemon's program
 // registry, so the response carries no spec hash — it is not cache-addressable.
 func emitCLIResponse(algo string, params core.Params, n int, engName string,
-	nocap bool, seed int64, res logp.Result, reg *metrics.Registry, metOut, metFmt string) error {
+	nocap bool, seed int64, tierSpec *topo.Spec, res logp.Result, reg *metrics.Registry, metOut, metFmt string) error {
 	resp := &service.Response{
 		Spec: service.JobSpec{
 			Program: algo,
 			N:       n,
-			Machine: service.MachineSpec{P: params.P, L: params.L, O: params.O, G: params.G, NoCapacity: nocap},
+			Machine: service.MachineSpec{P: params.P, L: params.L, O: params.O, G: params.G, NoCapacity: nocap, Topology: tierSpec},
 			Engine:  engName,
 			Seed:    seed,
 		},

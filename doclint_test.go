@@ -1,6 +1,7 @@
 package logp_test
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -53,6 +54,106 @@ func TestPackageComments(t *testing.T) {
 	for dir, ok := range documented {
 		if !ok {
 			t.Errorf("package in %s has no package comment on any file", dir)
+		}
+	}
+}
+
+// TestExportedDocComments tightens the doc-lint gate for the packages other
+// code programs against (staticcheck's ST1020/ST1021/ST1022 family): every
+// exported identifier — function, method, type, package-level const/var, and
+// field of an exported struct — must carry a doc comment. Enforced for the
+// model and service packages, whose exported surfaces are the ones README
+// and DESIGN document; extend the list as further packages stabilize.
+func TestExportedDocComments(t *testing.T) {
+	pkgs := []string{"internal/topo", "internal/service"}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, dir := range pkgs {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range paths {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					// Methods on unexported types are not part of the
+					// package's documented surface (they typically satisfy a
+					// documented interface).
+					if d.Name.IsExported() && receiverExported(d) && d.Doc == nil {
+						t.Errorf("%s: exported %s %s has no doc comment", path, declKind(d), d.Name.Name)
+					}
+					checked++
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								if d.Doc == nil && s.Doc == nil {
+									t.Errorf("%s: exported type %s has no doc comment", path, s.Name.Name)
+								}
+								checked++
+								if st, ok := s.Type.(*ast.StructType); ok {
+									for _, field := range st.Fields.List {
+										for _, name := range field.Names {
+											if name.IsExported() && field.Doc == nil && field.Comment == nil {
+												t.Errorf("%s: exported field %s.%s has no doc comment",
+													path, s.Name.Name, name.Name)
+											}
+										}
+									}
+								}
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									t.Errorf("%s: exported %s has no doc comment", path, name.Name)
+								}
+								checked++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no exported identifiers found: doc lint walked the wrong root")
+	}
+}
+
+// declKind names a FuncDecl for the error message.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverExported reports whether d is a plain function or a method on an
+// exported receiver type.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
 		}
 	}
 }

@@ -45,6 +45,7 @@ func Catalog() []Entry {
 		{"whatif", fixed(WhatIf)},
 		{"chaos", fixed(Chaos)},
 		{"pscale", PScaling},
+		{"hiertree", HierTree},
 	}
 }
 

@@ -21,8 +21,10 @@
 // events concurrently. The LogP model itself provides the conservative
 // lookahead: a message initiated at time t occupies the sender for o cycles
 // and the network for L more, so no cross-shard event lands sooner than
-// t + o + L. Each window therefore spans [M, M + o + L), where M is the
-// earliest pending event machine-wide; within it every shard's execution
+// t + o + L of its own link. Each window therefore spans [M, M + min(o+L)),
+// the minimum taken over every link in the machine (just o+L on a flat
+// machine), where M is the earliest pending event machine-wide; within it
+// every shard's execution
 // depends only on its own pre-window state, and cross-shard deliveries are
 // merged at the window barrier in fixed shard order. The lookahead is
 // anchored at send initiation, not injection: a send that parks for its
@@ -37,8 +39,8 @@
 // parks at its acquire and shards record acquire/release operations into a
 // ledger; the barrier replays the merged ledger single-threaded in sim-time
 // order, granting capacity and injecting deliveries (see runSharded and
-// replayCapacity). The window narrows to [M, M+L+1) to keep barrier grants
-// sound, and the replay order is built from pure sim-time fields, so
+// replayCapacity). The window narrows to [M, M+min(L)+1) to keep barrier
+// grants sound, and the replay order is built from pure sim-time fields, so
 // capacity-sharded runs are bit-identical across shard counts too. Sharded
 // runs exclude the single-shard-only observers (trace, profiler, latency and
 // compute jitter) and allow fault plans with fail-stops only; see New.
@@ -54,6 +56,7 @@ import (
 	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/sim"
+	"github.com/logp-model/logp/internal/topo"
 	"github.com/logp-model/logp/internal/trace"
 )
 
@@ -294,9 +297,10 @@ type shard struct {
 // Machine is a flat LogP machine ready to run one Program.
 type Machine struct {
 	cfg        logp.Config
+	topol      topo.Model // nil unless cfg.Topology: per-link cost model
 	prog       logp.Program
 	shards     int
-	horizon    int64 // conservative cross-shard lookahead: o+L, or L+1 with capacity on
+	horizon    int64 // conservative cross-shard lookahead: min(o+L), or min(L)+1 with capacity on
 	capSharded bool  // shards > 1 with the capacity constraint: sends go through the ledger
 	perSh      int   // processors per shard (last shard may be short)
 
@@ -351,6 +355,14 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 	if cfg.LatencyJitter < 0 || cfg.LatencyJitter > cfg.L {
 		return nil, fmt.Errorf("logp: latency jitter %d outside [0, L=%d]", cfg.LatencyJitter, cfg.L)
 	}
+	if cfg.Topology != nil {
+		if cfg.Topology.P() != cfg.P {
+			return nil, fmt.Errorf("logp: topology describes P=%d, machine has P=%d", cfg.Topology.P(), cfg.P)
+		}
+		if minL := cfg.Topology.MinL(); cfg.LatencyJitter > minL {
+			return nil, fmt.Errorf("logp: latency jitter %d exceeds the minimum link L=%d", cfg.LatencyJitter, minL)
+		}
+	}
 	if cfg.ComputeJitter < 0 {
 		return nil, fmt.Errorf("logp: negative compute jitter %v", cfg.ComputeJitter)
 	}
@@ -368,6 +380,18 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 	if shards > cfg.P {
 		shards = cfg.P
 	}
+	// Per-link cost models shrink the conservative lookahead to the cheapest
+	// link anywhere in the machine: minOL = min over links of o+L, minL =
+	// min over links of L. Without a topology both reduce to the global
+	// parameters. The minimum over link *classes* is what soundness needs —
+	// a cross-shard message over some link (i, j) takes at least
+	// o(i,j)+L(i,j) >= minOL cycles from initiation to arrival, so a window
+	// of minOL cycles still cannot be outrun by any message, just as in the
+	// uniform argument (see the package comment and runSharded).
+	minOL, minL := cfg.O+cfg.L, cfg.L
+	if cfg.Topology != nil {
+		minOL, minL = cfg.Topology.MinOL(), cfg.Topology.MinL()
+	}
 	if shards > 1 {
 		if cfg.CollectTrace || cfg.Profiler != nil {
 			return nil, fmt.Errorf("flat: sharded execution excludes trace and profiler (single-shard observers)")
@@ -378,24 +402,26 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 		if cfg.LatencyJitter != 0 || cfg.ComputeJitter != 0 {
 			return nil, fmt.Errorf("flat: sharded execution requires zero latency/compute jitter (random draws are ordered by a single queue)")
 		}
-		if cfg.DisableCapacity && cfg.O+cfg.L < 1 {
-			return nil, fmt.Errorf("flat: sharded execution requires o+L >= 1 for a conservative lookahead window")
+		if cfg.DisableCapacity && minOL < 1 {
+			return nil, fmt.Errorf("flat: sharded execution requires min(o+L) >= 1 over all links for a conservative lookahead window")
 		}
 	}
-	horizon := cfg.O + cfg.L
+	horizon := minOL
 	capSharded := shards > 1 && !cfg.DisableCapacity
 	if capSharded {
-		// Capacity mode narrows the window to L+1: every send pauses at its
-		// capacity acquire and is granted at the barrier, so the only events
-		// the barrier schedules into a shard's past-capable future are
-		// deliveries at grant+L with grant >= M — sound iff the window end
-		// M+W-1 never exceeds M+L, i.e. W <= L+1. L = 0 degenerates to
-		// single-instant windows, which stay correct (and need no o+L >= 1
-		// rule: barrier grants, not in-window sends, carry the progress).
-		horizon = cfg.L + 1
+		// Capacity mode narrows the window to min(L)+1: every send pauses at
+		// its capacity acquire and is granted at the barrier, so the only
+		// events the barrier schedules into a shard's past-capable future are
+		// deliveries at grant+L(link) with grant >= M — sound iff the window
+		// end M+W-1 never exceeds M+minL, i.e. W <= minL+1, since every
+		// link's L is at least minL. minL = 0 degenerates to single-instant
+		// windows, which stay correct (and need no minOL >= 1 rule: barrier
+		// grants, not in-window sends, carry the progress).
+		horizon = minL + 1
 	}
 	m := &Machine{
 		cfg:        cfg,
+		topol:      cfg.Topology,
 		prog:       prog,
 		shards:     shards,
 		horizon:    horizon,
@@ -490,6 +516,17 @@ func New(cfg logp.Config, prog logp.Program, shards int) (*Machine, error) {
 }
 
 func (m *Machine) shardOf(proc int) int32 { return int32(proc / m.perSh) }
+
+// link resolves the (L, o, g) governing a message from from to to — the
+// mirror of logp.Machine.link. Pure and allocation-free; safe to call from
+// concurrently executing shards (the model is immutable).
+func (m *Machine) link(from, to int) (l, o, g int64) {
+	if m.topol == nil {
+		return m.cfg.L, m.cfg.O, m.cfg.G
+	}
+	lk := m.topol.Link(from, to)
+	return lk.L, lk.O, lk.G
+}
 
 // failStopOnly reports whether a fault plan injects fail-stops and nothing
 // else: no link faults (drop/dup/jitter) and no slowdown windows. Such a plan
@@ -780,8 +817,13 @@ func (m *Machine) resumeProc(sh *shard, p *proc) {
 				sh.stall.Observe(d)
 			}
 		}
-		p.nextSend = p.initiation + m.cfg.SendInterval()
-		if t := sh.now + m.cfg.G - m.cfg.O; t > p.nextSend {
+		_, lkO, lkG := m.link(int(p.id), int(p.ops[p.opHead].a))
+		iv := lkO
+		if lkG > iv {
+			iv = lkG
+		}
+		p.nextSend = p.initiation + iv
+		if t := sh.now + lkG - lkO; t > p.nextSend {
 			p.nextSend = t
 		}
 		p.opHead++
@@ -881,6 +923,11 @@ func (m *Machine) execOp(sh *shard, p *proc) bool {
 		if cycles == 0 {
 			return true
 		}
+		if m.topol != nil {
+			if r := m.topol.Rate(int(p.id)); r != 1 {
+				cycles = int64(float64(cycles) * r)
+			}
+		}
 		if m.skew != nil {
 			cycles = int64(float64(cycles) * m.skew[p.id])
 		}
@@ -965,7 +1012,8 @@ func (m *Machine) execSend(sh *shard, p *proc, o *op) bool {
 		initiation = p.nextSend
 	}
 	p.initiation = initiation
-	if t := initiation + m.cfg.O; t > sh.now {
+	_, lkO, _ := m.link(int(p.id), to)
+	if t := initiation + lkO; t > sh.now {
 		if !m.parkUntil(sh, p, t, rSendPaid) {
 			m.bufferParkedSend(sh, p, o)
 			return false
@@ -993,12 +1041,16 @@ func (m *Machine) bufferParkedSend(sh *shard, p *proc, o *op) {
 	if ds == sh.idx {
 		return
 	}
-	t := p.initiation + m.cfg.O + m.cfg.L
+	// The flight is the link's own o+L, which is at least the machine-wide
+	// minOL the window spans — so the buffered delivery still lands at or
+	// after the window end.
+	lkL, lkO, _ := m.link(int(p.id), int(to))
+	t := p.initiation + lkO + lkL
 	sh.out[ds] = append(sh.out[ds], event{
 		kind:   evDeliver,
 		proc:   to,
 		t:      t,
-		flight: m.cfg.L,
+		flight: lkL,
 		msg:    logp.Message{From: int(p.id), To: int(to), Tag: int(o.b), Data: o.data, Size: 1, SentAt: p.initiation},
 	})
 	o.data = nil
@@ -1010,7 +1062,8 @@ func (m *Machine) bufferParkedSend(sh *shard, p *proc, o *op) {
 func (m *Machine) sendAfterOverhead(sh *shard, p *proc) bool {
 	o := &p.ops[p.opHead]
 	to := int(o.a)
-	p.stats.SendOverhead += m.cfg.O
+	_, lkO, _ := m.link(int(p.id), to)
+	p.stats.SendOverhead += lkO
 	p.stats.MsgsSent++
 	if p.initiation > p.sendStart {
 		m.record(p, trace.Idle, p.sendStart, p.initiation)
@@ -1094,9 +1147,14 @@ func (m *Machine) sendInject(sh *shard, p *proc) {
 			m.maxIn = u
 		}
 	}
+	lkL, lkO, lkG := m.link(int(p.id), to)
 	injection := sh.now
-	p.nextSend = p.initiation + m.cfg.SendInterval()
-	if t := injection + m.cfg.G - m.cfg.O; t > p.nextSend {
+	iv := lkO
+	if lkG > iv {
+		iv = lkG
+	}
+	p.nextSend = p.initiation + iv
+	if t := injection + lkG - lkO; t > p.nextSend {
 		p.nextSend = t
 	}
 	if p.sentEarly {
@@ -1105,7 +1163,7 @@ func (m *Machine) sendInject(sh *shard, p *proc) {
 		p.sentEarly = false
 		return
 	}
-	lat := m.cfg.L
+	lat := lkL
 	if m.cfg.LatencyJitter > 0 {
 		lat -= m.rng.Int63n(m.cfg.LatencyJitter + 1)
 	}
@@ -1327,7 +1385,8 @@ func (m *Machine) beginRecvPay(sh *shard, p *proc) bool {
 		start = p.nextRecv
 	}
 	p.recvFrom = start
-	cost := m.recvCost(&p.cur)
+	_, lkO, _ := m.link(p.cur.From, p.cur.To)
+	cost := m.recvCost(&p.cur, lkO)
 	p.recvPay = cost
 	if t := start + cost; t > sh.now {
 		if !m.parkUntil(sh, p, t, rRecvPaid) {
@@ -1337,16 +1396,17 @@ func (m *Machine) beginRecvPay(sh *shard, p *proc) bool {
 	return true
 }
 
-// recvCost mirrors logp.Proc.recvCost.
-func (m *Machine) recvCost(msg *logp.Message) int64 {
+// recvCost mirrors logp.Proc.recvCost: o per word of the arriving link
+// without a coprocessor, that link's o once with one.
+func (m *Machine) recvCost(msg *logp.Message, lkO int64) int64 {
 	words := msg.Size
 	if words < 1 {
 		words = 1
 	}
 	if m.cfg.Coprocessor {
-		return m.cfg.O
+		return lkO
 	}
-	return int64(words) * m.cfg.O
+	return int64(words) * lkO
 }
 
 // finishRecvBook completes the reception bookkeeping (the tail of
@@ -1361,7 +1421,12 @@ func (m *Machine) finishRecvBook(sh *shard, p *proc) {
 		m.record(p, trace.Idle, arrived, start)
 	}
 	m.record(p, trace.RecvOverhead, start, sh.now)
-	p.nextRecv = start + m.cfg.SendInterval()
+	_, lkO, lkG := m.link(p.cur.From, p.cur.To)
+	iv := lkO
+	if lkG > iv {
+		iv = lkG
+	}
+	p.nextRecv = start + iv
 	if t := start + cost; t > p.nextRecv {
 		p.nextRecv = t
 	}

@@ -10,9 +10,10 @@ import (
 
 // runSharded executes the machine in conservative lookahead windows. Each
 // round: find M, the earliest pending event machine-wide; let every shard
-// execute its events in [M, M+o+L) concurrently; then merge the cross-shard
-// deliveries each shard buffered, in fixed (destination, source, append)
-// order, and advance to the next window.
+// execute its events in [M, M+W) concurrently, where W is the horizon
+// min(o+L) over all links (the global o+L without a topology); then merge
+// the cross-shard deliveries each shard buffered, in fixed (destination,
+// source, append) order, and advance to the next window.
 //
 // Safety: within a window a shard touches only its own processors, its own
 // queue, and metric cells owned by its processors (sender-side counters and
@@ -20,15 +21,22 @@ import (
 // flight histogram), so shards share no mutable state. Every cross-shard
 // delivery buffered during a window lands at or after the window end — after
 // the merge point — because outbox entries are emitted only at points where
-// the full o+L lookahead lies ahead: an inline injection at time t >= M
-// follows an overhead charge that began at initiation >= t-o... >= M, and a
-// send that parks for its overhead buffers its delivery at park time
-// (bufferParkedSend), with t_deliver = initiation+o+L >= M+o+L. The park
+// the full o+L lookahead of the message's own link lies ahead, and every
+// link's o+L is at least the minOL the window spans: an inline injection at
+// time t >= M follows an overhead charge that began at initiation >= t-o...
+// >= M, putting its delivery at initiation+o+L >= M+minOL, and a send that
+// parks for its overhead buffers its delivery at park time
+// (bufferParkedSend), with t_deliver = initiation+o+L >= M+minOL. The park
 // case is load-bearing: an rSendPaid wake can fire in a later window, where
 // only L cycles — less than the window span — separate it from delivery, so
 // injecting there could land the message behind a destination shard whose
 // clock ran ahead via Wait/WaitUntil/Compute. Sharded runs disallow latency
 // jitter, capacity stalls and faults, so the park-time flight is exact.
+// Under a tiered topology the window is set by the *cheapest* link class —
+// typically the intra-node tier — even though most shard boundaries carry
+// only expensive cluster links: the partition is by contiguous ID block, so
+// a node can straddle a boundary and put fast links cross-shard, and minOL
+// is the only bound that is sound for every partition.
 //
 // Capacity mode (capSharded) replaces the outboxes with a window ledger. The
 // capacity semaphores couple processors across shards, so no shard may decide
@@ -37,13 +45,14 @@ import (
 // release record. The barrier merges all shards' records, sorts them into a
 // single sim-time order, and replays them single-threaded against the
 // machine-wide semaphores (replayCapacity), granting via capGrant — which
-// injects the delivery at grant+L and wakes the sender at the grant instant,
-// rewinding the sender's queue clock when its window ran past it. The window
-// narrows to L+1 so a grant at gt >= M schedules its delivery at
-// gt+L >= M+L >= every shard's clock (each at most M+L after its window).
-// Fail-stop faults stay admissible: a kill is an event on the victim's own
-// shard, and a victim parked in a capacity queue stays parked, exactly as in
-// the sequential engine.
+// injects the delivery at grant+L of the message's link and wakes the sender
+// at the grant instant, rewinding the sender's queue clock when its window
+// ran past it. The window narrows to min(L)+1 so a grant at gt >= M
+// schedules its delivery at gt+L(link) >= gt+minL >= M+minL >= every shard's
+// clock (each at most M+minL after its window). Fail-stop faults stay
+// admissible: a kill is an event on the victim's own shard, and a victim
+// parked in a capacity queue stays parked, exactly as in the sequential
+// engine.
 //
 // Determinism: each shard's window execution is sequential, so its outbox
 // order is a pure function of its pre-window state; the merge order is
@@ -316,12 +325,13 @@ func (m *Machine) capParkOn(s *semaphore, p *proc) {
 
 // capGrant completes a replayed acquire at instant gt: the in-transit
 // accounting and high-water marks (exact here — the replay sees every
-// acquire and release in sim-time order), the delivery at gt+L into the
-// destination's queue, and the sender's wake at gt with resume =
-// rCapGranted for the stall and gap bookkeeping. The sender's window may
-// have run past gt, so its queue clock rewinds first; the destination's
-// cannot have (gt+L >= M+L bounds every clock from above), so its delivery
-// never lands in the past.
+// acquire and release in sim-time order), the delivery at gt+L of the
+// message's own link into the destination's queue, and the sender's wake at
+// gt with resume = rCapGranted for the stall and gap bookkeeping. The
+// sender's window may have run past gt, so its queue clock rewinds first;
+// the destination's cannot have: the link's L is at least the machine-wide
+// minL the capacity window spans, so gt+L(link) >= M+minL bounds every
+// clock from above and the delivery never lands in the past.
 func (m *Machine) capGrant(p *proc, gt int64) {
 	o := &p.ops[p.opHead]
 	to := int(o.a)
@@ -340,8 +350,9 @@ func (m *Machine) capGrant(p *proc, gt int64) {
 	}
 	msg := logp.Message{From: int(p.id), To: to, Tag: int(o.b), Data: o.data, Size: 1, SentAt: p.initiation}
 	o.data = nil
+	lkL, _, _ := m.link(int(p.id), to)
 	dq := &m.sh[m.shardOf(to)].queue
-	dq.scheduleDeliver(gt+m.cfg.L, int32(to), &msg, m.cfg.L, false)
+	dq.scheduleDeliver(gt+lkL, int32(to), &msg, lkL, false)
 	p.blocked = false
 	p.resume = rCapGranted
 	sq.scheduleAt(gt, evWake, p.id)

@@ -48,6 +48,7 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	}
 	p.checkFail()
 	cfg := &p.m.cfg
+	lkL, lkO, lkG := p.m.link(p.id, to)
 	start := p.Now()
 	initiation := start
 	if p.nextSend > initiation {
@@ -58,13 +59,16 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 	if cfg.Coprocessor {
 		// Set up the DMA device: o cycles, then the device streams the
 		// words at the gap while the processor is free.
-		engaged = cfg.O
-		lastInjection = cfg.O + int64(words-1)*cfg.G
-		portBusy = cfg.O + int64(words)*cfg.G
+		engaged = lkO
+		lastInjection = lkO + int64(words-1)*lkG
+		portBusy = lkO + int64(words)*lkG
 	} else {
 		// Programmed I/O: o per word, spaced by the send interval.
-		iv := cfg.SendInterval()
-		engaged = int64(words-1)*iv + cfg.O
+		iv := lkO
+		if lkG > iv {
+			iv = lkG
+		}
+		engaged = int64(words-1)*iv + lkO
 		lastInjection = engaged
 		portBusy = int64(words) * iv
 	}
@@ -104,7 +108,7 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 		p.m.maxIn = u
 	}
 
-	lat := cfg.L
+	lat := lkL
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
@@ -153,14 +157,15 @@ func (p *Proc) SendBulk(to, tag int, data any, words int) {
 }
 
 // recvCost is the processor engagement for consuming msg: o per word
-// without a coprocessor, o once with one.
-func (p *Proc) recvCost(msg Message) int64 {
+// without a coprocessor, o once with one. lkO is the overhead of the link
+// the message arrived on (the global o without a topology).
+func (p *Proc) recvCost(msg Message, lkO int64) int64 {
 	words := msg.Size
 	if words < 1 {
 		words = 1
 	}
 	if p.m.cfg.Coprocessor {
-		return p.m.cfg.O
+		return lkO
 	}
-	return int64(words) * p.m.cfg.O
+	return int64(words) * lkO
 }

@@ -18,12 +18,25 @@ import (
 	"github.com/logp-model/logp/internal/metrics"
 	"github.com/logp-model/logp/internal/prof"
 	"github.com/logp-model/logp/internal/sim"
+	"github.com/logp-model/logp/internal/topo"
 	"github.com/logp-model/logp/internal/trace"
 )
 
 // Config describes the machine to simulate.
 type Config struct {
 	core.Params
+
+	// Topology, when non-nil, replaces the single global (L, o, g) with a
+	// per-link cost model (see internal/topo): a message from i to j pays
+	// the overhead, gap spacing and latency of link (i, j), and Compute
+	// stretches by the model's per-processor rate. Params remains the base
+	// tier — topo's constructors treat it as the cluster link — and the
+	// capacity ceiling stays the global ceil(L/g) of Params (the NIC buffer
+	// depth is a property of the endpoint, not of any one link).
+	// Topology.P() must equal P. nil, and topo.Flat(Params), are both
+	// cycle-identical to the pre-topology machine. LatencyJitter must not
+	// exceed the model's minimum link L.
+	Topology topo.Model
 
 	// LatencyJitter makes message latency uniform in [L-LatencyJitter, L]
 	// instead of exactly L. The model defines L as an upper bound and
@@ -181,6 +194,7 @@ func (r Result) TotalStall() int64 {
 // Machine is a LogP machine ready to run one program.
 type Machine struct {
 	cfg    Config
+	topol  topo.Model // nil unless Config.Topology: per-link cost model
 	kernel *sim.Kernel
 	procs  []*Proc
 	// capacity semaphores, one pair per processor, nil if disabled
@@ -350,6 +364,14 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.LatencyJitter < 0 || cfg.LatencyJitter > cfg.L {
 		return nil, fmt.Errorf("logp: latency jitter %d outside [0, L=%d]", cfg.LatencyJitter, cfg.L)
 	}
+	if cfg.Topology != nil {
+		if cfg.Topology.P() != cfg.P {
+			return nil, fmt.Errorf("logp: topology describes P=%d, machine has P=%d", cfg.Topology.P(), cfg.P)
+		}
+		if minL := cfg.Topology.MinL(); cfg.LatencyJitter > minL {
+			return nil, fmt.Errorf("logp: latency jitter %d exceeds the minimum link L=%d", cfg.LatencyJitter, minL)
+		}
+	}
 	if cfg.ComputeJitter < 0 {
 		return nil, fmt.Errorf("logp: negative compute jitter %v", cfg.ComputeJitter)
 	}
@@ -363,6 +385,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:           cfg,
+		topol:         cfg.Topology,
 		kernel:        sim.NewKernel(cfg.Seed),
 		barrier:       sim.NewBarrier(cfg.P),
 		inTransitFrom: make([]int, cfg.P),
@@ -422,6 +445,19 @@ func (m *Machine) settle(msg Message) {
 		m.outCap[msg.From].Release()
 		m.inCap[msg.To].Release()
 	}
+}
+
+// link resolves the (L, o, g) governing a message from from to to: the
+// global Params without a topology, the model's link with one. The nil
+// branch keeps the pre-topology machine bit-exact, and the model call is a
+// pure method on an immutable value, so the hot path stays allocation-free
+// either way.
+func (m *Machine) link(from, to int) (l, o, g int64) {
+	if m.topol == nil {
+		return m.cfg.L, m.cfg.O, m.cfg.G
+	}
+	lk := m.topol.Link(from, to)
+	return lk.L, lk.O, lk.G
 }
 
 // Config returns the machine configuration.

@@ -125,6 +125,11 @@ func (p *Proc) Compute(cycles int64) {
 	if cycles == 0 {
 		return
 	}
+	if p.m.topol != nil {
+		if r := p.m.topol.Rate(p.id); r != 1 {
+			cycles = int64(float64(cycles) * r)
+		}
+	}
 	if p.m.skew != nil {
 		cycles = int64(float64(cycles) * p.m.skew[p.id])
 	}
@@ -176,6 +181,7 @@ func (p *Proc) Send(to, tag int, data any) {
 	}
 	p.checkFail()
 	cfg := &p.m.cfg
+	lkL, lkO, lkG := p.m.link(p.id, to)
 	// The gap wait (until nextSend) and the o-cycle overhead are one
 	// uninterruptible stretch of processor time, so they share a single
 	// kernel park; the trace segments are computed analytically.
@@ -184,8 +190,8 @@ func (p *Proc) Send(to, tag int, data any) {
 	if p.nextSend > initiation {
 		initiation = p.nextSend
 	}
-	p.ps.WaitUntil(sim.Time(initiation + cfg.O)) // idle until nextSend, then send overhead
-	p.stats.SendOverhead += cfg.O
+	p.ps.WaitUntil(sim.Time(initiation + lkO)) // idle until nextSend, then send overhead
+	p.stats.SendOverhead += lkO
 	p.stats.MsgsSent++
 	if initiation > start {
 		p.record(trace.Idle, start, initiation)
@@ -222,13 +228,18 @@ func (p *Proc) Send(to, tag int, data any) {
 	}
 	injection := p.Now()
 	// Consecutive injections at one processor are at least g apart even if a
-	// stall delayed this one.
-	p.nextSend = initiation + cfg.SendInterval()
-	if t := injection + cfg.G - cfg.O; t > p.nextSend {
+	// stall delayed this one. Both bounds use the link's own interval: the
+	// gap is a property of the port driving that link class.
+	iv := lkO
+	if lkG > iv {
+		iv = lkG
+	}
+	p.nextSend = initiation + iv
+	if t := injection + lkG - lkO; t > p.nextSend {
 		p.nextSend = t
 	}
 
-	lat := cfg.L
+	lat := lkL
 	if cfg.LatencyJitter > 0 {
 		lat -= p.m.kernel.Rand().Int63n(cfg.LatencyJitter + 1)
 	}
@@ -308,7 +319,8 @@ func (p *Proc) finishRecv(msg Message) Message {
 	if p.nextRecv > start {
 		start = p.nextRecv
 	}
-	cost := p.recvCost(msg)
+	_, lkO, lkG := p.m.link(msg.From, p.id)
+	cost := p.recvCost(msg, lkO)
 	p.ps.WaitUntil(sim.Time(start + cost)) // gap, then receive overhead (per word without a coprocessor)
 	p.stats.RecvOverhead += cost
 	p.stats.MsgsReceived++
@@ -316,7 +328,11 @@ func (p *Proc) finishRecv(msg Message) Message {
 		p.record(trace.Idle, arrived, start)
 	}
 	p.record(trace.RecvOverhead, start, p.Now())
-	p.nextRecv = start + p.m.cfg.SendInterval()
+	iv := lkO
+	if lkG > iv {
+		iv = lkG
+	}
+	p.nextRecv = start + iv
 	if t := start + cost; t > p.nextRecv {
 		p.nextRecv = t
 	}

@@ -34,16 +34,19 @@ type cacheEntry struct {
 
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
-	// Hits counts lookups served from a completed body; Coalesced counts
-	// lookups that waited on an in-flight computation of the same hash
-	// (they are also hits: no extra simulation ran).
-	Hits      int64 `json:"hits"`
+	// Hits counts lookups served from a completed body.
+	Hits int64 `json:"hits"`
+	// Coalesced counts lookups that waited on an in-flight computation of
+	// the same hash (they are also hits: no extra simulation ran).
 	Coalesced int64 `json:"coalesced"`
 	// Misses counts lookups that had to run the simulation.
-	Misses    int64 `json:"misses"`
+	Misses int64 `json:"misses"`
+	// Evictions counts completed bodies dropped by the LRU bounds.
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
+	// Entries is the current number of completed bodies resident.
+	Entries int `json:"entries"`
+	// Bytes is the total size of the resident bodies.
+	Bytes int64 `json:"bytes"`
 }
 
 // NewCache builds a cache bounded to maxEntries completed bodies and

@@ -1,0 +1,37 @@
+package service_test
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/service"
+	"github.com/logp-model/logp/internal/topo"
+)
+
+// Submitting a job: build a spec, let Run normalize and execute it, and read
+// the response. The spec hash is the content address a daemon's cache would
+// serve this exact response from; adding a Topology block changes the hash
+// (a tiered machine is a different simulation), while leaving it nil keeps
+// the pre-topology encoding byte-identical.
+func ExampleRun() {
+	spec := service.JobSpec{
+		Program: "broadcast",
+		Machine: service.MachineSpec{P: 8, L: 6, O: 2, G: 4},
+	}
+	resp, err := service.Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flat machine: %d cycles, %d messages\n", resp.Result.Time, resp.Result.Messages)
+
+	spec.Machine.Topology = &topo.Spec{ProcsPerNode: 4, Node: topo.Link{L: 2, O: 1, G: 1}}
+	tiered, err := service.Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("two-tier machine: %d cycles\n", tiered.Result.Time)
+	fmt.Println("distinct cache keys:", resp.SpecHash != tiered.SpecHash)
+	// Output:
+	// flat machine: 24 cycles, 7 messages
+	// two-tier machine: 18 cycles
+	// distinct cache keys: true
+}

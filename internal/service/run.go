@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"container/list"
 	"encoding/json"
+	"fmt"
 	"sync"
 
 	"github.com/logp-model/logp/internal/flat"
@@ -14,27 +15,27 @@ import (
 
 // ProcStatsJSON mirrors logp.ProcStats with stable JSON field names.
 type ProcStatsJSON struct {
-	Proc         int   `json:"proc"`
-	Compute      int64 `json:"compute"`
-	SendOverhead int64 `json:"send_overhead"`
-	RecvOverhead int64 `json:"recv_overhead"`
-	Stall        int64 `json:"stall"`
-	Finish       int64 `json:"finish"`
-	MsgsSent     int   `json:"msgs_sent"`
-	MsgsReceived int   `json:"msgs_received"`
+	Proc         int   `json:"proc"`          // processor ID
+	Compute      int64 `json:"compute"`       // cycles spent in local work
+	SendOverhead int64 `json:"send_overhead"` // cycles spent in send o
+	RecvOverhead int64 `json:"recv_overhead"` // cycles spent in receive o
+	Stall        int64 `json:"stall"`         // cycles stalled on gap or capacity
+	Finish       int64 `json:"finish"`        // cycle the processor went idle for good
+	MsgsSent     int   `json:"msgs_sent"`     // messages this processor sent
+	MsgsReceived int   `json:"msgs_received"` // messages this processor received
 }
 
 // ResultJSON mirrors logp.Result minus the trace.
 type ResultJSON struct {
-	Time             int64           `json:"time"`
-	Messages         int             `json:"messages"`
-	MaxInTransitFrom int             `json:"max_in_transit_from"`
-	MaxInTransitTo   int             `json:"max_in_transit_to"`
-	Dropped          int             `json:"dropped"`
-	Duplicated       int             `json:"duplicated"`
-	Failed           []int           `json:"failed,omitempty"`
-	Undelivered      int             `json:"undelivered"`
-	Procs            []ProcStatsJSON `json:"procs,omitempty"`
+	Time             int64           `json:"time"`                // completion cycle of the run
+	Messages         int             `json:"messages"`            // total messages delivered
+	MaxInTransitFrom int             `json:"max_in_transit_from"` // peak in-flight count from one sender
+	MaxInTransitTo   int             `json:"max_in_transit_to"`   // peak in-flight count toward one receiver
+	Dropped          int             `json:"dropped"`             // messages lost by fault injection
+	Duplicated       int             `json:"duplicated"`          // messages duplicated by fault injection
+	Failed           []int           `json:"failed,omitempty"`    // processors halted by fail-stop faults
+	Undelivered      int             `json:"undelivered"`         // messages still queued at completion
+	Procs            []ProcStatsJSON `json:"procs,omitempty"`     // per-processor stats when requested
 }
 
 // Response is the full observable result of one job: what the daemon caches
@@ -86,6 +87,15 @@ func (s JobSpec) config() logp.Config {
 		Seed:            s.Seed,
 		DisableCapacity: s.Machine.NoCapacity,
 		Faults:          s.Faults.plan(),
+	}
+	if t := s.Machine.Topology; t != nil {
+		// Normalize already built this model once to validate it; Build on a
+		// validated spec cannot fail.
+		m, err := t.Build(s.Machine.Params())
+		if err != nil {
+			panic(fmt.Sprintf("service: topology on a normalized spec: %v", err))
+		}
+		cfg.Topology = m
 	}
 	if s.Metrics != nil {
 		cfg.Metrics = metrics.NewRegistry()

@@ -16,10 +16,12 @@ type Config struct {
 	// Workers bounds the simulations in flight across all requests
 	// (default GOMAXPROCS). Submissions past the bound queue.
 	Workers int
-	// CacheEntries / CacheBytes bound the result cache (defaults 4096
-	// entries, 256 MiB).
+	// CacheEntries bounds the result cache's completed bodies (default
+	// 4096).
 	CacheEntries int
-	CacheBytes   int64
+	// CacheBytes bounds the result cache's total body size (default
+	// 256 MiB).
+	CacheBytes int64
 	// MachinePool bounds the reusable flat machines kept per spec hash
 	// (default 64).
 	MachinePool int
@@ -77,6 +79,7 @@ type Server struct {
 
 // ServerStats is the /v1/stats body.
 type ServerStats struct {
+	// Cache snapshots the result-cache counters.
 	Cache CacheStats `json:"cache"`
 	// JobsRun counts simulations actually executed (cache misses and
 	// refreshes); the request count is JobsRun + hits + coalesced.

@@ -21,25 +21,37 @@ import (
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
 	"github.com/logp-model/logp/internal/progs"
+	"github.com/logp-model/logp/internal/topo"
 )
 
 // MachineSpec describes the simulated machine: the four LogP parameters plus
 // the model toggles the runners accept.
 type MachineSpec struct {
-	P int   `json:"p"`
-	L int64 `json:"l"`
-	O int64 `json:"o"`
-	G int64 `json:"g"`
+	P int   `json:"p"` // processor count
+	L int64 `json:"l"` // network latency upper bound in cycles
+	O int64 `json:"o"` // per-endpoint send/receive overhead in cycles
+	G int64 `json:"g"` // minimum gap between transmissions in cycles
 	// NoCapacity disables the ceil(L/g) capacity constraint. Legal with
 	// sharded flat execution either way: capacity-off sharding uses the
 	// o+L lookahead fast path, capacity-on sharding settles the per-link
 	// accounting at window barriers.
 	NoCapacity bool `json:"no_capacity,omitempty"`
-	// LatencyJitter, ComputeJitter and ProcSkew are the asynchrony knobs of
-	// logp.Config, all deterministic in Seed.
-	LatencyJitter int64   `json:"latency_jitter,omitempty"`
+	// LatencyJitter makes message latency uniform in [L-LatencyJitter, L]
+	// instead of exactly L, deterministic in Seed (the other asynchrony
+	// knobs below are too).
+	LatencyJitter int64 `json:"latency_jitter,omitempty"`
+	// ComputeJitter stretches each compute interval by a uniform factor in
+	// [1, 1+ComputeJitter].
 	ComputeJitter float64 `json:"compute_jitter,omitempty"`
-	ProcSkew      float64 `json:"proc_skew,omitempty"`
+	// ProcSkew gives each processor a fixed systematic speed factor drawn
+	// uniformly from [1, 1+ProcSkew].
+	ProcSkew float64 `json:"proc_skew,omitempty"`
+	// Topology describes a hierarchical (L, o, g) cost model layered over
+	// the base parameters, which become the top (cluster) tier. Nil means a
+	// flat machine — the field is appended with omitempty so every
+	// pre-topology spec still canonicalizes to the same bytes and the same
+	// hash. See topo.Spec for the shape and validation rules.
+	Topology *topo.Spec `json:"topology,omitempty"`
 }
 
 // Params returns the core parameter tuple.
@@ -53,16 +65,16 @@ type FaultSpec struct {
 	// Seed drives the fault draws, independent of the machine seed; 0 is
 	// normalized to 1, mirroring the CLI default.
 	Seed   int64          `json:"seed,omitempty"`
-	Drop   float64        `json:"drop,omitempty"`
-	Dup    float64        `json:"dup,omitempty"`
-	Jitter int64          `json:"jitter,omitempty"`
-	Fails  []FailStopSpec `json:"fail_stops,omitempty"`
+	Drop   float64        `json:"drop,omitempty"`       // per-message loss probability in [0,1]
+	Dup    float64        `json:"dup,omitempty"`        // per-message duplication probability in [0,1]
+	Jitter int64          `json:"jitter,omitempty"`     // extra fault-injected delay bound in cycles
+	Fails  []FailStopSpec `json:"fail_stops,omitempty"` // scheduled processor kills
 }
 
 // FailStopSpec kills processor Proc at local time At.
 type FailStopSpec struct {
-	Proc int   `json:"proc"`
-	At   int64 `json:"at"`
+	Proc int   `json:"proc"` // processor to kill
+	At   int64 `json:"at"`   // local cycle at which it halts
 }
 
 // empty reports whether the spec injects nothing (the all-zero plan is
@@ -108,9 +120,11 @@ type JobSpec struct {
 	// program's default.
 	N int `json:"n,omitempty"`
 	// Work and Staggered parameterize the all-to-all.
-	Work      int64 `json:"work,omitempty"`
-	Staggered bool  `json:"staggered,omitempty"`
+	Work int64 `json:"work,omitempty"`
+	// Staggered rotates the all-to-all's destination order per sender.
+	Staggered bool `json:"staggered,omitempty"`
 
+	// Machine is the simulated machine the program runs on.
 	Machine MachineSpec `json:"machine"`
 
 	// Engine selects the execution engine: "goroutine" or "flat" ("" =
@@ -127,8 +141,8 @@ type JobSpec struct {
 	// mirroring the CLI default.
 	Seed int64 `json:"seed,omitempty"`
 
-	Faults  *FaultSpec   `json:"faults,omitempty"`
-	Metrics *MetricsSpec `json:"metrics,omitempty"`
+	Faults  *FaultSpec   `json:"faults,omitempty"`  // optional fault-injection plan
+	Metrics *MetricsSpec `json:"metrics,omitempty"` // optional telemetry request
 
 	// IncludeProcs puts the per-processor statistics in the response
 	// (verbose for large P, so off by default).
@@ -189,6 +203,17 @@ func (s *JobSpec) Normalize(lim Limits) error {
 	}
 	if s.Machine.ComputeJitter < 0 || s.Machine.ProcSkew < 0 {
 		return fmt.Errorf("service: negative compute jitter or skew")
+	}
+	if t := s.Machine.Topology; t != nil {
+		// Build the model once here so a bad topology fails at validation,
+		// with the same errors the machine constructors would raise.
+		m, err := t.Build(s.Machine.Params())
+		if err != nil {
+			return err
+		}
+		if s.Machine.LatencyJitter > m.MinL() {
+			return fmt.Errorf("service: latency jitter %d exceeds the minimum link latency %d", s.Machine.LatencyJitter, m.MinL())
+		}
 	}
 
 	switch s.Engine {
@@ -265,8 +290,14 @@ func (s *JobSpec) Normalize(lim Limits) error {
 		if s.Machine.LatencyJitter != 0 || s.Machine.ComputeJitter != 0 {
 			return fmt.Errorf("service: sharded execution requires zero latency/compute jitter")
 		}
-		if s.Machine.NoCapacity && s.Machine.O+s.Machine.L < 1 {
-			return fmt.Errorf("service: sharded execution without capacity requires o+L >= 1")
+		minOL := s.Machine.O + s.Machine.L
+		if t := s.Machine.Topology; t != nil {
+			if m, err := t.Build(s.Machine.Params()); err == nil {
+				minOL = m.MinOL()
+			}
+		}
+		if s.Machine.NoCapacity && minOL < 1 {
+			return fmt.Errorf("service: sharded execution without capacity requires min(o+L) >= 1 over all links")
 		}
 	}
 	return nil

@@ -3,6 +3,8 @@ package service
 import (
 	"strings"
 	"testing"
+
+	"github.com/logp-model/logp/internal/topo"
 )
 
 // specBroadcast8 is the canonical small broadcast spec the tests share.
@@ -85,6 +87,13 @@ func TestNormalizeRejects(t *testing.T) {
 			s.Faults = &FaultSpec{Drop: 0.1}
 		}, "fail-stop faults only"},
 		{"bad jitter", func(s *JobSpec) { s.Machine.LatencyJitter = 99 }, "latency jitter"},
+		{"bad topology", func(s *JobSpec) {
+			s.Machine.Topology = &topo.Spec{ProcsPerNode: 99, Node: topo.Link{L: 2, O: 1, G: 1}}
+		}, "procs_per_node"},
+		{"jitter over node latency", func(s *JobSpec) {
+			s.Machine.LatencyJitter = 4
+			s.Machine.Topology = &topo.Spec{ProcsPerNode: 4, Node: topo.Link{L: 2, O: 1, G: 1}}
+		}, "minimum link latency"},
 	}
 	for _, tc := range cases {
 		s := specBroadcast8()
@@ -129,6 +138,16 @@ func TestSpecHashGolden(t *testing.T) {
 				Metrics: &MetricsSpec{Include: true, Every: 50}},
 			hash: "8f137332e8e4ae9e26aecd4a4f69031528ebb90d2eb96aa86bc9cfbb1c43b8ad",
 		},
+		{
+			// The Topology block is appended with omitempty precisely so the
+			// four flat hashes above survive its introduction; this entry pins
+			// the tiered encoding itself.
+			name: "broadcast-two-tier",
+			spec: JobSpec{Program: "broadcast",
+				Machine: MachineSpec{P: 8, L: 6, O: 2, G: 4,
+					Topology: &topo.Spec{ProcsPerNode: 4, Node: topo.Link{L: 2, O: 1, G: 1}}}},
+			hash: "2212efff485fbc6892c1a027543661cf738cd3fa66637cf2493aa0c4917274cc",
+		},
 	}
 	for _, g := range golden {
 		spec := g.spec
@@ -163,6 +182,12 @@ func TestHashDistinguishes(t *testing.T) {
 		{"faults", func(s *JobSpec) { s.Faults = &FaultSpec{Drop: 0.5} }},
 		{"metrics", func(s *JobSpec) { s.Metrics = &MetricsSpec{Include: true} }},
 		{"procs", func(s *JobSpec) { s.IncludeProcs = true }},
+		{"topology", func(s *JobSpec) {
+			s.Machine.Topology = &topo.Spec{ProcsPerNode: 4, Node: topo.Link{L: 2, O: 1, G: 1}}
+		}},
+		{"topology node link", func(s *JobSpec) {
+			s.Machine.Topology = &topo.Spec{ProcsPerNode: 4, Node: topo.Link{L: 3, O: 1, G: 1}}
+		}},
 	}
 	for _, m := range muts {
 		s := specBroadcast8()

@@ -14,39 +14,39 @@ import (
 // order P, L, o, g, n, seed (rightmost fastest), so the same request always
 // produces the same point order and the same response bytes.
 type SweepAxes struct {
-	P    []int   `json:"p,omitempty"`
-	L    []int64 `json:"l,omitempty"`
-	O    []int64 `json:"o,omitempty"`
-	G    []int64 `json:"g,omitempty"`
-	N    []int   `json:"n,omitempty"`
-	Seed []int64 `json:"seed,omitempty"`
+	P    []int   `json:"p,omitempty"`    // processor counts
+	L    []int64 `json:"l,omitempty"`    // latencies
+	O    []int64 `json:"o,omitempty"`    // overheads
+	G    []int64 `json:"g,omitempty"`    // gaps
+	N    []int   `json:"n,omitempty"`    // problem sizes
+	Seed []int64 `json:"seed,omitempty"` // machine seeds
 }
 
 // SweepRequest expands Base over Axes server-side.
 type SweepRequest struct {
-	Base JobSpec   `json:"base"`
-	Axes SweepAxes `json:"axes"`
+	Base JobSpec   `json:"base"` // spec every grid point starts from
+	Axes SweepAxes `json:"axes"` // dimensions to vary
 }
 
 // SweepPoint summarizes one grid point. The full response body of any point
 // is retrievable (and cached) under its spec hash via GET /v1/jobs/{hash}.
 type SweepPoint struct {
-	SpecHash string `json:"spec_hash"`
-	P        int    `json:"p"`
-	L        int64  `json:"l"`
-	O        int64  `json:"o"`
-	G        int64  `json:"g"`
-	N        int    `json:"n"`
-	Seed     int64  `json:"seed"`
-	Time     int64  `json:"time"`
-	Messages int    `json:"messages"`
+	SpecHash string `json:"spec_hash"` // content address of the point's full spec
+	P        int    `json:"p"`         // processor count at this point
+	L        int64  `json:"l"`         // latency at this point
+	O        int64  `json:"o"`         // overhead at this point
+	G        int64  `json:"g"`         // gap at this point
+	N        int    `json:"n"`         // problem size at this point
+	Seed     int64  `json:"seed"`      // machine seed at this point
+	Time     int64  `json:"time"`      // completion cycles of the run
+	Messages int    `json:"messages"`  // messages the run delivered
 }
 
 // SweepResponse is the deterministic sweep body: points in expansion order.
 // Cache effectiveness is reported in the X-Logpsimd-Cache-Hits/-Misses
 // headers so a warm re-submission still returns byte-identical bytes.
 type SweepResponse struct {
-	Points []SweepPoint `json:"points"`
+	Points []SweepPoint `json:"points"` // one summary per grid point, in expansion order
 }
 
 // expand builds the normalized spec grid. Every returned spec has been

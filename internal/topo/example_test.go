@@ -1,0 +1,42 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/core"
+	"github.com/logp-model/logp/internal/logp"
+	"github.com/logp-model/logp/internal/topo"
+)
+
+// A two-tier machine: 8 processors in nodes of 4. Links within a node are
+// cheap; links between nodes carry the base (cluster) parameters. The model
+// plugs into either engine through Config.Topology.
+func ExampleTwoTier() {
+	base := core.Params{P: 8, L: 12, O: 2, G: 4}
+	model, err := topo.TwoTier(base, 4, topo.Link{L: 2, O: 1, G: 1})
+	if err != nil {
+		panic(err)
+	}
+	intra := model.Link(0, 3) // same node
+	inter := model.Link(0, 4) // across nodes
+	fmt.Printf("intra-node: L=%d o=%d g=%d\n", intra.L, intra.O, intra.G)
+	fmt.Printf("inter-node: L=%d o=%d g=%d\n", inter.L, inter.O, inter.G)
+
+	res, err := logp.Run(logp.Config{Params: base, Topology: model}, func(p *logp.Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(3, 0, "near") // done at 2o+L of the node link = 4
+			p.Send(4, 0, "far")  // initiates at 1, done at 1 + 2o+L of the base tier = 17
+		case 3, 4:
+			p.Recv()
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("run time:", res.Time)
+	// Output:
+	// intra-node: L=2 o=1 g=1
+	// inter-node: L=12 o=2 g=4
+	// run time: 17
+}

@@ -1,0 +1,145 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+// Spec is the serializable description of a tiered topology, shared by the
+// -tier CLI flags and the Topology block of service.JobSpec. The base (L, o,
+// g) of the machine it attaches to acts as the top (cluster) tier, so a Spec
+// carries only the inner tiers: the node link always, the rack tier
+// optionally. The zero ProcsPerNode is invalid — "no topology" is expressed
+// by omitting the Spec entirely, which is what keeps flat job specs (and
+// their content hashes) byte-identical to the pre-topology encoding.
+type Spec struct {
+	// ProcsPerNode groups consecutive processor IDs into nodes; must be in
+	// [1, P].
+	ProcsPerNode int `json:"procs_per_node"`
+	// NodesPerRack, when positive, adds a rack tier grouping consecutive
+	// nodes; it requires Rack. Zero means two tiers only.
+	NodesPerRack int `json:"nodes_per_rack,omitempty"`
+	// Node is the intra-node link.
+	Node Link `json:"node"`
+	// Rack is the same-rack inter-node link (three-tier specs only).
+	Rack *Link `json:"rack,omitempty"`
+}
+
+// Validate checks the spec against a machine of p processors without
+// building a model.
+func (s *Spec) Validate(p int) error {
+	if s.ProcsPerNode < 1 || s.ProcsPerNode > p {
+		return fmt.Errorf("topo: procs_per_node %d outside [1, P=%d]", s.ProcsPerNode, p)
+	}
+	if err := s.Node.Validate(); err != nil {
+		return err
+	}
+	if (s.NodesPerRack > 0) != (s.Rack != nil) {
+		return fmt.Errorf("topo: nodes_per_rack and rack must be set together")
+	}
+	if s.NodesPerRack < 0 {
+		return fmt.Errorf("topo: negative nodes_per_rack %d", s.NodesPerRack)
+	}
+	if s.Rack != nil {
+		if err := s.Rack.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build constructs the Model the spec describes over base, whose (L, o, g)
+// is the cluster tier.
+func (s *Spec) Build(base core.Params) (Model, error) {
+	if err := s.Validate(base.P); err != nil {
+		return nil, err
+	}
+	if s.Rack != nil {
+		return ThreeTier(base, s.ProcsPerNode, s.NodesPerRack, s.Node, *s.Rack)
+	}
+	return TwoTier(base, s.ProcsPerNode, s.Node)
+}
+
+// String renders the spec in ParseSpec's flag syntax.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node=%d:%d,%d,%d", s.ProcsPerNode, s.Node.L, s.Node.O, s.Node.G)
+	if s.Rack != nil {
+		fmt.Fprintf(&b, ";rack=%d:%d,%d,%d", s.NodesPerRack, s.Rack.L, s.Rack.O, s.Rack.G)
+	}
+	return b.String()
+}
+
+// ParseSpec parses the -tier flag syntax:
+//
+//	node=<procsPerNode>:<L>,<o>,<g>[;rack=<nodesPerRack>:<L>,<o>,<g>]
+//
+// e.g. "node=4:2,1,1" for a two-tier machine of 4-processor nodes with fast
+// intra-node links, or "node=4:2,1,1;rack=8:6,1,2" to add a rack tier. The
+// machine's -L/-o/-g (or the JobSpec machine block) remain the cluster tier.
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{}
+	for _, part := range strings.Split(s, ";") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("topo: tier %q is not name=count:L,o,g", part)
+		}
+		count, link, err := parseTier(rest)
+		if err != nil {
+			return nil, fmt.Errorf("topo: tier %q: %v", part, err)
+		}
+		switch name {
+		case "node":
+			if spec.ProcsPerNode != 0 {
+				return nil, fmt.Errorf("topo: duplicate node tier")
+			}
+			spec.ProcsPerNode, spec.Node = count, link
+		case "rack":
+			if spec.Rack != nil {
+				return nil, fmt.Errorf("topo: duplicate rack tier")
+			}
+			lk := link
+			spec.NodesPerRack, spec.Rack = count, &lk
+		default:
+			return nil, fmt.Errorf("topo: unknown tier %q (want node or rack)", name)
+		}
+	}
+	if spec.ProcsPerNode == 0 {
+		return nil, fmt.Errorf("topo: missing node tier")
+	}
+	return spec, nil
+}
+
+// parseTier parses "<count>:<L>,<o>,<g>".
+func parseTier(s string) (int, Link, error) {
+	countStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, Link{}, fmt.Errorf("missing ':' between group size and parameters")
+	}
+	count, err := strconv.Atoi(strings.TrimSpace(countStr))
+	if err != nil {
+		return 0, Link{}, fmt.Errorf("group size %q: %v", countStr, err)
+	}
+	if count < 1 {
+		return 0, Link{}, fmt.Errorf("group size %d < 1", count)
+	}
+	fields := strings.Split(rest, ",")
+	if len(fields) != 3 {
+		return 0, Link{}, fmt.Errorf("want three parameters L,o,g, got %d", len(fields))
+	}
+	var v [3]int64
+	for i, f := range fields {
+		v[i], err = strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return 0, Link{}, fmt.Errorf("parameter %q: %v", f, err)
+		}
+	}
+	lk := Link{L: v[0], O: v[1], G: v[2]}
+	if err := lk.Validate(); err != nil {
+		return 0, Link{}, err
+	}
+	return count, lk, nil
+}

@@ -1,0 +1,289 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+func TestFlatModelIsBaseParamsEverywhere(t *testing.T) {
+	base := core.Params{P: 8, L: 20, O: 2, G: 4}
+	m := Flat(base)
+	if m.P() != 8 {
+		t.Fatalf("P = %d", m.P())
+	}
+	want := Link{L: 20, O: 2, G: 4}
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			if src == dst {
+				continue
+			}
+			if lk := m.Link(src, dst); lk != want {
+				t.Fatalf("Link(%d,%d) = %+v, want %+v", src, dst, lk, want)
+			}
+		}
+	}
+	if m.MinOL() != 22 || m.MinL() != 20 {
+		t.Fatalf("MinOL=%d MinL=%d", m.MinOL(), m.MinL())
+	}
+	if m.Rate(3) != 1 {
+		t.Fatalf("Rate = %v", m.Rate(3))
+	}
+}
+
+func TestTwoTierLinkClasses(t *testing.T) {
+	base := core.Params{P: 10, L: 20, O: 2, G: 4}
+	node := Link{L: 2, O: 1, G: 1}
+	m, err := TwoTier(base, 4, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := Link{L: 20, O: 2, G: 4}
+	cases := []struct {
+		src, dst int
+		want     Link
+	}{
+		{0, 3, node},    // same node
+		{0, 4, cluster}, // adjacent nodes
+		{5, 6, node},
+		{7, 8, cluster},
+		{8, 9, node}, // short trailing node
+		{9, 0, cluster},
+	}
+	for _, c := range cases {
+		if lk := m.Link(c.src, c.dst); lk != c.want {
+			t.Errorf("Link(%d,%d) = %+v, want %+v", c.src, c.dst, lk, c.want)
+		}
+	}
+	if m.MinOL() != 3 {
+		t.Errorf("MinOL = %d, want 3 (node o+L)", m.MinOL())
+	}
+	if m.MinL() != 2 {
+		t.Errorf("MinL = %d, want 2 (node L)", m.MinL())
+	}
+}
+
+func TestThreeTierLinkClasses(t *testing.T) {
+	base := core.Params{P: 16, L: 40, O: 2, G: 4}
+	node := Link{L: 2, O: 1, G: 1}
+	rack := Link{L: 10, O: 2, G: 2}
+	// 2 procs per node, 2 nodes per rack: racks are {0..3}, {4..7}, ...
+	m, err := ThreeTier(base, 2, 2, node, rack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := Link{L: 40, O: 2, G: 4}
+	cases := []struct {
+		src, dst int
+		want     Link
+	}{
+		{0, 1, node},
+		{0, 2, rack},
+		{2, 1, rack},
+		{0, 4, cluster},
+		{7, 6, node},
+		{5, 7, rack},
+		{15, 0, cluster},
+	}
+	for _, c := range cases {
+		if lk := m.Link(c.src, c.dst); lk != c.want {
+			t.Errorf("Link(%d,%d) = %+v, want %+v", c.src, c.dst, lk, c.want)
+		}
+	}
+	if m.MinOL() != 3 || m.MinL() != 2 {
+		t.Errorf("MinOL=%d MinL=%d", m.MinOL(), m.MinL())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	base := core.Params{P: 8, L: 20, O: 2, G: 4}
+	if _, err := TwoTier(base, 0, Link{}); err == nil {
+		t.Error("TwoTier accepted procsPerNode 0")
+	}
+	if _, err := TwoTier(base, 9, Link{}); err == nil {
+		t.Error("TwoTier accepted procsPerNode > P")
+	}
+	if _, err := TwoTier(base, 4, Link{L: -1}); err == nil {
+		t.Error("TwoTier accepted a negative link parameter")
+	}
+	if _, err := ThreeTier(base, 2, 0, Link{}, Link{}); err == nil {
+		t.Error("ThreeTier accepted nodesPerRack 0")
+	}
+	if _, err := ThreeTier(base, 2, 2, Link{}, Link{G: -3}); err == nil {
+		t.Error("ThreeTier accepted a negative rack parameter")
+	}
+}
+
+func TestWithRates(t *testing.T) {
+	base := core.Params{P: 4, L: 10, O: 1, G: 2}
+	m := Flat(base)
+	if _, err := WithRates(m, []float64{1, 1}); err == nil {
+		t.Error("WithRates accepted a short slice")
+	}
+	if _, err := WithRates(m, []float64{1, 1, 0.5, 1}); err == nil {
+		t.Error("WithRates accepted a rate below 1")
+	}
+	rates := []float64{1, 2, 1.5, 1}
+	rm, err := WithRates(m, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates[1] = 99 // the model must have copied
+	if rm.Rate(1) != 2 || rm.Rate(2) != 1.5 || rm.Rate(0) != 1 {
+		t.Fatalf("rates not applied: %v %v %v", rm.Rate(0), rm.Rate(1), rm.Rate(2))
+	}
+	if rm.Link(0, 1) != m.Link(0, 1) || rm.MinOL() != m.MinOL() {
+		t.Error("WithRates changed the link costs")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{"node=4:2,1,1", "node=4:2,1,1;rack=8:6,1,2"} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if got := spec.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if err := spec.Validate(64); err != nil {
+			t.Errorf("Validate(%q): %v", s, err)
+		}
+		if _, err := spec.Build(core.Params{P: 64, L: 20, O: 2, G: 4}); err != nil {
+			t.Errorf("Build(%q): %v", s, err)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"node=4",
+		"node=4:1,2",
+		"node=0:1,2,3",
+		"node=4:1,2,3;node=4:1,2,3",
+		"rack=4:1,2,3",
+		"node=4:1,2,3;rack=2:1,2",
+		"node=4:1,-2,3",
+		"pod=4:1,2,3",
+		"node=x:1,2,3",
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestSpecValidateConsistency(t *testing.T) {
+	s := &Spec{ProcsPerNode: 4, Node: Link{L: 2, O: 1, G: 1}, NodesPerRack: 2}
+	if err := s.Validate(16); err == nil || !strings.Contains(err.Error(), "together") {
+		t.Errorf("rack-less nodes_per_rack accepted: %v", err)
+	}
+	s = &Spec{ProcsPerNode: 32, Node: Link{}}
+	if err := s.Validate(16); err == nil {
+		t.Error("procs_per_node > P accepted")
+	}
+}
+
+func TestTierAwareBroadcastStructure(t *testing.T) {
+	base := core.Params{P: 16, L: 16, O: 1, G: 1}
+	node := Link{L: 2, O: 1, G: 1}
+	sched, err := TierAwareBroadcast(base, 4, node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Root != 0 || sched.Params.P != 16 {
+		t.Fatalf("root %d P %d", sched.Root, sched.Params.P)
+	}
+	// Every processor except the root has exactly one parent and is reachable.
+	seen := 0
+	for i, par := range sched.Parent {
+		if i == sched.Root {
+			if par != -1 {
+				t.Fatalf("root parent %d", par)
+			}
+			continue
+		}
+		if par < 0 || par >= 16 {
+			t.Fatalf("proc %d parent %d", i, par)
+		}
+		seen++
+	}
+	if seen != 15 {
+		t.Fatalf("%d informed processors, want 15", seen)
+	}
+	if sched.RecvDone[sched.Root] != 0 {
+		t.Fatalf("root RecvDone %d", sched.RecvDone[sched.Root])
+	}
+	var max int64
+	edges := 0
+	for p, sends := range sched.Sends {
+		for _, se := range sends {
+			edges++
+			if sched.Parent[se.Child] != p {
+				t.Fatalf("send %d->%d disagrees with Parent", p, se.Child)
+			}
+			if sched.RecvDone[se.Child] <= sched.RecvDone[p] {
+				t.Fatalf("child %d done %d not after parent %d done %d",
+					se.Child, sched.RecvDone[se.Child], p, sched.RecvDone[p])
+			}
+		}
+	}
+	if edges != 15 {
+		t.Fatalf("%d edges, want 15", edges)
+	}
+	for _, d := range sched.RecvDone {
+		if d > max {
+			max = d
+		}
+	}
+	if sched.Finish != max {
+		t.Fatalf("Finish %d, max RecvDone %d", sched.Finish, max)
+	}
+}
+
+func TestEvalBroadcastMatchesFlatSchedule(t *testing.T) {
+	// On a flat model, evaluating OptimalBroadcast's own tree must reproduce
+	// its analytic RecvDone times and Finish exactly.
+	params := core.Params{P: 16, L: 10, O: 2, G: 3}
+	sched, err := core.OptimalBroadcast(params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvDone, finish := EvalBroadcast(Flat(params), sched.Root, sched.Sends)
+	if finish != sched.Finish {
+		t.Fatalf("finish %d, schedule says %d", finish, sched.Finish)
+	}
+	for i := range recvDone {
+		if recvDone[i] != sched.RecvDone[i] {
+			t.Fatalf("proc %d RecvDone %d, schedule says %d", i, recvDone[i], sched.RecvDone[i])
+		}
+	}
+}
+
+func TestTierAwareBeatsFlatTreeWhenTiersDiverge(t *testing.T) {
+	// Analytic version of the hiertree experiment's headline: with fast node
+	// links and a slow cluster, the composed tree finishes strictly earlier
+	// than the flat-optimal tree evaluated on the same tiered machine.
+	node := Link{L: 2, O: 1, G: 1}
+	base := core.Params{P: 32, L: 64, O: 1, G: 1}
+	m, err := TwoTier(base, 4, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatSched, err := core.OptimalBroadcast(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flatFinish := EvalBroadcast(m, flatSched.Root, flatSched.Sends)
+	tier, err := TierAwareBroadcast(base, 4, node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.Finish >= flatFinish {
+		t.Fatalf("tier-aware %d not better than flat-optimal %d on the tiered machine",
+			tier.Finish, flatFinish)
+	}
+}

@@ -1,0 +1,141 @@
+package topo
+
+import (
+	"fmt"
+
+	"github.com/logp-model/logp/internal/core"
+)
+
+// EvalBroadcast predicts the completion of a broadcast tree under the
+// model's per-link costs: the tree is the Sends/root structure of a
+// core.BroadcastSchedule (the At times are ignored — senders retransmit as
+// fast as their links allow, which is what progs.Broadcast executes), and
+// the returned slice gives each processor's RecvDone time — fully received,
+// including its receive overhead — with the overall finish as the maximum.
+//
+// The walk reproduces the machine's cost rules exactly for a tree workload
+// with the capacity constraint off: a processor's first send initiates the
+// instant its own reception completes, consecutive initiations space by the
+// max(o, g) of the link just used, and a message over link (i, j) lands
+// 2o+L of that link after its initiation. Every processor receives exactly
+// once, so reception gaps never bind. The hiertree experiment pins this
+// prediction against simulation.
+func EvalBroadcast(m Model, root int, sends [][]core.SendEvent) ([]int64, int64) {
+	recvDone, finish, _ := evalBroadcast(m, root, sends, false)
+	return recvDone, finish
+}
+
+// evalBroadcast is EvalBroadcast, optionally recording each send's
+// initiation time into the At fields (used by TierAwareBroadcast to emit a
+// fully-timed schedule).
+func evalBroadcast(m Model, root int, sends [][]core.SendEvent, setAt bool) ([]int64, int64, [][]core.SendEvent) {
+	recvDone := make([]int64, len(sends))
+	for i := range recvDone {
+		recvDone[i] = -1
+	}
+	recvDone[root] = 0
+	var finish int64
+	queue := []int{root}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		next := recvDone[p] // earliest next initiation at p
+		for i, se := range sends[p] {
+			lk := m.Link(p, se.Child)
+			initiation := next
+			if setAt {
+				sends[p][i].At = initiation
+			}
+			next = initiation + lk.Interval()
+			done := initiation + 2*lk.O + lk.L
+			recvDone[se.Child] = done
+			if done > finish {
+				finish = done
+			}
+			queue = append(queue, se.Child)
+		}
+	}
+	return recvDone, finish, sends
+}
+
+// TierAwareBroadcast composes a broadcast tree that exploits a two-tier
+// machine: an optimal broadcast over one leader per node using the cluster
+// (base) parameters, then an optimal broadcast within each node using the
+// node link, rooted at its leader. Leaders forward across the cluster first
+// and fan out locally after — the long links are the critical path, so they
+// get the early send slots. The returned schedule carries the composed tree
+// with At/RecvDone/Finish evaluated under the TwoTier model, and runs on any
+// machine via progs.NewBroadcast.
+//
+// This is the schedule the flat model cannot express: OptimalBroadcast fits
+// one (L, o, g) and its greedy construction assigns children with no notion
+// of locality, so most of its edges cross nodes. Once the tiers diverge
+// enough, the composed tree strictly beats it — the hiertree experiment
+// measures the crossover.
+func TierAwareBroadcast(base core.Params, procsPerNode int, node Link, root int) (*core.BroadcastSchedule, error) {
+	m, err := TwoTier(base, procsPerNode, node)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= base.P {
+		return nil, fmt.Errorf("topo: broadcast root %d outside [0, P=%d)", root, base.P)
+	}
+	ppn := procsPerNode
+	numNodes := (base.P + ppn - 1) / ppn
+	rootNode := root / ppn
+	leader := func(k int) int {
+		if k == rootNode {
+			return root
+		}
+		return k * ppn
+	}
+
+	clusterSched, err := core.OptimalBroadcast(base.WithP(numNodes), rootNode)
+	if err != nil {
+		return nil, err
+	}
+
+	sends := make([][]core.SendEvent, base.P)
+	parent := make([]int, base.P)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// Leader tier first: each leader's cluster sends precede its node sends.
+	for k := 0; k < numNodes; k++ {
+		for _, se := range clusterSched.Sends[k] {
+			sends[leader(k)] = append(sends[leader(k)], core.SendEvent{Child: leader(se.Child)})
+			parent[leader(se.Child)] = leader(k)
+		}
+	}
+	nodeParams := core.Params{L: node.L, O: node.O, G: node.G}
+	for k := 0; k < numNodes; k++ {
+		lo := k * ppn
+		sz := ppn
+		if lo+sz > base.P {
+			sz = base.P - lo
+		}
+		if sz == 1 {
+			continue
+		}
+		nodeSched, err := core.OptimalBroadcast(nodeParams.WithP(sz), leader(k)-lo)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < sz; i++ {
+			for _, se := range nodeSched.Sends[i] {
+				sends[lo+i] = append(sends[lo+i], core.SendEvent{Child: lo + se.Child})
+				parent[lo+se.Child] = lo + i
+			}
+		}
+	}
+
+	recvDone, finish, sends := evalBroadcast(m, root, sends, true)
+	return &core.BroadcastSchedule{
+		Params:   base,
+		Root:     root,
+		Parent:   parent,
+		RecvDone: recvDone,
+		Sends:    sends,
+		Finish:   finish,
+	}, nil
+}
