@@ -66,6 +66,7 @@ func main() {
 		metEvery = flag.Int64("metrics-every", 0, "metrics sampling interval in simulated cycles (0 = default)")
 		engine   = flag.String("engine", "", "execution engine for program-form algorithms (broadcast, sum): goroutine | flat (default $LOGP_ENGINE, else goroutine)")
 		shards   = flag.Int("shards", 0, "flat engine: event-kernel shards, >1 runs the windowed parallel core, with or without capacity (default $LOGP_SHARDS, else 1)")
+		shStats  = flag.Bool("shardstats", false, "flat engine: record and print the per-shard flight-recorder table (windows, events, wheel/heap split, barrier wait) after the run")
 		nocap    = flag.Bool("nocap", false, "disable the capacity limit of ceil(L/g) in-flight messages per processor")
 		tier     = flag.String("tier", "", "hierarchical topology: node=<ppn>:<L>,<o>,<g>[;rack=<npr>:<L>,<o>,<g>]; -L/-o/-g stay the top (cluster) tier")
 		jsonOut  = flag.Bool("json", false, "print the run as a canonical JSON response (the exact bytes logpsimd serves for the same spec) instead of the human summary")
@@ -85,6 +86,14 @@ func main() {
 	engName := logp.DefaultEngineName()
 	if *shards > 1 && engName == "goroutine" {
 		usageError(fmt.Errorf("-shards applies to the flat engine only (use -engine flat)"))
+	}
+	if *shStats {
+		if engName == "goroutine" && *shards <= 1 {
+			usageError(fmt.Errorf("-shardstats applies to the flat engine only (use -engine flat or -shards)"))
+		}
+		if *jsonOut {
+			usageError(fmt.Errorf("-json excludes -shardstats: the wall-clock table is not part of the canonical response"))
+		}
 	}
 
 	params := core.Params{P: *p, L: *l, O: *o, G: *g}
@@ -153,6 +162,7 @@ func main() {
 
 	var res logp.Result
 	var summary string
+	var shardTab []flat.ShardStat
 	switch *algo {
 	case "broadcast", "sum":
 		// Program-form algorithms: run on whichever engine is selected. The
@@ -170,7 +180,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = runProgram(cfg, progs.NewBroadcast(s, 1, "datum"), engName, *shards)
+		res, shardTab, err = runProgram(cfg, progs.NewBroadcast(s, 1, "datum"), engName, *shards, *shStats)
 		summary = fmt.Sprintf("optimal broadcast: predicted %d, binomial %d, linear %d",
 			s.Finish, core.BinomialBroadcastTime(params), core.LinearBroadcastTime(params))
 	case "rbcast":
@@ -215,7 +225,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = runProgram(cfg, progs.NewSum(s, 1, dist), engName, *shards)
+		res, shardTab, err = runProgram(cfg, progs.NewSum(s, 1, dist), engName, *shards, *shStats)
 		summary = fmt.Sprintf("optimal summation of %d values: predicted %d (binary tree %d)",
 			s.TotalValues, deadline, core.BinaryTreeSumTime(params, s.TotalValues))
 	case "fft":
@@ -343,6 +353,9 @@ func main() {
 		fmt.Printf("efficiency: %.1f%% of processor-cycles computing, %d cycles stalled\n",
 			res.BusyFraction()*100, res.TotalStall())
 	}
+	if *shStats && shardTab != nil {
+		printShardStats(os.Stdout, shardTab)
+	}
 	if *traceIt && res.Trace != nil {
 		unit := res.Time / 120
 		if unit < 1 {
@@ -365,18 +378,48 @@ func main() {
 }
 
 // runProgram executes a program-form algorithm on the selected engine. An
-// explicit -shards count builds the flat machine directly with that many
-// kernel shards; otherwise the registered engine (which consults LOGP_SHARDS
-// itself) runs it.
-func runProgram(cfg logp.Config, prog logp.Program, engName string, shards int) (logp.Result, error) {
-	if shards > 1 {
-		return flat.Run(cfg, prog, shards)
+// explicit -shards count or -shardstats builds the flat machine directly
+// (with the flight recorder wired in for -shardstats); otherwise the
+// registered engine (which consults LOGP_SHARDS itself) runs it. The shard
+// table is nil unless recording was requested.
+func runProgram(cfg logp.Config, prog logp.Program, engName string, shards int, record bool) (logp.Result, []flat.ShardStat, error) {
+	if shards > 1 || record {
+		if shards < 1 {
+			shards = 1
+		}
+		m, err := flat.New(cfg, prog, shards)
+		if err != nil {
+			return logp.Result{}, nil, err
+		}
+		if record {
+			m.EnableFlightRecorder()
+		}
+		res, err := m.Run()
+		return res, m.ShardStats(), err
 	}
 	e, err := logp.EngineByName(engName)
 	if err != nil {
-		return logp.Result{}, err
+		return logp.Result{}, nil, err
 	}
-	return e.Run(cfg, prog)
+	res, err := e.Run(cfg, prog)
+	return res, nil, err
+}
+
+// printShardStats renders the flight-recorder table of a recorded flat run:
+// per-shard event traffic, the wheel/heap insertion split, barrier-merge and
+// capacity-replay activity, and the busy vs barrier-wait wall-clock split.
+func printShardStats(w io.Writer, stats []flat.ShardStat) {
+	fmt.Fprintln(w, "\nshard  procs  windows    events     wheel      heap   merged   held  rewinds   busy(ms)  wait(ms)  wait%")
+	for _, st := range stats {
+		frac := 0.0
+		if total := st.BusyNs + st.BarrierWaitNs; total > 0 {
+			frac = float64(st.BarrierWaitNs) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "%5d  %5d  %7d  %8d  %8d  %8d  %7d  %5d  %7d  %9.3f  %8.3f  %5.1f\n",
+			st.Shard, st.Procs, st.Windows, st.Events, st.WheelEvents, st.HeapEvents,
+			st.MergedIn, st.HeldReplays, st.Rewinds,
+			float64(st.BusyNs)/1e6, float64(st.BarrierWaitNs)/1e6, frac)
+	}
 }
 
 // runServiceJSON executes a registry program through service.Run — the exact

@@ -14,6 +14,14 @@
 // The -selftest mode starts the daemon in-process, fires thousands of
 // concurrent sweep requests at it, and writes a BENCH-style JSON snapshot of
 // throughput, latency quantiles and cache hit rate.
+//
+// Observability: every request is logged to stderr via log/slog
+// (-log-level, -log-format) with its spec hash, cache verdict and
+// per-stage latencies; the same stage timings come back to the client in
+// an X-Logpsimd-Timing header; GET /metrics exports wall-clock service
+// metrics in Prometheus text format; and -pprof mounts net/http/pprof.
+// All of it observes the service — simulation results and their cached
+// bodies are byte-identical with observability on or off.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"net/http"
 	"os"
 
+	"github.com/logp-model/logp/internal/obs"
 	"github.com/logp-model/logp/internal/service"
 )
 
@@ -32,6 +41,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "max simulations in flight (0 = GOMAXPROCS)")
 		cacheEntries = flag.Int("cache-entries", 0, "result cache entry bound (0 = 4096)")
 		cacheMB      = flag.Int64("cache-mb", 0, "result cache size bound in MiB (0 = 256)")
+		logLevel     = flag.String("log-level", "info", "request log level: debug | info | warn | error")
+		logFormat    = flag.String("log-format", "text", "request log format on stderr: text | json")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are not for open networks)")
 		selftest     = flag.Bool("selftest", false, "run the load test against an in-process daemon and exit")
 		stRequests   = flag.Int("st-requests", 2000, "selftest: total sweep requests to fire")
 		stClients    = flag.Int("st-clients", 64, "selftest: concurrent clients")
@@ -40,13 +52,23 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logpsimd:", err)
+		os.Exit(2)
+	}
 	cfg := service.Config{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheMB << 20,
+		Logger:       logger,
+		EnablePprof:  *pprofOn,
 	}
 
 	if *selftest {
+		// The load test fires thousands of requests; per-request log lines
+		// would drown stderr and perturb the numbers being measured.
+		cfg.Logger = nil
 		if err := runSelftest(cfg, *stRequests, *stClients, *stGrids, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "logpsimd: selftest:", err)
 			os.Exit(1)

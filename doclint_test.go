@@ -65,7 +65,7 @@ func TestPackageComments(t *testing.T) {
 // model and service packages, whose exported surfaces are the ones README
 // and DESIGN document; extend the list as further packages stabilize.
 func TestExportedDocComments(t *testing.T) {
-	pkgs := []string{"internal/topo", "internal/service"}
+	pkgs := []string{"internal/topo", "internal/service", "internal/obs"}
 	fset := token.NewFileSet()
 	checked := 0
 	for _, dir := range pkgs {

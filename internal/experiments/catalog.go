@@ -46,6 +46,7 @@ func Catalog() []Entry {
 		{"chaos", fixed(Chaos)},
 		{"pscale", PScaling},
 		{"hiertree", HierTree},
+		{"shardbalance", ShardBalance},
 	}
 }
 

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/logp-model/logp/internal/core"
 	"github.com/logp-model/logp/internal/logp"
@@ -331,6 +332,8 @@ type Machine struct {
 	lastSample int64
 	every      int64
 	nextSample int64 // sharded runs: next coordinator sample time
+
+	fr *flightRecorder // nil unless EnableFlightRecorder was called
 
 	ran bool
 }
@@ -636,6 +639,7 @@ func (m *Machine) Run() (logp.Result, error) {
 // redrawn in construction order, so a re-run replays the exact random
 // sequence of a fresh machine.
 func (m *Machine) reset() {
+	m.resetRecorder()
 	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
 	for i := range m.skew {
 		m.skew[i] = 1 + m.cfg.ProcSkew*m.rng.Float64()
@@ -717,9 +721,19 @@ func (m *Machine) reset() {
 }
 
 // runSingle drains the lone queue to exhaustion: the sequential engine.
+// With the flight recorder on, the whole drain is one busy span (the
+// sequential engine has no windows and no barrier).
 func (m *Machine) runSingle() error {
 	sh := &m.sh[0]
 	var e ent
+	if sh.rec != nil {
+		t0 := time.Now()
+		for sh.popNext(math.MaxInt64, &e) {
+			m.dispatch(sh, &e)
+		}
+		sh.rec.BusyNs += time.Since(t0).Nanoseconds()
+		return m.checkDeadlock()
+	}
 	for sh.popNext(math.MaxInt64, &e) {
 		m.dispatch(sh, &e)
 	}
@@ -750,6 +764,9 @@ func (m *Machine) checkDeadlock() error {
 
 // dispatch executes one event on its shard.
 func (m *Machine) dispatch(sh *shard, e *ent) {
+	if sh.rec != nil {
+		sh.rec.Events++
+	}
 	switch e.kind {
 	case evWake:
 		m.resumeProc(sh, &m.procs[e.proc])

@@ -95,6 +95,7 @@ type queue struct {
 	heap     []ent // overflow: events past the wheel horizon
 	arena    []payload
 	free     []int32
+	rec      *ShardStat // flight-recorder hook; nil when the recorder is off
 }
 
 // allocPayload reserves an arena slot, recycling freed ones.
@@ -118,8 +119,14 @@ func (q *queue) freePayload(i int32) {
 // insert places an entry in the wheel or, past the horizon, the heap.
 func (q *queue) insert(e ent) {
 	if e.t-q.now >= wheelSize {
+		if q.rec != nil {
+			q.rec.HeapEvents++
+		}
 		q.pushHeap(e)
 		return
+	}
+	if q.rec != nil {
+		q.rec.WheelEvents++
 	}
 	s := int(e.t) & wheelMask
 	if h := q.heads[s]; h != 0 && h == int32(len(q.wheel[s])) {
@@ -336,6 +343,9 @@ func (q *queue) popNext(limit int64, out *ent) bool {
 func (q *queue) rewind(t int64) {
 	if t >= q.now {
 		return
+	}
+	if q.rec != nil {
+		q.rec.Rewinds++
 	}
 	span := q.now - t
 	if span > wheelSize {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/logp-model/logp/internal/logp"
 )
@@ -85,12 +86,34 @@ func (m *Machine) runSharded() error {
 				defer wg.Done()
 				sh.deadline = wend - 1
 				var e ent
+				if sh.rec == nil {
+					for sh.popNext(wend, &e) {
+						m.dispatch(sh, &e)
+					}
+					return
+				}
+				// Flight recorder on: stamp the window's busy span and the
+				// finish instant the barrier differencing reads. Wall clock
+				// only — sim state is untouched, so the Result is identical.
+				sh.rec.Windows++
+				t0 := time.Now()
 				for sh.popNext(wend, &e) {
 					m.dispatch(sh, &e)
 				}
+				end := time.Now()
+				sh.rec.BusyNs += end.Sub(t0).Nanoseconds()
+				m.fr.finish[sh.idx] = end
 			}()
 		}
 		wg.Wait()
+		if m.fr != nil {
+			// Per-shard barrier wait: the gap between a shard's own window
+			// finish and the moment the slowest shard released the barrier.
+			bend := time.Now()
+			for s := range m.sh {
+				m.fr.stats[s].BarrierWaitNs += bend.Sub(m.fr.finish[s]).Nanoseconds()
+			}
+		}
 		if m.capSharded {
 			m.replayCapacity()
 		} else {
@@ -98,6 +121,9 @@ func (m *Machine) runSharded() error {
 				dst := &m.sh[d]
 				for s := range m.sh {
 					buf := m.sh[s].out[d]
+					if dst.rec != nil {
+						dst.rec.MergedIn += int64(len(buf))
+					}
 					for i := range buf {
 						dst.schedule(buf[i].t, &buf[i])
 						buf[i].msg.Data = nil
@@ -226,6 +252,9 @@ func (m *Machine) replayCapacity() {
 func (m *Machine) capFlush(p *proc, gt int64) {
 	sh := &m.sh[p.shard]
 	held := p.held
+	if sh.rec != nil {
+		sh.rec.HeldReplays += int64(len(held))
+	}
 	i := 0
 	for ; i < len(held) && held[i].t <= gt; i++ {
 		h := &held[i]
@@ -352,6 +381,9 @@ func (m *Machine) capGrant(p *proc, gt int64) {
 	o.data = nil
 	lkL, _, _ := m.link(int(p.id), to)
 	dq := &m.sh[m.shardOf(to)].queue
+	if dq.rec != nil {
+		dq.rec.MergedIn++
+	}
 	dq.scheduleDeliver(gt+lkL, int32(to), &msg, lkL, false)
 	p.blocked = false
 	p.resume = rCapGranted

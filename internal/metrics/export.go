@@ -73,6 +73,11 @@ func histSnapshot(h *Histogram) *HistogramSnapshot {
 	return s
 }
 
+// HistSnapshot freezes a histogram for export: the exported form of the
+// snapshot builder, for producers that assemble a Snapshot by hand (the
+// daemon's wall-clock telemetry in internal/obs).
+func HistSnapshot(h *Histogram) *HistogramSnapshot { return histSnapshot(h) }
+
 // procLabel builds the {proc="i"} label set.
 func procLabel(i int) []Label { return []Label{{Name: "proc", Value: fmt.Sprintf("%d", i)}} }
 

@@ -1,0 +1,69 @@
+// Package obs is the daemon's wall-clock observability layer: structured
+// request logging via log/slog, wall-clock service metrics rendered on a
+// Prometheus /metrics endpoint through internal/metrics' writers, per-request
+// stage spans, and opt-in net/http/pprof wiring.
+//
+// obs is the host-side counterpart of the repository's sim-time stack:
+// internal/metrics measures the simulated machine and internal/prof its
+// causal structure, both in cycles; obs measures the daemon that serves
+// them, in nanoseconds. The two never mix — wall-clock data lives only in
+// log lines, response headers and the /metrics scrape, never inside cached
+// response bodies, so equal specs keep producing byte-identical responses
+// with observability on.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the daemon logger writing to w at the given level.
+// format selects the handler: "text" emits human-oriented key=value lines,
+// "json" one JSON object per line (the shape log shippers ingest).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
+
+// MountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/. The index handler serves the named runtime profiles (heap,
+// goroutine, block, mutex, ...) by path suffix, exactly as the package's
+// DefaultServeMux registration would; mounting explicitly keeps the
+// daemon's mux free of import-side-effect routes and lets the wiring stay
+// opt-in behind the -pprof flag.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

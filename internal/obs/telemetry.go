@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/logp-model/logp/internal/metrics"
+)
+
+// latencyBoundsUs are the request-latency histogram buckets in microseconds:
+// sub-millisecond cache hits through multi-second cold sweeps.
+var latencyBoundsUs = []int64{
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 5_000_000,
+}
+
+// RouteStats is one route's wall-clock counters in a Telemetry snapshot.
+type RouteStats struct {
+	// Route is the route pattern the counters describe (e.g. "/v1/jobs").
+	Route string
+	// Requests counts completed requests.
+	Requests int64
+	// Errors counts requests that finished with a 4xx or 5xx status.
+	Errors int64
+	// Latency is the request-latency distribution in microseconds.
+	Latency *metrics.HistogramSnapshot
+}
+
+// routeCell is the live (mutex-guarded) form of RouteStats.
+type routeCell struct {
+	requests int64
+	errors   int64
+	latency  *metrics.Histogram
+}
+
+// Telemetry accumulates the daemon's wall-clock HTTP metrics: per-route
+// request and error counters and latency histograms. Unlike the sim-time
+// metrics.Registry — single-threaded by the kernel's design — a Telemetry is
+// safe for concurrent use: every HTTP request records into it once, under a
+// mutex (a scrape-scale cost, irrelevant next to a simulation).
+type Telemetry struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeCell
+}
+
+// NewTelemetry starts an empty telemetry store; its uptime clock starts now.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{start: time.Now(), routes: map[string]*routeCell{}}
+}
+
+// Uptime reports the time since the store was created.
+func (t *Telemetry) Uptime() time.Duration { return time.Since(t.start) }
+
+// Observe records one completed request against a route.
+func (t *Telemetry) Observe(route string, status int, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.routes[route]
+	if c == nil {
+		c = &routeCell{latency: metrics.NewHistogram(latencyBoundsUs...)}
+		t.routes[route] = c
+	}
+	c.requests++
+	if status >= 400 {
+		c.errors++
+	}
+	c.latency.Observe(d.Microseconds())
+}
+
+// Routes snapshots every route's counters, sorted by route name.
+func (t *Telemetry) Routes() []RouteStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RouteStats, 0, len(t.routes))
+	for route, c := range t.routes {
+		out = append(out, RouteStats{
+			Route: route, Requests: c.requests, Errors: c.errors,
+			Latency: metrics.HistSnapshot(c.latency),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// Families renders the HTTP telemetry as metric families for the /metrics
+// endpoint, hand-assembled in the internal/metrics export model so the
+// deterministic Prometheus writer renders them. Routes appear in sorted
+// order, making two scrapes of an idle daemon byte-identical.
+func (t *Telemetry) Families() []metrics.Family {
+	routes := t.Routes()
+	req := metrics.Family{Name: "logpsimd_http_requests_total",
+		Help: "Completed HTTP requests per route.", Kind: "counter"}
+	errs := metrics.Family{Name: "logpsimd_http_errors_total",
+		Help: "HTTP requests that finished with a 4xx or 5xx status, per route.", Kind: "counter"}
+	lat := metrics.Family{Name: "logpsimd_http_request_us",
+		Help: "Wall-clock request latency per route, microseconds.", Kind: "histogram"}
+	for i := range routes {
+		r := &routes[i]
+		labels := []metrics.Label{{Name: "route", Value: r.Route}}
+		req.Points = append(req.Points, metrics.Point{Labels: labels, Value: float64(r.Requests)})
+		errs.Points = append(errs.Points, metrics.Point{Labels: labels, Value: float64(r.Errors)})
+		lat.Points = append(lat.Points, metrics.Point{Labels: labels, Hist: r.Latency})
+	}
+	return []metrics.Family{req, errs, lat}
+}
+
+// Instrument wraps a handler so each request records its route, status and
+// wall-clock latency into the telemetry store. A nil receiver passes the
+// handler through untouched.
+func (t *Telemetry) Instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if t == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		t.Observe(route, sw.status, time.Since(t0))
+	}
+}
+
+// statusWriter captures the response status for the route counters. It
+// passes Flush through so instrumented streaming handlers (NDJSON sample
+// streams) keep flushing per line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer's Flusher, when it has one.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

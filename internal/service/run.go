@@ -219,7 +219,8 @@ type machinePool struct {
 	order   *list.List               // front = most recent; values are *poolItem
 	entries map[string]*list.Element // hash → element
 
-	reuses int64
+	acquires int64 // lookups, hit or miss (the pool hit-rate denominator)
+	reuses   int64 // lookups that found a pooled machine
 }
 
 type poolItem struct {
@@ -237,6 +238,7 @@ func newMachinePool(max int) *machinePool {
 func (p *machinePool) acquire(hash string) *pooledMachine {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.acquires++
 	el, ok := p.entries[hash]
 	if !ok {
 		return nil
@@ -266,4 +268,18 @@ func (p *machinePool) Reuses() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.reuses
+}
+
+// Counters reports the pool's lookup and reuse totals (the hit-rate pair).
+func (p *machinePool) Counters() (acquires, reuses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acquires, p.reuses
+}
+
+// Size reports the number of machines currently pooled.
+func (p *machinePool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.order.Len()
 }

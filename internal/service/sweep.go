@@ -128,7 +128,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	outs := experiments.MapIndexed(s.cfg.workers(), len(specs), func(i int) outcome {
 		spec := specs[i]
 		hash := spec.Hash()
-		body, hit, err := s.runCached(spec, hash)
+		body, hit, err := s.runCached(spec, hash, nil)
 		if err != nil {
 			return outcome{err: fmt.Errorf("sweep point %d (%s): %w", i, hash[:12], err)}
 		}
